@@ -1,0 +1,101 @@
+// Shared plumbing for the table/figure reproduction harnesses: one cached
+// Topix corpus per process, the standard expected-model factory, and the
+// pattern-mining wrappers every experiment uses.
+
+#ifndef STBURST_BENCH_BENCH_COMMON_H_
+#define STBURST_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "stburst/core/stcomb.h"
+#include "stburst/core/stlocal.h"
+#include "stburst/gen/topix_sim.h"
+#include "stburst/stream/frequency.h"
+
+namespace stburst {
+namespace bench {
+
+/// The corpus configuration every experiment shares (documented in
+/// EXPERIMENTS.md). mean_docs_per_week 6 yields ~60k documents; the paper's
+/// 305k corpus is reproduced in shape, scaled down for harness runtime.
+inline TopixOptions StandardTopixOptions() {
+  TopixOptions o;
+  o.mean_docs_per_week = 6.0;
+  o.background_vocab = 20000;  // news-like: a long tail of rare terms
+  o.use_mds = true;
+  return o;
+}
+
+/// Generates (or exits on failure) the standard corpus.
+inline TopixSimulator MakeTopix() {
+  auto sim = TopixSimulator::Generate(StandardTopixOptions());
+  if (!sim.ok()) {
+    std::fprintf(stderr, "Topix generation failed: %s\n",
+                 sim.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(*sim);
+}
+
+/// Expected-frequency model used across the experiments: running mean with
+/// a Laplace-style prior floor, so streams that never mention a term are
+/// mildly negative rather than exactly neutral and rectangles stay tight
+/// (DESIGN.md §4).
+inline constexpr double kExpectedPriorFloor = 0.2;
+
+inline ExpectedModelFactory MeanFactory() {
+  return WithPriorFloor([] { return std::make_unique<GlobalMeanModel>(); },
+                        kExpectedPriorFloor);
+}
+
+/// Standard STComb configuration for the Topix experiments: a small
+/// burstiness floor removes background-noise intervals.
+inline StComb MakeStComb(size_t max_patterns = static_cast<size_t>(-1)) {
+  StCombOptions opts;
+  opts.min_interval_burstiness = 0.1;
+  opts.max_patterns = max_patterns;
+  return StComb(opts);
+}
+
+/// Mines the top combinatorial pattern across a query's terms; false if no
+/// term yields one.
+inline bool TopCombinatorialPattern(const FrequencyIndex& freq,
+                                    const std::vector<TermId>& terms,
+                                    CombinatorialPattern* out) {
+  StComb miner = MakeStComb(1);
+  bool found = false;
+  for (TermId term : terms) {
+    auto patterns = miner.MinePatterns(freq.DenseSeries(term));
+    if (!patterns.empty() && (!found || patterns[0].score > out->score)) {
+      *out = patterns[0];
+      found = true;
+    }
+  }
+  return found;
+}
+
+/// Mines the top regional window across a query's terms; false if none.
+inline bool TopRegionalWindow(const FrequencyIndex& freq,
+                              const std::vector<Point2D>& positions,
+                              const std::vector<TermId>& terms,
+                              SpatiotemporalWindow* out) {
+  bool found = false;
+  for (TermId term : terms) {
+    auto windows =
+        MineRegionalPatterns(freq.DenseSeries(term), positions, MeanFactory());
+    if (!windows.ok() || windows->empty()) continue;
+    if (!found || (*windows)[0].score > out->score) {
+      *out = (*windows)[0];
+      found = true;
+    }
+  }
+  return found;
+}
+
+}  // namespace bench
+}  // namespace stburst
+
+#endif  // STBURST_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,95 @@
+// Figure 8 — Scalability: running time (seconds per term) vs the number of
+// streams, on distGen data (timeline 365, 1000 injected patterns, 10000
+// terms — the paper's configuration).
+//
+// Paper shape: both algorithms scale almost linearly in the stream count,
+// with STLocal consistently below STComb. The paper sweeps |D| up to
+// 128000; we sweep the same geometric ladder (cap configurable via argv[1])
+// using the grid-mode discrepancy kernel for STLocal, which §2 of the paper
+// endorses (grid-partitioned maps) and which keeps the per-snapshot cost
+// independent of n.
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "stburst/common/timer.h"
+#include "stburst/gen/generators.h"
+
+using namespace stburst;
+using namespace stburst::bench;
+
+int main(int argc, char** argv) {
+  size_t max_streams = 32000;  // default cap; pass 128000 for the full sweep
+  if (argc > 1) max_streams = static_cast<size_t>(std::atoll(argv[1]));
+
+  const std::vector<size_t> ladder = {500,   1000,  2000,  4000,  8000,
+                                      16000, 32000, 64000, 128000};
+  // Terms timed per configuration; costs are reported per term.
+  const size_t kTerms = 3;
+
+  std::printf("=== Figure 8: running time vs number of streams ===\n");
+  std::printf("%10s %14s %14s\n", "#streams", "STComb (s)", "STLocal (s)");
+
+  for (size_t n : ladder) {
+    if (n > max_streams) break;
+    GeneratorOptions opts;
+    opts.timeline = 365;
+    opts.num_streams = n;
+    opts.num_terms = 10000;
+    opts.num_patterns = 1000;
+    opts.seed = 88;
+    auto gen = SyntheticGenerator::Create(GeneratorMode::kDist, opts);
+    if (!gen.ok()) {
+      std::fprintf(stderr, "generator failed\n");
+      return 1;
+    }
+
+    // Time terms that actually carry patterns so both algorithms do real
+    // work (a dead term exits immediately and would flatter the numbers).
+    std::vector<TermId> terms;
+    for (const auto& p : gen->patterns()) {
+      if (terms.size() >= kTerms) break;
+      if (terms.empty() || terms.back() != p.term) terms.push_back(p.term);
+    }
+
+    StCombOptions comb_opts;
+    comb_opts.min_interval_burstiness = 0.3;
+    StComb stcomb(comb_opts);
+
+    StLocalOptions local_opts;
+    local_opts.rbursty.rect.mode = MaxRectOptions::Mode::kGrid;
+    local_opts.rbursty.rect.grid_cols = 64;
+    local_opts.rbursty.rect.grid_rows = 64;
+    // At >= 10^4 streams, background noise alone makes ~half the grid cells
+    // positive; unbounded R-Bursty would then peel off hundreds of noise
+    // rectangles per snapshot. The cap keeps per-snapshot work bounded, as
+    // a production deployment would.
+    local_opts.rbursty.max_rectangles = 8;
+
+    double comb_s = 0.0, local_s = 0.0;
+    for (TermId term : terms) {
+      TermSeries series = gen->GenerateTerm(term);
+
+      Timer t1;
+      auto patterns = stcomb.MinePatterns(series);
+      comb_s += t1.ElapsedSeconds();
+      (void)patterns;
+
+      Timer t2;
+      auto windows =
+          MineRegionalPatterns(series, gen->positions(), MeanFactory(),
+                               local_opts);
+      local_s += t2.ElapsedSeconds();
+      if (!windows.ok()) return 1;
+    }
+    std::printf("%10zu %14.3f %14.3f\n", n,
+                comb_s / static_cast<double>(terms.size()),
+                local_s / static_cast<double>(terms.size()));
+  }
+  std::printf("\nPaper shape check: both curves near-linear in #streams,\n"
+              "relative constants favor our clique kernel, so STComb sits\nbelow STLocal (see EXPERIMENTS.md). Pass a larger cap as\n"
+              "argv[1] for the paper's full sweep.\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 9 — Weibull PDF curves for the (k, c) settings the generators use
+// (paper Appendix B, Eq. 12). Prints the series the figure plots.
+
+#include <cstdio>
+
+#include "stburst/common/random.h"
+
+using namespace stburst;
+
+int main() {
+  struct Config {
+    double k, c;
+  };
+  // The four parameterizations shown in the paper's Figure 9 spirit: sharp
+  // onset, slow build-up, narrow spike, long-lived event.
+  const Config configs[] = {{1.5, 4.0}, {2.0, 8.0}, {5.0, 6.0}, {3.0, 14.0}};
+
+  std::printf("=== Figure 9: Weibull pdf curves f(x; c, k) ===\n");
+  std::printf("%6s", "x");
+  for (const Config& c : configs) std::printf("  k=%.1f,c=%-5.1f", c.k, c.c);
+  std::printf("\n");
+  for (double x = 0.0; x <= 24.0; x += 1.0) {
+    std::printf("%6.1f", x);
+    for (const Config& c : configs) {
+      std::printf("  %12.5f", WeibullPdf(x, c.k, c.c));
+    }
+    std::printf("\n");
+  }
+  std::printf("\nModes (peak locations): ");
+  for (const Config& c : configs) std::printf("%.2f  ", WeibullMode(c.k, c.c));
+  std::printf("\nEach curve integrates to 1; the generators rescale so the\n"
+              "peak hits the sampled frequency P (Appendix B).\n");
+  return 0;
+}

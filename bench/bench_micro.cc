@@ -1,0 +1,144 @@
+// Microbenchmarks (google-benchmark) for the core kernels: Ruzzo–Tompa
+// GetMax, the interval-graph max-weight clique sweep, the max-discrepancy
+// rectangle (exact and grid), temporal interval extraction, and the
+// Threshold Algorithm.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "stburst/common/random.h"
+#include "stburst/core/discrepancy.h"
+#include "stburst/core/getmax.h"
+#include "stburst/core/max_clique.h"
+#include "stburst/core/temporal.h"
+#include "stburst/index/threshold_algorithm.h"
+
+namespace stburst {
+namespace {
+
+std::vector<double> RandomScores(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.Uniform(-1.0, 1.0);
+  return v;
+}
+
+void BM_MaximalSegments(benchmark::State& state) {
+  auto scores = RandomScores(static_cast<size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaximalSegments(scores));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MaximalSegments)->Range(256, 1 << 16);
+
+void BM_OnlineMaxSegmentsAdd(benchmark::State& state) {
+  auto scores = RandomScores(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    OnlineMaxSegments online;
+    for (double s : scores) online.Add(s);
+    benchmark::DoNotOptimize(online.num_candidates());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OnlineMaxSegmentsAdd)->Range(256, 1 << 14);
+
+void BM_MaxWeightClique(benchmark::State& state) {
+  Rng rng(3);
+  const size_t m = static_cast<size_t>(state.range(0));
+  std::vector<WeightedInterval> intervals;
+  for (size_t i = 0; i < m; ++i) {
+    Timestamp a = static_cast<Timestamp>(rng.UniformInt(0, 360));
+    Timestamp b = a + static_cast<Timestamp>(rng.UniformInt(1, 40));
+    intervals.push_back(WeightedInterval{Interval{a, b},
+                                         rng.Uniform(0.1, 1.0),
+                                         static_cast<int64_t>(i)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxWeightClique(intervals));
+  }
+  state.SetItemsProcessed(state.iterations() * m);
+}
+BENCHMARK(BM_MaxWeightClique)->Range(64, 1 << 14);
+
+void BM_ExtractBurstyIntervals(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<double> y(static_cast<size_t>(state.range(0)));
+  for (double& v : y) v = rng.Exponential(2.0);
+  y[y.size() / 2] += 50.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExtractBurstyIntervals(y));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExtractBurstyIntervals)->Range(365, 1 << 14);
+
+void BM_MaxWeightRectangleExact(benchmark::State& state) {
+  Rng rng(5);
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<Point2D> pts(n);
+  std::vector<double> w(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts[i] = Point2D{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    w[i] = rng.Uniform(-1.0, 1.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxWeightRectangle(pts, w));
+  }
+}
+BENCHMARK(BM_MaxWeightRectangleExact)->RangeMultiplier(2)->Range(32, 512);
+
+void BM_MaxWeightRectangleGrid(benchmark::State& state) {
+  Rng rng(6);
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<Point2D> pts(n);
+  std::vector<double> w(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts[i] = Point2D{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    w[i] = rng.Uniform(-1.0, 1.0);
+  }
+  MaxRectOptions opts;
+  opts.mode = MaxRectOptions::Mode::kGrid;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxWeightRectangle(pts, w, opts));
+  }
+}
+BENCHMARK(BM_MaxWeightRectangleGrid)->RangeMultiplier(4)->Range(1024, 65536);
+
+void BM_ThresholdTopK(benchmark::State& state) {
+  Rng rng(7);
+  InvertedIndex idx;
+  const size_t docs = static_cast<size_t>(state.range(0));
+  for (TermId t = 0; t < 3; ++t) {
+    for (DocId d = 0; d < docs; ++d) {
+      if (rng.Bernoulli(0.5)) idx.Add(t, d, rng.Uniform(0.01, 10.0));
+    }
+  }
+  idx.Finalize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ThresholdTopK(idx, {0, 1, 2}, 10));
+  }
+}
+BENCHMARK(BM_ThresholdTopK)->Range(1024, 1 << 16);
+
+void BM_ExhaustiveTopK(benchmark::State& state) {
+  Rng rng(7);  // same index as BM_ThresholdTopK for comparability
+  InvertedIndex idx;
+  const size_t docs = static_cast<size_t>(state.range(0));
+  for (TermId t = 0; t < 3; ++t) {
+    for (DocId d = 0; d < docs; ++d) {
+      if (rng.Bernoulli(0.5)) idx.Add(t, d, rng.Uniform(0.01, 10.0));
+    }
+  }
+  idx.Finalize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExhaustiveTopK(idx, {0, 1, 2}, 10));
+  }
+}
+BENCHMARK(BM_ExhaustiveTopK)->Range(1024, 1 << 16);
+
+}  // namespace
+}  // namespace stburst
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Table 1 — Top-Scoring Bursty Source Patterns.
+//
+// For each Major-Events query, reports the number of countries in the top
+// regional pattern (STLocal), the top combinatorial pattern (STComb), and
+// the minimum bounding rectangle of STComb's clique. Paper shape: tier-1
+// queries cover most of the 181 sources under both algorithms; tier-3
+// queries stay small under STLocal while STComb's MBR balloons.
+//
+// Also prints the Major Events List itself (appendix Table 4).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "stburst/core/pattern.h"
+
+using namespace stburst;
+using namespace stburst::bench;
+
+int main() {
+  std::printf("=== Appendix Table 4: Major Events List ===\n");
+  for (const MajorEvent& e : MajorEventsList()) {
+    std::printf("%2d  %-16s (tier %d)  %s\n", e.number,
+                std::string(e.query).c_str(), e.tier,
+                std::string(e.description).c_str());
+  }
+
+  std::printf("\nGenerating simulated Topix corpus...\n");
+  TopixSimulator sim = MakeTopix();
+  const Collection& corpus = sim.collection();
+  FrequencyIndex freq = FrequencyIndex::Build(corpus);
+  std::vector<Point2D> positions = corpus.StreamPositions();
+  std::printf("  %zu documents, %zu streams, %d weeks\n\n",
+              corpus.num_documents(), corpus.num_streams(),
+              corpus.timeline_length());
+
+  std::printf("=== Table 1: Top-Scoring Bursty Source Patterns ===\n");
+  std::printf("%2s  %-16s %12s %12s %12s\n", "#", "Query", "#STLocal",
+              "#STComb", "#MBR");
+  for (size_t e = 0; e < sim.events().size(); ++e) {
+    auto terms = sim.QueryTerms(e);
+
+    SpatiotemporalWindow window;
+    size_t n_local = TopRegionalWindow(freq, positions, terms, &window)
+                         ? window.streams.size()
+                         : 0;
+
+    CombinatorialPattern clique;
+    size_t n_comb = 0, n_mbr = 0;
+    if (TopCombinatorialPattern(freq, terms, &clique)) {
+      n_comb = clique.streams.size();
+      n_mbr = StreamsInRect(StreamsMbr(clique.streams, positions),
+                            positions).size();
+    }
+    std::printf("%2zu  %-16s %12zu %12zu %12zu\n", e + 1,
+                std::string(sim.events()[e].query).c_str(), n_local, n_comb,
+                n_mbr);
+  }
+  std::printf("\nPaper shape check: rows 1-6 large everywhere; rows 13-18\n"
+              "small under STLocal with MBR counts far above both.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Global trend detection with STComb: which events touched the most
+// countries, regardless of geography?
+//
+// Mines the top combinatorial pattern for each Major-Events query on the
+// simulated Topix corpus and prints, per query, the number of countries in
+// the top clique, its timeframe, and the countries inside its minimum
+// bounding rectangle — the paper's Table 1 view of the data.
+//
+// Run: ./build/examples/global_trends
+
+#include <cstdio>
+#include <string>
+
+#include "stburst/core/pattern.h"
+#include "stburst/core/stcomb.h"
+#include "stburst/gen/topix_sim.h"
+#include "stburst/stream/frequency.h"
+
+using namespace stburst;
+
+int main() {
+  TopixOptions options;
+  options.mean_docs_per_week = 6.0;
+  auto sim = TopixSimulator::Generate(options);
+  if (!sim.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 sim.status().ToString().c_str());
+    return 1;
+  }
+  const Collection& corpus = sim->collection();
+  FrequencyIndex freq = FrequencyIndex::Build(corpus);
+  std::vector<Point2D> positions = corpus.StreamPositions();
+
+  StCombOptions opts;
+  opts.min_interval_burstiness = 0.1;
+  opts.max_patterns = 1;  // the HSS problem: only the top clique
+  StComb miner(opts);
+
+  std::printf("%-18s %10s %10s %12s  %s\n", "query", "#countries", "weeks",
+              "#in-MBR", "sample members");
+  for (size_t e = 0; e < sim->events().size(); ++e) {
+    const MajorEvent& event = sim->events()[e];
+
+    // Multi-word queries: mine each term and keep the strongest pattern.
+    CombinatorialPattern best;
+    bool found = false;
+    for (TermId term : sim->QueryTerms(e)) {
+      auto patterns = miner.MinePatterns(freq.DenseSeries(term));
+      if (!patterns.empty() && (!found || patterns[0].score > best.score)) {
+        best = patterns[0];
+        found = true;
+      }
+    }
+    if (!found) {
+      std::printf("%-18s %10s\n", std::string(event.query).c_str(), "-");
+      continue;
+    }
+
+    size_t in_mbr = StreamsInRect(StreamsMbr(best.streams, positions),
+                                  positions).size();
+    std::string members;
+    for (size_t i = 0; i < best.streams.size() && i < 3; ++i) {
+      members += corpus.stream(best.streams[i]).name + " ";
+    }
+    std::printf("%-18s %10zu %4d-%-5d %12zu  %s\n",
+                std::string(event.query).c_str(), best.streams.size(),
+                best.timeframe.start, best.timeframe.end, in_mbr,
+                members.c_str());
+  }
+  std::printf("\nGlobal-impact queries (top rows) should cover far more\n"
+              "countries than the localized ones (bottom rows), and the MBR\n"
+              "count shows how scattered STComb's members are.\n");
+  return 0;
+}

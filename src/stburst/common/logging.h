@@ -1,0 +1,92 @@
+// Minimal logging + assertion macros in the RocksDB/Arrow spirit.
+//
+//   STB_CHECK(cond) << "context";   // fatal on violation, always on
+//   STB_DCHECK(cond) << "context";  // fatal unless NDEBUG
+//   STB_LOG(INFO) << "message";     // leveled logging to stderr
+
+#ifndef STBURST_COMMON_LOGGING_H_
+#define STBURST_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace stburst {
+namespace internal {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Minimum level actually emitted; default Info. Settable for tests.
+LogLevel GetLogThreshold();
+void SetLogThreshold(LogLevel level);
+
+/// Stream-style message collector; emits on destruction. Fatal messages
+/// abort the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed expressions for disabled checks.
+class NullLogMessage {
+ public:
+  template <typename T>
+  NullLogMessage& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// glog-style voidifier: `&` binds looser than `<<`, turning a streamed
+/// LogMessage chain into a void expression usable inside a ternary.
+class Voidify {
+ public:
+  void operator&(const LogMessage&) {}
+  void operator&(const NullLogMessage&) {}
+};
+
+}  // namespace internal
+
+#define STB_LOG_DEBUG ::stburst::internal::LogLevel::kDebug
+#define STB_LOG_INFO ::stburst::internal::LogLevel::kInfo
+#define STB_LOG_WARNING ::stburst::internal::LogLevel::kWarning
+#define STB_LOG_ERROR ::stburst::internal::LogLevel::kError
+#define STB_LOG_FATAL ::stburst::internal::LogLevel::kFatal
+
+#define STB_LOG(level)                                             \
+  ::stburst::internal::LogMessage(STB_LOG_##level, __FILE__, __LINE__)
+
+#define STB_CHECK(cond)                                                 \
+  (cond) ? (void)0                                                      \
+         : ::stburst::internal::Voidify() &                             \
+               ::stburst::internal::LogMessage(                         \
+                   ::stburst::internal::LogLevel::kFatal, __FILE__,     \
+                   __LINE__)                                            \
+                   << "Check failed: " #cond " "
+
+#ifdef NDEBUG
+#define STB_DCHECK(cond)                          \
+  true ? (void)0                                  \
+       : ::stburst::internal::Voidify() &         \
+             ::stburst::internal::NullLogMessage()
+#else
+#define STB_DCHECK(cond) STB_CHECK(cond)
+#endif
+
+}  // namespace stburst
+
+#endif  // STBURST_COMMON_LOGGING_H_

@@ -1,0 +1,84 @@
+#include "stburst/common/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stburst/common/logging.h"
+
+namespace stburst {
+
+void KahanSum::Add(double v) {
+  double t = sum_ + v;
+  if (std::abs(sum_) >= std::abs(v)) {
+    c_ += (sum_ - t) + v;
+  } else {
+    c_ += (v - t) + sum_;
+  }
+  sum_ = t;
+}
+
+void KahanSum::Reset() {
+  sum_ = 0.0;
+  c_ = 0.0;
+}
+
+void RunningStats::Add(double v) {
+  ++n_;
+  double delta = v - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (v - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::Reset() {
+  n_ = 0;
+  mean_ = 0.0;
+  m2_ = 0.0;
+}
+
+Ewma::Ewma(double alpha) : alpha_(alpha) {
+  STB_CHECK(alpha > 0.0 && alpha <= 1.0) << "Ewma alpha must be in (0, 1]";
+}
+
+void Ewma::Add(double v) {
+  if (empty_) {
+    value_ = v;
+    empty_ = false;
+  } else {
+    value_ = alpha_ * v + (1.0 - alpha_) * value_;
+  }
+}
+
+void Ewma::Reset() {
+  value_ = 0.0;
+  empty_ = true;
+}
+
+std::vector<int64_t> Histogram(const std::vector<double>& values, double lo,
+                               double hi, size_t num_buckets) {
+  STB_CHECK(num_buckets > 0) << "Histogram requires at least one bucket";
+  STB_CHECK(hi > lo) << "Histogram requires hi > lo";
+  std::vector<int64_t> buckets(num_buckets, 0);
+  const double width = (hi - lo) / static_cast<double>(num_buckets);
+  for (double v : values) {
+    double offset = (v - lo) / width;
+    int64_t idx = static_cast<int64_t>(std::floor(offset));
+    idx = std::clamp<int64_t>(idx, 0, static_cast<int64_t>(num_buckets) - 1);
+    ++buckets[static_cast<size_t>(idx)];
+  }
+  return buckets;
+}
+
+bool AlmostEqual(double a, double b, double abs_tol, double rel_tol) {
+  double diff = std::abs(a - b);
+  if (diff <= abs_tol) return true;
+  return diff <= rel_tol * std::max(std::abs(a), std::abs(b));
+}
+
+}  // namespace stburst

@@ -1,0 +1,90 @@
+// Small numeric helpers shared across modules: compensated summation,
+// streaming mean/variance, and histogram bucketing for the reports.
+
+#ifndef STBURST_COMMON_MATH_UTIL_H_
+#define STBURST_COMMON_MATH_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace stburst {
+
+/// Kahan–Babuska compensated accumulator. The burstiness scores summed by
+/// STLocal are tiny differences of large counts; naive accumulation across a
+/// 365-step timeline loses the sign of near-zero window totals.
+class KahanSum {
+ public:
+  /// Adds a value.
+  void Add(double v);
+
+  /// Current compensated total.
+  double Get() const { return sum_ + c_; }
+
+  /// Resets to zero.
+  void Reset();
+
+ private:
+  double sum_ = 0.0;
+  double c_ = 0.0;
+};
+
+/// Streaming mean/variance via Welford's algorithm. Used by the
+/// expected-frequency models (paper §4: "average observed frequency ...
+/// over all the snapshots collected before timestamp i").
+class RunningStats {
+ public:
+  /// Incorporates one observation.
+  void Add(double v);
+
+  /// Number of observations so far.
+  int64_t count() const { return n_; }
+
+  /// Mean of observations; 0 when empty.
+  double mean() const { return mean_; }
+
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  double variance() const;
+
+  /// Sample standard deviation.
+  double stddev() const;
+
+  /// Resets to the empty state.
+  void Reset();
+
+ private:
+  int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Fixed-width exponentially-weighted moving average with smoothing alpha in
+/// (0, 1]. First observation initializes the average.
+class Ewma {
+ public:
+  explicit Ewma(double alpha);
+
+  void Add(double v);
+  double value() const { return value_; }
+  bool empty() const { return empty_; }
+  void Reset();
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool empty_ = true;
+};
+
+/// Buckets `values` into `num_buckets` equal-width bins over [lo, hi];
+/// values outside the range clamp to the edge bins. Used by the Figure 5
+/// histogram harness.
+std::vector<int64_t> Histogram(const std::vector<double>& values, double lo,
+                               double hi, size_t num_buckets);
+
+/// True if |a-b| <= abs_tol + rel_tol*max(|a|,|b|).
+bool AlmostEqual(double a, double b, double abs_tol = 1e-12,
+                 double rel_tol = 1e-9);
+
+}  // namespace stburst
+
+#endif  // STBURST_COMMON_MATH_UTIL_H_

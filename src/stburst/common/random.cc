@@ -1,0 +1,175 @@
+#include "stburst/common/random.h"
+
+#include <cmath>
+#include <limits>
+
+#include "stburst/common/logging.h"
+
+namespace stburst {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextUint64(uint64_t n) {
+  STB_CHECK(n > 0) << "NextUint64(n) requires n > 0";
+  // Rejection sampling over the largest multiple of n.
+  const uint64_t threshold = (0ULL - n) % n;
+  for (;;) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  STB_CHECK(lo <= hi) << "UniformInt requires lo <= hi";
+  uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<int64_t>(NextUint64());
+  }
+  return lo + static_cast<int64_t>(NextUint64(span));
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::Exponential(double lambda) {
+  STB_CHECK(lambda > 0.0) << "Exponential requires lambda > 0";
+  // Inverse CDF; 1 - u avoids log(0).
+  return -std::log(1.0 - NextDouble()) / lambda;
+}
+
+double Rng::Weibull(double k, double c) {
+  STB_CHECK(k > 0.0 && c > 0.0) << "Weibull requires k > 0 and c > 0";
+  return c * std::pow(-std::log(1.0 - NextDouble()), 1.0 / k);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  // Box–Muller: u1 in (0,1] to keep log finite.
+  double u1 = 1.0 - NextDouble();
+  double u2 = NextDouble();
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+int64_t Rng::Poisson(double lambda) {
+  STB_CHECK(lambda >= 0.0) << "Poisson requires lambda >= 0";
+  if (lambda == 0.0) return 0;
+  if (lambda < 30.0) {
+    // Knuth's product-of-uniforms method.
+    const double l = std::exp(-lambda);
+    int64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= NextDouble();
+    } while (p > l);
+    return k - 1;
+  }
+  // Normal approximation, adequate for the generator workloads.
+  double draw = Normal(lambda, std::sqrt(lambda));
+  return draw <= 0.0 ? 0 : static_cast<int64_t>(std::llround(draw));
+}
+
+Rng Rng::Fork() { return Rng(NextUint64() ^ 0xd2b74407b1ce6e93ULL); }
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  STB_CHECK(k <= n) << "cannot sample " << k << " distinct values from " << n;
+  // Floyd's algorithm: O(k) expected inserts, no O(n) scratch for small k.
+  std::vector<size_t> out;
+  out.reserve(k);
+  for (size_t j = n - k; j < n; ++j) {
+    size_t t = static_cast<size_t>(NextUint64(j + 1));
+    bool seen = false;
+    for (size_t v : out) {
+      if (v == t) {
+        seen = true;
+        break;
+      }
+    }
+    out.push_back(seen ? j : t);
+  }
+  return out;
+}
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  STB_CHECK(n > 0) << "ZipfSampler requires n > 0";
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf_[r] = acc;
+  }
+  for (double& v : cdf_) v /= acc;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  // Binary search for the first cdf entry >= u.
+  size_t lo = 0, hi = cdf_.size() - 1;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double WeibullPdf(double x, double k, double c) {
+  STB_CHECK(k > 0.0 && c > 0.0) << "WeibullPdf requires k > 0 and c > 0";
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) {
+    if (k < 1.0) return std::numeric_limits<double>::infinity();
+    if (k == 1.0) return 1.0 / c;
+    return 0.0;
+  }
+  double xc = x / c;
+  return (k / c) * std::pow(xc, k - 1.0) * std::exp(-std::pow(xc, k));
+}
+
+double WeibullMode(double k, double c) {
+  if (k <= 1.0) return 0.0;
+  return c * std::pow((k - 1.0) / k, 1.0 / k);
+}
+
+}  // namespace stburst

@@ -1,0 +1,102 @@
+// Deterministic random number generation and the distribution samplers used
+// by the synthetic data generators (paper §B): exponential background
+// frequencies, Weibull burst profiles, and Zipfian vocabularies.
+//
+// We ship our own generator (splitmix64-seeded xoshiro256**) instead of
+// <random> engines so that generated datasets are bit-identical across
+// platforms and standard-library versions — reproducibility of the synthetic
+// corpora is part of the experimental contract.
+
+#ifndef STBURST_COMMON_RANDOM_H_
+#define STBURST_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace stburst {
+
+/// xoshiro256** PRNG with splitmix64 seeding. Not cryptographic; fast,
+/// high-quality, and deterministic across platforms.
+class Rng {
+ public:
+  /// Seeds the generator. Equal seeds yield identical sequences everywhere.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, n). Requires n > 0. Uses rejection to avoid modulo bias.
+  uint64_t NextUint64(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Exponential with rate lambda > 0 (mean 1/lambda).
+  double Exponential(double lambda);
+
+  /// Weibull with shape k > 0 and scale c > 0 (paper §B, Eq. 12).
+  double Weibull(double k, double c);
+
+  /// Standard normal via Box–Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Poisson with mean lambda >= 0 (Knuth for small lambda, normal
+  /// approximation with rounding for large lambda).
+  int64_t Poisson(double lambda);
+
+  /// Forks an independent generator; streams of parent and child do not
+  /// collide for practical purposes.
+  Rng Fork();
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextUint64(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices uniformly from [0, n). Requires k <= n.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipfian sampler over ranks {0, ..., n-1} with exponent `s`:
+/// P(rank r) ∝ 1/(r+1)^s. Precomputes the CDF for O(log n) sampling.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+
+  /// Draws a rank in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Probability density of the Weibull(k, c) distribution at x (paper Eq. 12).
+/// Returns 0 for x < 0.
+double WeibullPdf(double x, double k, double c);
+
+/// Mode (peak location) of Weibull(k, c): c*((k-1)/k)^(1/k) for k > 1, else 0.
+double WeibullMode(double k, double c);
+
+}  // namespace stburst
+
+#endif  // STBURST_COMMON_RANDOM_H_

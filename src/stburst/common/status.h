@@ -1,0 +1,121 @@
+// Status: lightweight RocksDB/Arrow-style result type for recoverable errors.
+//
+// stburst does not use exceptions on library paths. Functions that can fail
+// for data-dependent reasons return Status (or StatusOr<T>, see statusor.h);
+// programming errors are caught with STB_CHECK (see logging.h).
+
+#ifndef STBURST_COMMON_STATUS_H_
+#define STBURST_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace stburst {
+
+/// Broad machine-inspectable error categories, mirroring the subset of
+/// RocksDB/Arrow codes this library needs.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+  kNotImplemented = 7,
+};
+
+/// Returns a stable human-readable name for a code ("OK", "InvalidArgument"...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A success-or-error result. Cheap to return by value: the OK state carries
+/// no allocation; error states hold a heap message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. An empty message is
+  /// allowed; a kOk code with a message is normalized to plain OK.
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  /// True iff the status is OK.
+  bool ok() const { return rep_ == nullptr; }
+
+  /// The status code; kOk for OK statuses.
+  StatusCode code() const { return rep_ == nullptr ? StatusCode::kOk : rep_->code; }
+
+  /// The error message; empty for OK statuses.
+  std::string_view message() const {
+    return rep_ == nullptr ? std::string_view() : std::string_view(rep_->message);
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+  friend bool operator!=(const Status& a, const Status& b) { return !(a == b); }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // nullptr <=> OK. unique_ptr keeps moves O(1) and the OK path allocation-free.
+  std::unique_ptr<Rep> rep_;
+};
+
+/// Evaluates `expr` (a Status expression); on error, returns it from the
+/// enclosing function.
+#define STB_RETURN_NOT_OK(expr)              \
+  do {                                       \
+    ::stburst::Status _st = (expr);          \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+}  // namespace stburst
+
+#endif  // STBURST_COMMON_STATUS_H_

@@ -1,0 +1,79 @@
+// StatusOr<T>: value-or-error, the companion of Status for functions that
+// compute a result. Mirrors the Arrow Result<T> / abseil StatusOr<T> shape.
+
+#ifndef STBURST_COMMON_STATUSOR_H_
+#define STBURST_COMMON_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "stburst/common/logging.h"
+#include "stburst/common/status.h"
+
+namespace stburst {
+
+/// Holds either a T or a non-OK Status. Accessing the value of an errored
+/// StatusOr is a checked programming error.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value (success).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status. Must not be OK: an OK status carries no value.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    STB_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  /// True iff a value is held.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is held.
+  const Status& status() const { return status_; }
+
+  /// Value accessors; require ok().
+  const T& value() const& {
+    STB_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    STB_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    STB_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or, on error, the provided default.
+  T value_or(T default_value) const {
+    return ok() ? *value_ : std::move(default_value);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds.
+  std::optional<T> value_;
+};
+
+/// Evaluates a StatusOr expression; on error returns its status, otherwise
+/// assigns the value to `lhs`.
+#define STB_ASSIGN_OR_RETURN(lhs, expr)                \
+  STB_ASSIGN_OR_RETURN_IMPL_(                          \
+      STB_STATUSOR_CONCAT_(_statusor_, __LINE__), lhs, expr)
+
+#define STB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define STB_STATUSOR_CONCAT_(a, b) STB_STATUSOR_CONCAT_2_(a, b)
+#define STB_STATUSOR_CONCAT_2_(a, b) a##b
+
+}  // namespace stburst
+
+#endif  // STBURST_COMMON_STATUSOR_H_

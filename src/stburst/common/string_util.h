@@ -1,0 +1,29 @@
+// String helpers used by the tokenizer, report formatting, and generators.
+
+#ifndef STBURST_COMMON_STRING_UTIL_H_
+#define STBURST_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stburst {
+
+/// Splits on any of the characters in `delims`, dropping empty pieces.
+std::vector<std::string> Split(std::string_view input, std::string_view delims);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view input);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view input);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace stburst
+
+#endif  // STBURST_COMMON_STRING_UTIL_H_

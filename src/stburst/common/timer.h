@@ -1,0 +1,32 @@
+// Wall-clock stopwatch for the performance harnesses (Figures 7 and 8).
+
+#ifndef STBURST_COMMON_TIMER_H_
+#define STBURST_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace stburst {
+
+/// Monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace stburst
+
+#endif  // STBURST_COMMON_TIMER_H_

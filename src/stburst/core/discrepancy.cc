@@ -1,0 +1,211 @@
+#include "stburst/core/discrepancy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stburst/common/logging.h"
+#include "stburst/geo/grid.h"
+
+namespace stburst {
+
+namespace {
+
+// A rows x cols matrix of aggregated weights, where column c spans
+// [col_lo[c], col_hi[c]] in x and row r spans [row_lo[r], row_hi[r]] in y.
+// In exact mode each row/column is a single coordinate (lo == hi); in grid
+// mode they are grid-cell extents.
+struct CellMatrix {
+  size_t rows = 0;
+  size_t cols = 0;
+  std::vector<double> cells;  // row-major
+  std::vector<double> col_lo, col_hi;
+  std::vector<double> row_lo, row_hi;
+
+  double at(size_t r, size_t c) const { return cells[r * cols + c]; }
+};
+
+// Max-sum contiguous span of `sums`; returns {score, c1, c2}. If every
+// prefix is empty the single best element is returned (possibly negative).
+struct KadaneResult {
+  double score = -std::numeric_limits<double>::infinity();
+  size_t c1 = 0;
+  size_t c2 = 0;
+};
+
+KadaneResult Kadane(const std::vector<double>& sums) {
+  KadaneResult best;
+  double run = 0.0;
+  size_t run_start = 0;
+  for (size_t c = 0; c < sums.size(); ++c) {
+    if (run <= 0.0) {
+      run = sums[c];
+      run_start = c;
+    } else {
+      run += sums[c];
+    }
+    if (run > best.score) {
+      best.score = run;
+      best.c1 = run_start;
+      best.c2 = c;
+    }
+  }
+  return best;
+}
+
+MaxRectResult SolveCells(const CellMatrix& m,
+                         const std::vector<Point2D>& points,
+                         const std::vector<double>& weights) {
+  MaxRectResult result;
+  if (m.rows == 0 || m.cols == 0) return result;
+
+  // Rows hosting at least one strictly positive cell: an optimal rectangle
+  // can be shrunk until its top and bottom edges touch positive mass.
+  std::vector<size_t> positive_rows;
+  for (size_t r = 0; r < m.rows; ++r) {
+    for (size_t c = 0; c < m.cols; ++c) {
+      if (m.at(r, c) > 0.0) {
+        positive_rows.push_back(r);
+        break;
+      }
+    }
+  }
+  if (positive_rows.empty()) return result;
+  const size_t last_positive_row = positive_rows.back();
+
+  double best_score = 0.0;
+  size_t best_r1 = 0, best_r2 = 0, best_c1 = 0, best_c2 = 0;
+  bool found = false;
+
+  std::vector<double> col_sums(m.cols);
+  for (size_t r1 : positive_rows) {
+    std::fill(col_sums.begin(), col_sums.end(), 0.0);
+    // Extend the band downward through every row (non-positive rows inside
+    // the band still contribute their weight), evaluating Kadane only when
+    // the band's bottom edge also touches a positive row.
+    size_t next_positive = 0;
+    while (positive_rows[next_positive] < r1) ++next_positive;
+    for (size_t r2 = r1; r2 <= last_positive_row; ++r2) {
+      for (size_t c = 0; c < m.cols; ++c) col_sums[c] += m.at(r2, c);
+      if (positive_rows[next_positive] != r2) continue;
+      ++next_positive;
+      KadaneResult k = Kadane(col_sums);
+      if (k.score > best_score) {
+        best_score = k.score;
+        best_r1 = r1;
+        best_r2 = r2;
+        best_c1 = k.c1;
+        best_c2 = k.c2;
+        found = true;
+      }
+      if (next_positive >= positive_rows.size()) break;
+    }
+  }
+  if (!found) return result;
+
+  result.score = best_score;
+  result.rect = Rect(m.col_lo[best_c1], m.row_lo[best_r1], m.col_hi[best_c2],
+                     m.row_hi[best_r2]);
+  for (size_t i = 0; i < points.size(); ++i) {
+    (void)weights;
+    if (result.rect.Contains(points[i])) result.points_inside.push_back(i);
+  }
+  return result;
+}
+
+CellMatrix BuildExactMatrix(const std::vector<Point2D>& points,
+                            const std::vector<double>& weights) {
+  CellMatrix m;
+  std::vector<double> xs, ys;
+  xs.reserve(points.size());
+  ys.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (weights[i] == 0.0) continue;  // weightless points cannot matter
+    xs.push_back(points[i].x);
+    ys.push_back(points[i].y);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+  if (xs.empty() || ys.empty()) return m;
+
+  m.cols = xs.size();
+  m.rows = ys.size();
+  m.col_lo = xs;
+  m.col_hi = xs;
+  m.row_lo = ys;
+  m.row_hi = ys;
+  m.cells.assign(m.rows * m.cols, 0.0);
+
+  auto index_of = [](const std::vector<double>& v, double key) {
+    return static_cast<size_t>(
+        std::lower_bound(v.begin(), v.end(), key) - v.begin());
+  };
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (weights[i] == 0.0) continue;
+    size_t c = index_of(xs, points[i].x);
+    size_t r = index_of(ys, points[i].y);
+    m.cells[r * m.cols + c] += weights[i];
+  }
+  return m;
+}
+
+StatusOr<CellMatrix> BuildGridMatrix(const std::vector<Point2D>& points,
+                                     const std::vector<double>& weights,
+                                     size_t grid_cols, size_t grid_rows) {
+  CellMatrix m;
+  Rect bounds = Rect::BoundingBox(points);
+  if (bounds.empty()) return m;
+  if (bounds.width() <= 0.0 || bounds.height() <= 0.0) {
+    // Degenerate map (all points collinear): fall back to the exact sweep,
+    // which handles 1-D layouts natively.
+    return BuildExactMatrix(points, weights);
+  }
+  STB_ASSIGN_OR_RETURN(UniformGrid grid,
+                       UniformGrid::Create(bounds, grid_cols, grid_rows));
+  std::vector<double> cells = grid.AggregateWeights(points, weights);
+
+  m.rows = grid.rows();
+  m.cols = grid.cols();
+  m.cells = std::move(cells);
+  m.col_lo.resize(m.cols);
+  m.col_hi.resize(m.cols);
+  m.row_lo.resize(m.rows);
+  m.row_hi.resize(m.rows);
+  for (size_t c = 0; c < m.cols; ++c) {
+    Rect r = grid.CellRect(c, 0);
+    m.col_lo[c] = r.min_x();
+    m.col_hi[c] = r.max_x();
+  }
+  for (size_t r = 0; r < m.rows; ++r) {
+    Rect rr = grid.CellRect(0, r);
+    m.row_lo[r] = rr.min_y();
+    m.row_hi[r] = rr.max_y();
+  }
+  return m;
+}
+
+}  // namespace
+
+StatusOr<MaxRectResult> MaxWeightRectangle(const std::vector<Point2D>& points,
+                                           const std::vector<double>& weights,
+                                           const MaxRectOptions& options) {
+  if (points.size() != weights.size()) {
+    return Status::InvalidArgument("points/weights length mismatch");
+  }
+  if (points.empty()) return MaxRectResult{};
+
+  if (options.mode == MaxRectOptions::Mode::kGrid) {
+    if (options.grid_cols == 0 || options.grid_rows == 0) {
+      return Status::InvalidArgument("grid resolution must be positive");
+    }
+    STB_ASSIGN_OR_RETURN(
+        CellMatrix m,
+        BuildGridMatrix(points, weights, options.grid_cols, options.grid_rows));
+    return SolveCells(m, points, weights);
+  }
+  return SolveCells(BuildExactMatrix(points, weights), points, weights);
+}
+
+}  // namespace stburst

@@ -1,0 +1,69 @@
+#include "stburst/core/expected.h"
+
+#include "stburst/common/logging.h"
+
+namespace stburst {
+
+WindowMeanModel::WindowMeanModel(size_t window) : window_(window) {
+  STB_CHECK(window > 0) << "window must be positive";
+}
+
+double WindowMeanModel::Expected() const {
+  if (recent_.empty()) return 0.0;
+  return sum_ / static_cast<double>(recent_.size());
+}
+
+void WindowMeanModel::Observe(double y) {
+  recent_.push_back(y);
+  sum_ += y;
+  if (recent_.size() > window_) {
+    sum_ -= recent_.front();
+    recent_.pop_front();
+  }
+}
+
+void WindowMeanModel::Reset() {
+  recent_.clear();
+  sum_ = 0.0;
+}
+
+SeasonalMeanModel::SeasonalMeanModel(size_t period)
+    : period_(period), phase_stats_(period) {
+  STB_CHECK(period > 0) << "period must be positive";
+}
+
+double SeasonalMeanModel::Expected() const {
+  const RunningStats& phase = phase_stats_[n_ % period_];
+  if (phase.count() > 0) return phase.mean();
+  return global_.mean();
+}
+
+void SeasonalMeanModel::Observe(double y) {
+  phase_stats_[n_ % period_].Add(y);
+  global_.Add(y);
+  ++n_;
+}
+
+void SeasonalMeanModel::Reset() {
+  n_ = 0;
+  for (RunningStats& s : phase_stats_) s.Reset();
+  global_.Reset();
+}
+
+ExpectedModelFactory WithPriorFloor(ExpectedModelFactory inner, double floor) {
+  return [inner = std::move(inner), floor] {
+    return std::make_unique<PriorFloorModel>(inner(), floor);
+  };
+}
+
+std::vector<double> BurstinessSeries(const std::vector<double>& y,
+                                     ExpectedFrequencyModel* model) {
+  std::vector<double> b(y.size());
+  for (size_t i = 0; i < y.size(); ++i) {
+    b[i] = model->HasHistory() ? y[i] - model->Expected() : 0.0;
+    model->Observe(y[i]);
+  }
+  return b;
+}
+
+}  // namespace stburst

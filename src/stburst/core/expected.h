@@ -1,0 +1,147 @@
+// Expected-frequency baselines E_x[i][t] (paper §4, Eq. 7).
+//
+// The burstiness of term t at stream Dx and timestamp i is the discrepancy
+//     B(t, Dx[i]) = Dx[i][t] − Ex[i][t]
+// between observed and expected frequency. The paper leaves the baseline
+// pluggable ("the average observed frequency ... over all the snapshots
+// collected before timestamp i", "only the most recent measurements", or
+// seasonal data); this module provides those models behind one interface.
+// Models are strictly causal: Expected() uses only observations made before
+// the current timestamp.
+
+#ifndef STBURST_CORE_EXPECTED_H_
+#define STBURST_CORE_EXPECTED_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "stburst/common/math_util.h"
+
+namespace stburst {
+
+/// Causal expected-frequency model for one (stream, term) pair.
+class ExpectedFrequencyModel {
+ public:
+  virtual ~ExpectedFrequencyModel() = default;
+
+  /// Expected frequency of the upcoming observation, given only past ones.
+  /// Meaningful only when HasHistory(); callers that want a neutral first
+  /// timestamp (burstiness 0) should special-case !HasHistory().
+  virtual double Expected() const = 0;
+
+  /// Incorporates the observation for the current timestamp.
+  virtual void Observe(double y) = 0;
+
+  /// True once at least one observation has been made.
+  virtual bool HasHistory() const = 0;
+
+  virtual void Reset() = 0;
+};
+
+/// Factory producing a fresh model per (stream, term) pair.
+using ExpectedModelFactory =
+    std::function<std::unique_ptr<ExpectedFrequencyModel>()>;
+
+/// E[i] = mean of all observations before i (the paper's default baseline).
+class GlobalMeanModel : public ExpectedFrequencyModel {
+ public:
+  double Expected() const override { return stats_.mean(); }
+  void Observe(double y) override { stats_.Add(y); }
+  bool HasHistory() const override { return stats_.count() > 0; }
+  void Reset() override { stats_.Reset(); }
+
+ private:
+  RunningStats stats_;
+};
+
+/// E[i] = mean of the most recent `window` observations ("only the most
+/// recent measurements").
+class WindowMeanModel : public ExpectedFrequencyModel {
+ public:
+  explicit WindowMeanModel(size_t window);
+
+  double Expected() const override;
+  void Observe(double y) override;
+  bool HasHistory() const override { return !recent_.empty(); }
+  void Reset() override;
+
+ private:
+  size_t window_;
+  std::deque<double> recent_;
+  double sum_ = 0.0;
+};
+
+/// Exponentially-weighted recent mean — a smooth version of the sliding
+/// window that needs O(1) state.
+class EwmaModel : public ExpectedFrequencyModel {
+ public:
+  explicit EwmaModel(double alpha) : ewma_(alpha) {}
+
+  double Expected() const override { return ewma_.value(); }
+  void Observe(double y) override { ewma_.Add(y); }
+  bool HasHistory() const override { return !ewma_.empty(); }
+  void Reset() override { ewma_.Reset(); }
+
+ private:
+  Ewma ewma_;
+};
+
+/// E[i] = mean of observations at i−p, i−2p, ... for period p ("data from
+/// previous timeframes ... e.g. the Dec. of previous years"). Falls back to
+/// the global mean until a same-phase observation exists.
+class SeasonalMeanModel : public ExpectedFrequencyModel {
+ public:
+  explicit SeasonalMeanModel(size_t period);
+
+  double Expected() const override;
+  void Observe(double y) override;
+  bool HasHistory() const override { return n_ > 0; }
+  void Reset() override;
+
+ private:
+  size_t period_;
+  size_t n_ = 0;
+  std::vector<RunningStats> phase_stats_;
+  RunningStats global_;
+};
+
+/// Wraps another model and imposes a minimum expected frequency — a
+/// Laplace-style prior: a stream that has never mentioned a term still
+/// carries a small expectation. Under the discrepancy score (Eq. 7) this
+/// makes silent streams mildly negative instead of exactly neutral, so
+/// R-Bursty's rectangles pay for every silent stream they cover and stay
+/// tight around the sources that actually report (see DESIGN.md §4).
+class PriorFloorModel : public ExpectedFrequencyModel {
+ public:
+  PriorFloorModel(std::unique_ptr<ExpectedFrequencyModel> inner, double floor)
+      : inner_(std::move(inner)), floor_(floor) {}
+
+  double Expected() const override {
+    double e = inner_->HasHistory() ? inner_->Expected() : 0.0;
+    return e > floor_ ? e : floor_;
+  }
+  void Observe(double y) override { inner_->Observe(y); }
+  /// The prior counts as history: the floor applies from the first snapshot.
+  bool HasHistory() const override { return true; }
+  void Reset() override { inner_->Reset(); }
+
+ private:
+  std::unique_ptr<ExpectedFrequencyModel> inner_;
+  double floor_;
+};
+
+/// Decorates a factory with PriorFloorModel.
+ExpectedModelFactory WithPriorFloor(ExpectedModelFactory inner, double floor);
+
+/// Computes the burstiness series b[i] = y[i] − E[i] for one stream,
+/// advancing `model` causally. The first observation (no history) is scored
+/// 0 rather than y[0] so that the very first snapshot is not spuriously
+/// bursty for every term.
+std::vector<double> BurstinessSeries(const std::vector<double>& y,
+                                     ExpectedFrequencyModel* model);
+
+}  // namespace stburst
+
+#endif  // STBURST_CORE_EXPECTED_H_

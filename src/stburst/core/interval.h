@@ -1,0 +1,65 @@
+// Closed 1-D intervals on the discrete timeline.
+
+#ifndef STBURST_CORE_INTERVAL_H_
+#define STBURST_CORE_INTERVAL_H_
+
+#include <algorithm>
+#include <string>
+
+#include "stburst/common/string_util.h"
+#include "stburst/stream/types.h"
+
+namespace stburst {
+
+/// A closed interval [start, end] of timestamps; valid iff start <= end.
+struct Interval {
+  Timestamp start = 0;
+  Timestamp end = -1;  // default-constructed interval is invalid/empty
+
+  bool valid() const { return start <= end; }
+
+  /// Number of timestamps covered (|I|); 0 when invalid.
+  Timestamp length() const { return valid() ? end - start + 1 : 0; }
+
+  bool Contains(Timestamp t) const { return valid() && t >= start && t <= end; }
+
+  bool Intersects(const Interval& o) const {
+    return valid() && o.valid() && start <= o.end && o.start <= end;
+  }
+
+  /// Intersection; invalid when disjoint.
+  Interval Intersect(const Interval& o) const {
+    return Interval{std::max(start, o.start), std::min(end, o.end)};
+  }
+
+  /// Smallest interval covering both.
+  Interval Union(const Interval& o) const {
+    if (!valid()) return o;
+    if (!o.valid()) return *this;
+    return Interval{std::min(start, o.start), std::max(end, o.end)};
+  }
+
+  /// |I ∩ O| / |I ∪ O| with the union measured as covered timestamps of the
+  /// two intervals (not the hull). 0 when either is invalid.
+  double TemporalJaccard(const Interval& o) const {
+    if (!valid() || !o.valid()) return 0.0;
+    Timestamp inter = Intersect(o).length();
+    Timestamp uni = length() + o.length() - inter;
+    return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+  }
+
+  std::string ToString() const {
+    return valid() ? StringPrintf("[%d:%d]", start, end) : "[invalid]";
+  }
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.start == b.start && a.end == b.end;
+  }
+  friend bool operator!=(const Interval& a, const Interval& b) {
+    return !(a == b);
+  }
+};
+
+}  // namespace stburst
+
+#endif  // STBURST_CORE_INTERVAL_H_

@@ -1,0 +1,118 @@
+#include "stburst/core/kleinberg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace stburst {
+
+namespace {
+
+// Negative log-likelihood of observing r of d events under rate p, dropping
+// the binomial coefficient (identical across states, so it cancels).
+double StateCost(double r, double d, double p) {
+  double cost = 0.0;
+  if (r > 0.0) cost -= r * std::log(p);
+  if (d - r > 0.0) cost -= (d - r) * std::log(1.0 - p);
+  return cost;
+}
+
+}  // namespace
+
+StatusOr<std::vector<BurstyInterval>> KleinbergBursts(
+    const std::vector<double>& relevant, const std::vector<double>& totals,
+    const KleinbergOptions& options) {
+  if (relevant.size() != totals.size()) {
+    return Status::InvalidArgument("relevant/totals length mismatch");
+  }
+  if (options.s <= 1.0) {
+    return Status::InvalidArgument("burst multiplier s must exceed 1");
+  }
+  if (options.gamma < 0.0) {
+    return Status::InvalidArgument("gamma must be non-negative");
+  }
+  const size_t n = relevant.size();
+  std::vector<BurstyInterval> out;
+  if (n == 0) return out;
+
+  double r_total = 0.0, d_total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (relevant[i] < 0.0 || totals[i] < relevant[i]) {
+      return Status::InvalidArgument(
+          "counts must satisfy 0 <= relevant[i] <= totals[i]");
+    }
+    r_total += relevant[i];
+    d_total += totals[i];
+  }
+  if (r_total <= 0.0 || d_total <= 0.0) return out;
+
+  const double p0 = std::min(r_total / d_total, 0.9999);
+  const double p1 = std::min(options.s * p0, 0.9999);
+  if (p1 <= p0) return out;  // base rate already saturated
+
+  const double transition_cost =
+      options.gamma * std::log(static_cast<double>(n) + 1.0);
+
+  // Viterbi over states {0 = base, 1 = burst}. Moving 0->1 pays the
+  // transition cost; 1->0 is free (Kleinberg's asymmetric costs).
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> cost0(n), cost1(n);
+  std::vector<int8_t> from0(n), from1(n);
+
+  cost0[0] = StateCost(relevant[0], totals[0], p0);
+  cost1[0] = transition_cost + StateCost(relevant[0], totals[0], p1);
+  from0[0] = from1[0] = -1;
+  for (size_t i = 1; i < n; ++i) {
+    double c0 = StateCost(relevant[i], totals[i], p0);
+    double c1 = StateCost(relevant[i], totals[i], p1);
+    // into base state: from base (free) or from burst (free)
+    if (cost0[i - 1] <= cost1[i - 1]) {
+      cost0[i] = cost0[i - 1] + c0;
+      from0[i] = 0;
+    } else {
+      cost0[i] = cost1[i - 1] + c0;
+      from0[i] = 1;
+    }
+    // into burst state: from base pays the transition cost
+    double via_base = cost0[i - 1] + transition_cost;
+    double via_burst = cost1[i - 1];
+    if (via_burst <= via_base) {
+      cost1[i] = via_burst + c1;
+      from1[i] = 1;
+    } else {
+      cost1[i] = via_base + c1;
+      from1[i] = 0;
+    }
+  }
+
+  // Backtrack the optimal state sequence.
+  std::vector<int8_t> state(n);
+  state[n - 1] = cost0[n - 1] <= cost1[n - 1] ? 0 : 1;
+  for (size_t i = n - 1; i > 0; --i) {
+    state[i - 1] = state[i] == 0 ? from0[i] : from1[i];
+  }
+  (void)kInf;
+
+  // Runs of the burst state become intervals; score = the base state's
+  // excess cost over the burst state across the run (likelihood advantage).
+  for (size_t i = 0; i < n;) {
+    if (state[i] != 1) {
+      ++i;
+      continue;
+    }
+    size_t j = i;
+    double advantage = 0.0;
+    while (j < n && state[j] == 1) {
+      advantage += StateCost(relevant[j], totals[j], p0) -
+                   StateCost(relevant[j], totals[j], p1);
+      ++j;
+    }
+    out.push_back(BurstyInterval{
+        Interval{static_cast<Timestamp>(i), static_cast<Timestamp>(j - 1)},
+        advantage});
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace stburst

@@ -1,0 +1,43 @@
+// Kleinberg's two-state burst automaton (reference [13]).
+//
+// §3 of the paper notes the STComb pipeline "is compatible with any
+// framework that reports non-overlapping bursty intervals"; this module
+// provides the classic alternative to the discrepancy-based detector of
+// [14]. The batch (enumerating) variant for document streams is
+// implemented: at each timestamp the term generated r_t of d_t relevant
+// events; the automaton chooses between a base state with rate p0 = R/D and
+// a burst state with rate p1 = s*p0 by minimizing binomial negative
+// log-likelihood plus a transition cost gamma * ln(T) for entering the
+// burst state. The optimal state sequence is found with Viterbi dynamic
+// programming; runs of the burst state become the reported intervals.
+
+#ifndef STBURST_CORE_KLEINBERG_H_
+#define STBURST_CORE_KLEINBERG_H_
+
+#include <vector>
+
+#include "stburst/common/statusor.h"
+#include "stburst/core/temporal.h"
+
+namespace stburst {
+
+struct KleinbergOptions {
+  /// Burst-state rate multiplier (s in Kleinberg's notation); > 1.
+  double s = 2.0;
+  /// Cost scale for entering the burst state; >= 0.
+  double gamma = 1.0;
+};
+
+/// Detects bursty intervals in a sequence of (relevant, total) counts.
+/// `relevant[i]` is the term's frequency at timestamp i and `totals[i]` the
+/// total volume at that timestamp (totals[i] >= relevant[i] >= 0). Returned
+/// intervals are non-overlapping and ordered; each carries the likelihood
+/// advantage of the burst state over the base state as its score, so the
+/// output plugs directly into StComb::MineFromIntervals.
+StatusOr<std::vector<BurstyInterval>> KleinbergBursts(
+    const std::vector<double>& relevant, const std::vector<double>& totals,
+    const KleinbergOptions& options = {});
+
+}  // namespace stburst
+
+#endif  // STBURST_CORE_KLEINBERG_H_

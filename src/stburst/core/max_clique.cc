@@ -1,0 +1,156 @@
+#include "stburst/core/max_clique.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace stburst {
+
+CliqueResult MaxWeightClique(const std::vector<WeightedInterval>& intervals) {
+  CliqueResult best;
+
+  // Sweep events: +weight when an interval opens, -weight one past its end.
+  // Closed intervals [a, b] and [b, c] intersect, so openings at a
+  // coordinate are applied before the candidate evaluation and closings take
+  // effect strictly after the end coordinate.
+  struct Event {
+    Timestamp at;
+    double delta;
+  };
+  std::vector<Event> events;
+  events.reserve(intervals.size() * 2);
+  for (const WeightedInterval& wi : intervals) {
+    if (wi.weight <= 0.0 || !wi.interval.valid()) continue;
+    events.push_back(Event{wi.interval.start, wi.weight});
+    events.push_back(Event{static_cast<Timestamp>(wi.interval.end + 1),
+                           -wi.weight});
+  }
+  if (events.empty()) return best;
+
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.delta > b.delta;  // openings before closings at the same point
+  });
+
+  double active = 0.0;
+  double best_weight = 0.0;
+  Timestamp best_stab = events.front().at;
+  for (size_t i = 0; i < events.size();) {
+    Timestamp at = events[i].at;
+    while (i < events.size() && events[i].at == at) {
+      active += events[i].delta;
+      ++i;
+    }
+    if (active > best_weight) {
+      best_weight = active;
+      best_stab = at;
+    }
+  }
+  if (best_weight <= 0.0) return best;
+
+  // Collect the stabbed intervals, keeping the heaviest per tag.
+  std::unordered_map<int64_t, size_t> best_by_tag;
+  for (size_t idx = 0; idx < intervals.size(); ++idx) {
+    const WeightedInterval& wi = intervals[idx];
+    if (wi.weight <= 0.0 || !wi.interval.Contains(best_stab)) continue;
+    auto [it, inserted] = best_by_tag.emplace(wi.tag, idx);
+    if (!inserted && intervals[it->second].weight < wi.weight) {
+      it->second = idx;
+    }
+  }
+  for (const auto& [tag, idx] : best_by_tag) {
+    best.members.push_back(idx);
+    best.weight += intervals[idx].weight;
+  }
+  std::sort(best.members.begin(), best.members.end());
+  best.stab = best_stab;
+  return best;
+}
+
+std::vector<CliqueResult> EnumerateMaximalCliques(
+    const std::vector<WeightedInterval>& intervals) {
+  // In an interval graph, every maximal clique is the set of intervals
+  // containing some interval's right endpoint r, and that set is maximal
+  // iff no interval both starts after the previous considered endpoint and
+  // ends later (i.e. the stabbing set at r is not a subset of the stabbing
+  // set at a later point). Sweeping right endpoints in increasing order, a
+  // stabbing set is maximal exactly when some active interval ENDS at the
+  // sweep point (ending intervals cannot appear in any later stabbing set)
+  // and no interval opens at the same coordinate after it closes -- with
+  // closed intervals, opens at coordinate x are applied before evaluating
+  // x, so the rule reduces to: evaluate each distinct right endpoint after
+  // applying its opens, skip endpoints whose stabbing set is a subset of
+  // the next one.
+  std::vector<CliqueResult> out;
+  std::vector<size_t> order;
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    if (intervals[i].interval.valid()) order.push_back(i);
+  }
+  if (order.empty()) return out;
+
+  // Distinct right endpoints, ascending.
+  std::vector<Timestamp> stabs;
+  for (size_t i : order) stabs.push_back(intervals[i].interval.end);
+  std::sort(stabs.begin(), stabs.end());
+  stabs.erase(std::unique(stabs.begin(), stabs.end()), stabs.end());
+
+  // Sort intervals by start for an incremental sweep.
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return intervals[a].interval.start < intervals[b].interval.start;
+  });
+
+  size_t next_open = 0;
+  std::vector<size_t> active;  // indices of intervals with start <= stab
+  for (size_t si = 0; si < stabs.size(); ++si) {
+    Timestamp stab = stabs[si];
+    while (next_open < order.size() &&
+           intervals[order[next_open]].interval.start <= stab) {
+      active.push_back(order[next_open]);
+      ++next_open;
+    }
+    // Drop intervals that ended before this stab point.
+    active.erase(std::remove_if(active.begin(), active.end(),
+                                [&](size_t idx) {
+                                  return intervals[idx].interval.end < stab;
+                                }),
+                 active.end());
+
+    // The stabbing set at `stab` is a subset of the one at the next stab
+    // point iff no active interval ends here before the next point's opens
+    // complete. Since `stab` IS a right endpoint, at least one active
+    // interval ends exactly here unless that interval also covers the next
+    // stab -- impossible, as its end equals this stab. However, if every
+    // interval ending here also starts after the previous stab AND the
+    // next stab point's stabbing set contains all currently active
+    // intervals, the clique would be dominated; that can only happen when
+    // no interval ends at `stab`, which cannot occur. Hence every distinct
+    // right endpoint yields a maximal clique, except for duplicates: two
+    // consecutive stabs can produce identical member sets when the later
+    // one adds nothing and drops nothing, which we filter below.
+    CliqueResult clique;
+    clique.stab = stab;
+    for (size_t idx : active) {
+      clique.members.push_back(idx);
+      clique.weight += intervals[idx].weight;
+    }
+    std::sort(clique.members.begin(), clique.members.end());
+    if (clique.members.empty()) continue;
+    // Containment along the sweep is local: if the set at stab s1 is inside
+    // the set at s3 > s1, every member covers everything between, so it is
+    // also inside the set at any intermediate stab. Neighbor checks
+    // therefore suffice to enforce maximality.
+    if (!out.empty() &&
+        std::includes(out.back().members.begin(), out.back().members.end(),
+                      clique.members.begin(), clique.members.end())) {
+      continue;  // current set not maximal (subset of the previous one)
+    }
+    if (!out.empty() &&
+        std::includes(clique.members.begin(), clique.members.end(),
+                      out.back().members.begin(), out.back().members.end())) {
+      out.pop_back();  // previous set dominated by the current one
+    }
+    out.push_back(std::move(clique));
+  }
+  return out;
+}
+
+}  // namespace stburst

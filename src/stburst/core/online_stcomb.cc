@@ -1,0 +1,60 @@
+#include "stburst/core/online_stcomb.h"
+
+#include "stburst/core/temporal.h"
+
+namespace stburst {
+
+OnlineStComb::OnlineStComb(size_t num_streams, StCombOptions options)
+    : options_(options), miner_(options), streams_(num_streams) {}
+
+Status OnlineStComb::Push(const std::vector<double>& frequencies) {
+  if (frequencies.size() != streams_.size()) {
+    return Status::InvalidArgument("snapshot size does not match stream count");
+  }
+  for (StreamId s = 0; s < streams_.size(); ++s) {
+    StreamState& st = streams_[s];
+    st.raw.push_back(frequencies[s]);
+    if (frequencies[s] != 0.0) {
+      st.mass += frequencies[s];
+      st.dirty = true;
+    } else if (st.mass > 0.0) {
+      // A zero extends the timeline (N changes), which shifts every
+      // transformed score; intervals are stale for any stream with mass.
+      st.dirty = true;
+    }
+  }
+  ++time_;
+  pooled_dirty_ = true;
+  return Status::OK();
+}
+
+void OnlineStComb::RefreshStream(StreamId s) {
+  StreamState& st = streams_[s];
+  st.intervals.clear();
+  if (st.mass > 0.0) {
+    for (const BurstyInterval& bi :
+         ExtractBurstyIntervals(st.raw, options_.min_interval_burstiness)) {
+      st.intervals.push_back(StreamInterval{s, bi.interval, bi.burstiness});
+    }
+  }
+  st.dirty = false;
+}
+
+const std::vector<StreamInterval>& OnlineStComb::CurrentIntervals() {
+  if (pooled_dirty_) {
+    pooled_.clear();
+    for (StreamId s = 0; s < streams_.size(); ++s) {
+      if (streams_[s].dirty) RefreshStream(s);
+      pooled_.insert(pooled_.end(), streams_[s].intervals.begin(),
+                     streams_[s].intervals.end());
+    }
+    pooled_dirty_ = false;
+  }
+  return pooled_;
+}
+
+std::vector<CombinatorialPattern> OnlineStComb::CurrentPatterns() {
+  return miner_.MineFromIntervals(CurrentIntervals());
+}
+
+}  // namespace stburst

@@ -1,0 +1,69 @@
+// OnlineStComb — a streaming variant of STComb (the paper's §8 names "a
+// purely online version of STComb" as future work; this module provides
+// one).
+//
+// STComb's expensive part is re-deriving every stream's bursty temporal
+// intervals when new data arrives. This class maintains, per stream, the
+// online Ruzzo–Tompa state over the transformed scores s_i = y_i/W − 1/N.
+// Because W (total mass) and N (length) change as the stream grows, the
+// per-stream transformation is refreshed lazily: scores are stored raw, and
+// the maximal segments are recomputed per stream only when that stream's
+// mass changed since the last query — typically a small fraction of
+// streams per snapshot for real vocabularies. The clique stage is already
+// an O(m log m) sweep over the current interval pool, cheap enough to run
+// per query.
+
+#ifndef STBURST_CORE_ONLINE_STCOMB_H_
+#define STBURST_CORE_ONLINE_STCOMB_H_
+
+#include <vector>
+
+#include "stburst/common/statusor.h"
+#include "stburst/core/stcomb.h"
+#include "stburst/stream/types.h"
+
+namespace stburst {
+
+/// Online combinatorial miner for one term. Feed one frequency snapshot per
+/// timestamp; query patterns at any time.
+class OnlineStComb {
+ public:
+  explicit OnlineStComb(size_t num_streams, StCombOptions options = {});
+
+  /// Appends the next timestamp's per-stream frequencies. Must match the
+  /// stream count.
+  Status Push(const std::vector<double>& frequencies);
+
+  /// Timestamps consumed so far.
+  Timestamp current_time() const { return time_; }
+  size_t num_streams() const { return streams_.size(); }
+
+  /// Current per-stream bursty intervals (recomputing only streams whose
+  /// mass changed since the last call).
+  const std::vector<StreamInterval>& CurrentIntervals();
+
+  /// Current combinatorial patterns over the consumed prefix, descending
+  /// score — identical to running batch STComb on the prefix.
+  std::vector<CombinatorialPattern> CurrentPatterns();
+
+ private:
+  struct StreamState {
+    std::vector<double> raw;        // frequency history
+    double mass = 0.0;              // running sum of raw
+    bool dirty = true;              // intervals stale?
+    std::vector<StreamInterval> intervals;
+  };
+
+  void RefreshStream(StreamId s);
+
+  StCombOptions options_;
+  StComb miner_;
+  Timestamp time_ = 0;
+  std::vector<StreamState> streams_;
+  std::vector<StreamInterval> pooled_;
+  bool pooled_dirty_ = true;
+};
+
+}  // namespace stburst
+
+#endif  // STBURST_CORE_ONLINE_STCOMB_H_

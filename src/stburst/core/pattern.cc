@@ -1,0 +1,38 @@
+#include "stburst/core/pattern.h"
+
+#include "stburst/common/logging.h"
+#include "stburst/common/string_util.h"
+
+namespace stburst {
+
+std::string CombinatorialPattern::ToString() const {
+  return StringPrintf("CombinatorialPattern{%zu streams, %s, score=%.4f}",
+                      streams.size(), timeframe.ToString().c_str(), score);
+}
+
+std::string SpatiotemporalWindow::ToString() const {
+  return StringPrintf("Window{%s, %zu streams, %s, w-score=%.4f}",
+                      region.ToString().c_str(), streams.size(),
+                      timeframe.ToString().c_str(), score);
+}
+
+Rect StreamsMbr(const std::vector<StreamId>& streams,
+                const std::vector<Point2D>& positions) {
+  Rect mbr;
+  for (StreamId s : streams) {
+    STB_CHECK(s < positions.size()) << "stream " << s << " has no position";
+    mbr.ExpandToInclude(positions[s]);
+  }
+  return mbr;
+}
+
+std::vector<StreamId> StreamsInRect(const Rect& rect,
+                                    const std::vector<Point2D>& positions) {
+  std::vector<StreamId> out;
+  for (StreamId s = 0; s < positions.size(); ++s) {
+    if (rect.Contains(positions[s])) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace stburst

@@ -1,0 +1,52 @@
+// Spatiotemporal burstiness pattern types (paper §1, §3, §4).
+
+#ifndef STBURST_CORE_PATTERN_H_
+#define STBURST_CORE_PATTERN_H_
+
+#include <string>
+#include <vector>
+
+#include "stburst/core/interval.h"
+#include "stburst/geo/point.h"
+#include "stburst/geo/rect.h"
+#include "stburst/stream/types.h"
+
+namespace stburst {
+
+/// A combinatorial pattern (§3): a set of streams from arbitrary locations
+/// that were simultaneously bursty during a common timeframe. Produced by
+/// STComb. `score` is the cumulative temporal burstiness of the member
+/// intervals.
+struct CombinatorialPattern {
+  std::vector<StreamId> streams;  // sorted, one interval each
+  Interval timeframe;             // common segment of the member intervals
+  double score = 0.0;
+
+  std::string ToString() const;
+};
+
+/// A regional pattern (§4): a maximal spatiotemporal window — an
+/// axis-oriented rectangle on the map plus the timeframe during which it was
+/// bursty. `score` is the w-score (Eq. 9).
+struct SpatiotemporalWindow {
+  Rect region;
+  std::vector<StreamId> streams;  // streams inside the region, sorted
+  Interval timeframe;
+  double score = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Minimum bounding rectangle of the given streams' planar positions
+/// (Table 1 reports how many streams fall inside the MBR of STComb's top
+/// clique).
+Rect StreamsMbr(const std::vector<StreamId>& streams,
+                const std::vector<Point2D>& positions);
+
+/// Streams whose position lies inside `rect` (boundary inclusive), sorted.
+std::vector<StreamId> StreamsInRect(const Rect& rect,
+                                    const std::vector<Point2D>& positions);
+
+}  // namespace stburst
+
+#endif  // STBURST_CORE_PATTERN_H_

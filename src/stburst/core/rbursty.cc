@@ -1,0 +1,40 @@
+#include "stburst/core/rbursty.h"
+
+#include <algorithm>
+
+#include "stburst/common/logging.h"
+
+namespace stburst {
+
+StatusOr<std::vector<BurstyRectangle>> RBursty(
+    const std::vector<Point2D>& positions, const std::vector<double>& burstiness,
+    const RBurstyOptions& options) {
+  if (positions.size() != burstiness.size()) {
+    return Status::InvalidArgument("positions/burstiness length mismatch");
+  }
+  std::vector<BurstyRectangle> out;
+  if (positions.empty()) return out;
+
+  std::vector<double> weights = burstiness;
+  while (out.size() < options.max_rectangles) {
+    STB_ASSIGN_OR_RETURN(MaxRectResult best,
+                         MaxWeightRectangle(positions, weights, options.rect));
+    if (best.score <= 0.0) break;
+
+    BurstyRectangle rect;
+    rect.rect = best.rect;
+    rect.score = best.score;
+    for (size_t idx : best.points_inside) {
+      rect.streams.push_back(static_cast<StreamId>(idx));
+      // Paper step 2: B(t, Dx) = −∞ for every stream inside the reported
+      // rectangle, eliminating overlap among reported rectangles.
+      weights[idx] = kExcludedWeight;
+    }
+    STB_DCHECK(!rect.streams.empty());
+    std::sort(rect.streams.begin(), rect.streams.end());
+    out.push_back(std::move(rect));
+  }
+  return out;
+}
+
+}  // namespace stburst

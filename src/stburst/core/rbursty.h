@@ -1,0 +1,46 @@
+// R-Bursty (paper §4, Algorithm 1): all non-overlapping bursty rectangles of
+// one snapshot.
+//
+// Repeatedly extracts the maximum-discrepancy rectangle; after reporting a
+// rectangle, the streams inside it get weight −∞ so no later rectangle can
+// contain them, which both removes overlap and bounds the number of
+// rectangles by the stream count. Stops when the best rectangle's r-score
+// drops to zero or below.
+
+#ifndef STBURST_CORE_RBURSTY_H_
+#define STBURST_CORE_RBURSTY_H_
+
+#include <vector>
+
+#include "stburst/common/statusor.h"
+#include "stburst/core/discrepancy.h"
+#include "stburst/geo/point.h"
+#include "stburst/geo/rect.h"
+#include "stburst/stream/types.h"
+
+namespace stburst {
+
+/// One bursty rectangle of a snapshot: its geometry, its r-score (Eq. 8),
+/// and the streams inside it (sorted).
+struct BurstyRectangle {
+  Rect rect;
+  double score = 0.0;
+  std::vector<StreamId> streams;
+};
+
+struct RBurstyOptions {
+  MaxRectOptions rect;
+  /// Optional cap on the number of rectangles reported per snapshot.
+  size_t max_rectangles = static_cast<size_t>(-1);
+};
+
+/// Runs Algorithm 1 on one snapshot: `positions[s]` is stream s's planar
+/// location and `burstiness[s]` its B(t, Dx[i]) score (Eq. 7). Rectangles
+/// come back in the order found, i.e. descending r-score.
+StatusOr<std::vector<BurstyRectangle>> RBursty(
+    const std::vector<Point2D>& positions, const std::vector<double>& burstiness,
+    const RBurstyOptions& options = {});
+
+}  // namespace stburst
+
+#endif  // STBURST_CORE_RBURSTY_H_

@@ -1,0 +1,76 @@
+#include "stburst/core/stcomb.h"
+
+#include <algorithm>
+
+#include "stburst/common/logging.h"
+#include "stburst/core/max_clique.h"
+
+namespace stburst {
+
+StComb::StComb(StCombOptions options) : options_(options) {}
+
+std::vector<StreamInterval> StComb::ExtractStreamIntervals(
+    const TermSeries& series) const {
+  std::vector<StreamInterval> out;
+  for (StreamId s = 0; s < series.num_streams(); ++s) {
+    std::vector<double> row = series.StreamRow(s);
+    for (const BurstyInterval& bi :
+         ExtractBurstyIntervals(row, options_.min_interval_burstiness)) {
+      out.push_back(StreamInterval{s, bi.interval, bi.burstiness});
+    }
+  }
+  return out;
+}
+
+std::vector<CombinatorialPattern> StComb::MinePatterns(
+    const TermSeries& series) const {
+  return MineFromIntervals(ExtractStreamIntervals(series));
+}
+
+std::vector<CombinatorialPattern> StComb::MineFromIntervals(
+    std::vector<StreamInterval> intervals) const {
+  std::vector<CombinatorialPattern> patterns;
+
+  // Working pool of interval-graph vertices, indices stable across rounds.
+  std::vector<WeightedInterval> pool;
+  pool.reserve(intervals.size());
+  for (const StreamInterval& si : intervals) {
+    pool.push_back(WeightedInterval{si.interval, si.burstiness,
+                                    static_cast<int64_t>(si.stream)});
+  }
+
+  while (patterns.size() < options_.max_patterns) {
+    CliqueResult clique = MaxWeightClique(pool);
+    if (clique.empty() || clique.weight <= 0.0) break;
+
+    CombinatorialPattern p;
+    p.score = clique.weight;
+    Interval common;
+    bool first = true;
+    for (size_t idx : clique.members) {
+      const WeightedInterval& wi = pool[idx];
+      p.streams.push_back(static_cast<StreamId>(wi.tag));
+      common = first ? wi.interval : common.Intersect(wi.interval);
+      first = false;
+    }
+    STB_DCHECK(common.valid()) << "clique members must share a segment";
+    p.timeframe = common;
+    std::sort(p.streams.begin(), p.streams.end());
+
+    // Remove the reported intervals from the pool (weight 0 => ignored by
+    // the sweep) so later patterns do not reuse them.
+    for (size_t idx : clique.members) pool[idx].weight = 0.0;
+
+    if (p.streams.size() >= options_.min_streams) {
+      patterns.push_back(std::move(p));
+    }
+  }
+
+  std::sort(patterns.begin(), patterns.end(),
+            [](const CombinatorialPattern& a, const CombinatorialPattern& b) {
+              return a.score > b.score;
+            });
+  return patterns;
+}
+
+}  // namespace stburst

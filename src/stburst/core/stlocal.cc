@@ -1,0 +1,107 @@
+#include "stburst/core/stlocal.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "stburst/common/logging.h"
+
+namespace stburst {
+
+StLocal::StLocal(std::vector<Point2D> positions, StLocalOptions options)
+    : positions_(std::move(positions)), options_(options) {}
+
+Status StLocal::ProcessSnapshot(const std::vector<double>& burstiness) {
+  if (burstiness.size() != positions_.size()) {
+    return Status::InvalidArgument("burstiness size does not match stream count");
+  }
+
+  // Line 6: bursty rectangles of this snapshot.
+  STB_ASSIGN_OR_RETURN(std::vector<BurstyRectangle> rects,
+                       RBursty(positions_, burstiness, options_.rbursty));
+
+  // Line 7: open a sequence for every newly seen region.
+  for (BurstyRectangle& r : rects) {
+    auto it = live_.find(r.streams);
+    if (it == live_.end()) {
+      Sequence seq;
+      seq.rect = r.rect;
+      seq.streams = r.streams;
+      seq.born = time_;
+      live_.emplace(std::move(r.streams), std::move(seq));
+    }
+  }
+
+  // Lines 8-12: extend every live sequence with this snapshot's r-score of
+  // its region, update its maximal windows, retire on negative total.
+  for (auto it = live_.begin(); it != live_.end();) {
+    Sequence& seq = it->second;
+    double r_score = 0.0;
+    for (StreamId s : seq.streams) r_score += burstiness[s];
+    seq.segments.Add(r_score);
+    if (seq.segments.total() < 0.0) {
+      Retire(seq);
+      it = live_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  ++time_;
+  return Status::OK();
+}
+
+void StLocal::Retire(const Sequence& seq) {
+  for (const Segment& seg : seq.segments.CurrentSegments()) {
+    if (seg.score <= options_.min_window_score) continue;
+    SpatiotemporalWindow w;
+    w.region = seq.rect;
+    w.streams = seq.streams;
+    w.timeframe = Interval{seq.born + static_cast<Timestamp>(seg.start),
+                           seq.born + static_cast<Timestamp>(seg.end)};
+    w.score = seg.score;
+    finished_.push_back(std::move(w));
+  }
+}
+
+std::vector<SpatiotemporalWindow> StLocal::Finish() {
+  for (const auto& [key, seq] : live_) Retire(seq);
+  live_.clear();
+  std::vector<SpatiotemporalWindow> out = finished_;
+  std::sort(out.begin(), out.end(),
+            [](const SpatiotemporalWindow& a, const SpatiotemporalWindow& b) {
+              return a.score > b.score;
+            });
+  return out;
+}
+
+size_t StLocal::num_open_windows() const {
+  size_t total = 0;
+  for (const auto& [key, seq] : live_) total += seq.segments.num_candidates();
+  return total;
+}
+
+StatusOr<std::vector<SpatiotemporalWindow>> MineRegionalPatterns(
+    const TermSeries& series, const std::vector<Point2D>& positions,
+    const ExpectedModelFactory& model_factory, const StLocalOptions& options) {
+  if (series.num_streams() != positions.size()) {
+    return Status::InvalidArgument("series/positions stream count mismatch");
+  }
+
+  std::vector<std::unique_ptr<ExpectedFrequencyModel>> models;
+  models.reserve(positions.size());
+  for (size_t s = 0; s < positions.size(); ++s) models.push_back(model_factory());
+
+  StLocal miner(positions, options);
+  std::vector<double> burstiness(positions.size());
+  for (Timestamp t = 0; t < series.timeline_length(); ++t) {
+    for (StreamId s = 0; s < series.num_streams(); ++s) {
+      double y = series.at(s, t);
+      burstiness[s] = models[s]->HasHistory() ? y - models[s]->Expected() : 0.0;
+      models[s]->Observe(y);
+    }
+    STB_RETURN_NOT_OK(miner.ProcessSnapshot(burstiness));
+  }
+  return miner.Finish();
+}
+
+}  // namespace stburst

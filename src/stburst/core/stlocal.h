@@ -1,0 +1,88 @@
+// STLocal (paper §4, Algorithm 2): online mining of maximal spatiotemporal
+// windows for one term.
+//
+// For every snapshot, R-Bursty proposes bursty rectangles; each distinct
+// region (identified by the set of streams it covers) owns a sequence of
+// per-timestamp r-scores, and an online Ruzzo–Tompa instance over that
+// sequence maintains the region's maximal windows. A sequence whose running
+// total drops below zero can never seed another maximal window and is
+// retired (lines 11-12 of the algorithm).
+
+#ifndef STBURST_CORE_STLOCAL_H_
+#define STBURST_CORE_STLOCAL_H_
+
+#include <map>
+#include <vector>
+
+#include "stburst/common/statusor.h"
+#include "stburst/core/expected.h"
+#include "stburst/core/getmax.h"
+#include "stburst/core/pattern.h"
+#include "stburst/core/rbursty.h"
+#include "stburst/geo/point.h"
+#include "stburst/stream/frequency.h"
+
+namespace stburst {
+
+struct StLocalOptions {
+  RBurstyOptions rbursty;
+  /// Finished windows scoring at or below this are dropped.
+  double min_window_score = 0.0;
+};
+
+/// Per-term online miner. Feed one snapshot of per-stream burstiness values
+/// per timestamp; call Finish() once the stream closes.
+class StLocal {
+ public:
+  /// `positions[s]` is the planar location of stream s.
+  explicit StLocal(std::vector<Point2D> positions, StLocalOptions options = {});
+
+  /// Processes the snapshot for the next timestamp. `burstiness[s]` is
+  /// B(t, Dx[i]) per Eq. 7. Must match the stream count.
+  Status ProcessSnapshot(const std::vector<double>& burstiness);
+
+  /// Retires all live sequences and returns every maximal window found, in
+  /// descending w-score order. The miner can keep processing afterwards;
+  /// Finish() is idempotent on a closed stream.
+  std::vector<SpatiotemporalWindow> Finish();
+
+  /// Timestamps processed so far.
+  Timestamp current_time() const { return time_; }
+
+  /// Live region sequences (bounded by n·L in theory, tiny in practice —
+  /// Figure 6's subject).
+  size_t num_live_sequences() const { return live_.size(); }
+
+  /// Maximal-window candidates currently maintained across live sequences.
+  size_t num_open_windows() const;
+
+ private:
+  struct Sequence {
+    Rect rect;                      // geometry when first reported
+    std::vector<StreamId> streams;  // region identity (sorted)
+    Timestamp born = 0;             // timestamp of the first score
+    OnlineMaxSegments segments;
+  };
+
+  /// Moves a sequence's maximal segments into finished_.
+  void Retire(const Sequence& seq);
+
+  std::vector<Point2D> positions_;
+  StLocalOptions options_;
+  Timestamp time_ = 0;
+  // Keyed by the region's canonical stream set so a region re-reported on a
+  // later snapshot extends its existing sequence.
+  std::map<std::vector<StreamId>, Sequence> live_;
+  std::vector<SpatiotemporalWindow> finished_;
+};
+
+/// Convenience batch driver for one term: derives per-stream burstiness from
+/// the frequency matrix with a fresh expected-frequency model per stream,
+/// replays the timeline through StLocal, and returns the maximal windows.
+StatusOr<std::vector<SpatiotemporalWindow>> MineRegionalPatterns(
+    const TermSeries& series, const std::vector<Point2D>& positions,
+    const ExpectedModelFactory& model_factory, const StLocalOptions& options = {});
+
+}  // namespace stburst
+
+#endif  // STBURST_CORE_STLOCAL_H_

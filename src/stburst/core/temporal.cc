@@ -1,0 +1,47 @@
+#include "stburst/core/temporal.h"
+
+#include "stburst/core/getmax.h"
+
+namespace stburst {
+
+double TemporalBurstiness(const std::vector<double>& y, const Interval& interval) {
+  if (y.empty() || !interval.valid()) return 0.0;
+  if (interval.start < 0 ||
+      static_cast<size_t>(interval.end) >= y.size()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (double v : y) total += v;
+  if (total <= 0.0) return 0.0;
+
+  double in_interval = 0.0;
+  for (Timestamp t = interval.start; t <= interval.end; ++t) {
+    in_interval += y[static_cast<size_t>(t)];
+  }
+  return in_interval / total -
+         static_cast<double>(interval.length()) / static_cast<double>(y.size());
+}
+
+std::vector<BurstyInterval> ExtractBurstyIntervals(const std::vector<double>& y,
+                                                   double min_burstiness) {
+  std::vector<BurstyInterval> out;
+  if (y.empty()) return out;
+  double total = 0.0;
+  for (double v : y) total += v;
+  if (total <= 0.0) return out;
+
+  const double baseline = 1.0 / static_cast<double>(y.size());
+  std::vector<double> scores(y.size());
+  for (size_t i = 0; i < y.size(); ++i) scores[i] = y[i] / total - baseline;
+
+  for (const Segment& seg : MaximalSegments(scores)) {
+    if (seg.score <= min_burstiness) continue;
+    out.push_back(BurstyInterval{
+        Interval{static_cast<Timestamp>(seg.start),
+                 static_cast<Timestamp>(seg.end)},
+        seg.score});
+  }
+  return out;
+}
+
+}  // namespace stburst

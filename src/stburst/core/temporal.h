@@ -1,0 +1,40 @@
+// Temporal burstiness (paper §3, Eq. 1; reference [14]).
+//
+// Given the frequency sequence Y of a term in one stream, the burstiness of
+// an interval I is
+//     B_T(I) = sum_{i in I} Y[i] / W  -  |I| / N,
+// with W the total frequency and N the sequence length — the discrepancy
+// between the interval's share of occurrences and its share of the timeline.
+// Since B_T is additive over the per-timestamp scores s_i = Y[i]/W − 1/N,
+// the non-overlapping maximal bursty intervals of [14] are exactly the
+// Ruzzo–Tompa maximal segments of s, extracted in linear time.
+
+#ifndef STBURST_CORE_TEMPORAL_H_
+#define STBURST_CORE_TEMPORAL_H_
+
+#include <vector>
+
+#include "stburst/core/interval.h"
+
+namespace stburst {
+
+/// A bursty temporal interval with its B_T score (always in (0, 1] for
+/// extracted intervals).
+struct BurstyInterval {
+  Interval interval;
+  double burstiness = 0.0;
+};
+
+/// B_T(I) of Eq. 1 for an arbitrary interval. Returns 0 when the sequence
+/// has no mass or the interval is invalid/out of range.
+double TemporalBurstiness(const std::vector<double>& y, const Interval& interval);
+
+/// The non-overlapping maximal bursty intervals of `y`, each with its B_T
+/// score, in timeline order. Intervals scoring <= min_burstiness are
+/// dropped. Linear time.
+std::vector<BurstyInterval> ExtractBurstyIntervals(const std::vector<double>& y,
+                                                   double min_burstiness = 0.0);
+
+}  // namespace stburst
+
+#endif  // STBURST_CORE_TEMPORAL_H_

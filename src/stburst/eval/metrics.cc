@@ -1,0 +1,68 @@
+#include "stburst/eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace stburst {
+
+double JaccardSim(const std::vector<StreamId>& a, const std::vector<StreamId>& b) {
+  std::unordered_set<StreamId> sa(a.begin(), a.end());
+  std::unordered_set<StreamId> sb(b.begin(), b.end());
+  if (sa.empty() && sb.empty()) return 1.0;
+  size_t inter = 0;
+  for (StreamId s : sa) {
+    if (sb.count(s) > 0) ++inter;
+  }
+  size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double StartError(const Interval& truth, const Interval& reported,
+                  Timestamp timeline_length) {
+  if (!truth.valid() || !reported.valid()) {
+    return static_cast<double>(timeline_length);
+  }
+  return std::abs(static_cast<double>(truth.start) -
+                  static_cast<double>(reported.start));
+}
+
+double EndError(const Interval& truth, const Interval& reported,
+                Timestamp timeline_length) {
+  if (!truth.valid() || !reported.valid()) {
+    return static_cast<double>(timeline_length);
+  }
+  return std::abs(static_cast<double>(truth.end) -
+                  static_cast<double>(reported.end));
+}
+
+double PrecisionAtK(const std::vector<bool>& relevance_of_ranked, size_t k) {
+  size_t considered = std::min(k, relevance_of_ranked.size());
+  if (considered == 0) return 0.0;
+  size_t relevant = 0;
+  for (size_t i = 0; i < considered; ++i) {
+    if (relevance_of_ranked[i]) ++relevant;
+  }
+  return static_cast<double>(relevant) / static_cast<double>(considered);
+}
+
+double TopKOverlap(const std::vector<DocId>& a, const std::vector<DocId>& b,
+                   size_t k) {
+  if (k == 0) return 0.0;
+  std::unordered_set<DocId> sa(a.begin(),
+                               a.begin() + std::min(k, a.size()));
+  size_t inter = 0;
+  for (size_t i = 0; i < std::min(k, b.size()); ++i) {
+    if (sa.count(b[i]) > 0) ++inter;
+  }
+  return static_cast<double>(inter) / static_cast<double>(k);
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace stburst

@@ -1,0 +1,41 @@
+// Evaluation metrics (paper §6.2.2 and §6.3): stream-set Jaccard
+// similarity, timeframe start/end errors, precision@k, and top-k overlap.
+
+#ifndef STBURST_EVAL_METRICS_H_
+#define STBURST_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "stburst/core/interval.h"
+#include "stburst/stream/types.h"
+
+namespace stburst {
+
+/// |A ∩ B| / |A ∪ B| of two stream sets (need not be sorted; duplicates are
+/// collapsed). 1 when both are empty.
+double JaccardSim(const std::vector<StreamId>& a, const std::vector<StreamId>& b);
+
+/// |i − i'|: absolute error between the true and reported first timestamps.
+/// Invalid intervals contribute the full timeline length (a miss).
+double StartError(const Interval& truth, const Interval& reported,
+                  Timestamp timeline_length);
+
+/// Absolute error between the true and reported last timestamps.
+double EndError(const Interval& truth, const Interval& reported,
+                Timestamp timeline_length);
+
+/// Fraction of the first min(k, |ranked|) entries that are relevant
+/// according to `is_relevant` (indexed positionally alongside `ranked`).
+/// Returns 0 for an empty ranking.
+double PrecisionAtK(const std::vector<bool>& relevance_of_ranked, size_t k);
+
+/// |topA ∩ topB| / k: the paper's top-k set similarity (§6.3).
+double TopKOverlap(const std::vector<DocId>& a, const std::vector<DocId>& b,
+                   size_t k);
+
+/// Mean of a vector; 0 when empty.
+double Mean(const std::vector<double>& values);
+
+}  // namespace stburst
+
+#endif  // STBURST_EVAL_METRICS_H_

@@ -1,0 +1,47 @@
+#include "stburst/eval/pattern_match.h"
+
+#include "stburst/eval/metrics.h"
+
+namespace stburst {
+
+PatternRetrievalScore ScoreRetrieval(const std::vector<StreamId>& truth_streams,
+                                     const Interval& truth_frame,
+                                     const std::vector<MinedPattern>& mined,
+                                     Timestamp timeline_length) {
+  PatternRetrievalScore best;
+  best.start_error = static_cast<double>(timeline_length);
+  best.end_error = static_cast<double>(timeline_length);
+
+  double best_match = -1.0;
+  for (const MinedPattern& m : mined) {
+    double temporal = truth_frame.TemporalJaccard(m.timeframe);
+    if (temporal <= 0.0) continue;  // no temporal overlap: not this event
+    double spatial = JaccardSim(truth_streams, m.streams);
+    double match = spatial * temporal;
+    if (match > best_match) {
+      best_match = match;
+      best.matched = true;
+      best.jaccard = spatial;
+      best.start_error = StartError(truth_frame, m.timeframe, timeline_length);
+      best.end_error = EndError(truth_frame, m.timeframe, timeline_length);
+    }
+  }
+  return best;
+}
+
+RetrievalAggregate Aggregate(const std::vector<PatternRetrievalScore>& scores) {
+  RetrievalAggregate agg;
+  agg.patterns = scores.size();
+  if (scores.empty()) return agg;
+  for (const PatternRetrievalScore& s : scores) {
+    agg.mean_jaccard += s.jaccard;
+    agg.mean_start_error += s.start_error;
+    agg.mean_end_error += s.end_error;
+  }
+  agg.mean_jaccard /= static_cast<double>(scores.size());
+  agg.mean_start_error /= static_cast<double>(scores.size());
+  agg.mean_end_error /= static_cast<double>(scores.size());
+  return agg;
+}
+
+}  // namespace stburst

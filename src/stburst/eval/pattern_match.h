@@ -1,0 +1,50 @@
+// Matching mined patterns to injected ground truth (the Table 2 protocol):
+// for each injected pattern, find the mined pattern of the same term that
+// best matches it and score JaccardSim / Start-Error / End-Error.
+
+#ifndef STBURST_EVAL_PATTERN_MATCH_H_
+#define STBURST_EVAL_PATTERN_MATCH_H_
+
+#include <vector>
+
+#include "stburst/core/interval.h"
+#include "stburst/stream/types.h"
+
+namespace stburst {
+
+/// A mined pattern reduced to the fields the retrieval metrics need.
+struct MinedPattern {
+  std::vector<StreamId> streams;
+  Interval timeframe;
+  double score = 0.0;
+};
+
+/// Per-injected-pattern retrieval scores.
+struct PatternRetrievalScore {
+  double jaccard = 0.0;
+  double start_error = 0.0;
+  double end_error = 0.0;
+  bool matched = false;  // a candidate with temporal overlap existed
+};
+
+/// Picks the mined pattern whose (stream-set Jaccard x temporal Jaccard)
+/// match to the truth is best, and scores it. With no overlapping candidate
+/// the retrieval counts as a miss: Jaccard 0, both errors = timeline length.
+PatternRetrievalScore ScoreRetrieval(const std::vector<StreamId>& truth_streams,
+                                     const Interval& truth_frame,
+                                     const std::vector<MinedPattern>& mined,
+                                     Timestamp timeline_length);
+
+/// Aggregate of ScoreRetrieval over many injected patterns.
+struct RetrievalAggregate {
+  double mean_jaccard = 0.0;
+  double mean_start_error = 0.0;
+  double mean_end_error = 0.0;
+  size_t patterns = 0;
+};
+
+RetrievalAggregate Aggregate(const std::vector<PatternRetrievalScore>& scores);
+
+}  // namespace stburst
+
+#endif  // STBURST_EVAL_PATTERN_MATCH_H_

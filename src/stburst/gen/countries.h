@@ -1,0 +1,31 @@
+// The 181-country source list for the simulated Topix corpus (paper §6.1:
+// "local news sources from 181 different countries"). Coordinates are
+// approximate capital-city locations, adequate for pair-wise distance
+// computation and MDS projection.
+
+#ifndef STBURST_GEN_COUNTRIES_H_
+#define STBURST_GEN_COUNTRIES_H_
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "stburst/geo/point.h"
+
+namespace stburst {
+
+struct Country {
+  std::string_view name;
+  GeoPoint location;
+};
+
+/// The full 181-entry table, in a fixed order (index = StreamId in the
+/// simulated collection).
+const std::vector<Country>& WorldCountries();
+
+/// Index of a country by exact name; SIZE_MAX if absent.
+size_t CountryIndex(std::string_view name);
+
+}  // namespace stburst
+
+#endif  // STBURST_GEN_COUNTRIES_H_

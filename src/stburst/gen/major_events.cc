@@ -1,0 +1,138 @@
+#include "stburst/gen/major_events.h"
+
+namespace stburst {
+
+const std::vector<MajorEvent>& MajorEventsList() {
+  // Week numbering: week 0 starts Sep-01-2008; week 47 ends late Jul-2009.
+  // Rough conversions: Nov-2008 ~ wk 9-13, Dec-2008 ~ wk 13-17, Jan-2009 ~
+  // wk 17-21, Feb ~ 22-25, Mar ~ 26-30, Apr ~ 30-34, May ~ 35-38, Jun ~
+  // 39-43, Jul ~ 43-47.
+  static const std::vector<MajorEvent> kEvents = {
+      // ---- Tier 1: global impact -------------------------------------
+      {1,
+       "Obama",
+       "Events regarding the actions of B. Obama, the new President of the "
+       "USA since January of 2009.",
+       1,
+       {{"United States", 8, 16, 20000.0, 26.0, 1.6},
+        {"United States", 30, 12, 20000.0, 14.0, 1.8}}},
+      {2,
+       "financial crisis",
+       "Events regarding the global financial crisis.",
+       1,
+       {{"United States", 1, 26, 20000.0, 22.0, 1.5}}},
+      {3,
+       "terrorists",
+       "Events regarding terrorism.",
+       1,
+       {{"India", 12, 8, 20000.0, 20.0, 3.5},
+        {"Pakistan", 26, 10, 12000.0, 10.0, 2.0}}},
+      {4,
+       "Jackson",
+       "American entertainer Michael Jackson passes away.",
+       1,
+       {{"United States", 42, 5, 20000.0, 30.0, 5.0}}},
+      {5,
+       "swine",
+       "Events regarding the 2009 swine flu pandemic.",
+       1,
+       {{"Mexico", 33, 14, 20000.0, 24.0, 2.2}}},
+      {6,
+       "earthquake",
+       "Events regarding earthquakes.",
+       1,
+       // Several genuine but geographically scattered quakes: the behaviour
+       // the paper highlights (STLocal latches onto one compact region,
+       // STComb unions quake coverage across the globe).
+       {{"Costa Rica", 18, 4, 1800.0, 16.0, 4.5},
+        {"Italy", 31, 4, 2000.0, 14.0, 4.5},
+        {"Indonesia", 40, 3, 2000.0, 12.0, 5.0},
+        {"Mexico", 35, 3, 1800.0, 10.0, 5.0},
+        {"China", 20, 3, 2000.0, 9.0, 5.0}}},
+      // ---- Tier 2: reported in many countries ------------------------
+      {7,
+       "gaza",
+       "Events regarding the Israeli Palestinian conflict in the Gaza "
+       "Strip.",
+       2,
+       {{"Israel", 16, 6, 14000.0, 22.0, 3.0}}},
+      {8,
+       "ceasefire",
+       "Israel announces a unilateral ceasefire in the Gaza War.",
+       2,
+       {{"Israel", 20, 3, 3500.0, 16.0, 4.5}}},
+      {9,
+       "Yemenia",
+       "Yemenia Flight 626 crashes off the coast of Moroni, Comoros, "
+       "killing all but one of the 153 passengers and crew.",
+       2,
+       {{"Comoros", 43, 3, 3000.0, 14.0, 5.0}}},
+      {10,
+       "piracy",
+       "Events regarding incidents of Piracy off the Somali coast.",
+       2,
+       {{"Somalia", 10, 6, 3500.0, 12.0, 2.5},
+        {"Somalia", 31, 5, 3500.0, 14.0, 3.0}}},
+      {11,
+       "Air France",
+       "Air France Flight 447 from Rio de Janeiro to Paris crashes into "
+       "the Atlantic Ocean killing all 228 on board.",
+       2,
+       {{"France", 39, 4, 4000.0, 18.0, 4.5},
+        {"Brazil", 39, 4, 3500.0, 12.0, 4.5}}},
+      {12,
+       "bush fires",
+       "Deadly bush fires in Australia kill 173, injure 500 more, and "
+       "leave 7,500 homeless.",
+       2,
+       {{"Australia", 22, 4, 3000.0, 18.0, 4.0}}},
+      // ---- Tier 3: localized impact ----------------------------------
+      {13,
+       "Nkunda",
+       "Congolese rebel leader L. Nkunda is captured by Rwandan forces.",
+       3,
+       {{"Rwanda", 20, 4, 1400.0, 20.0, 4.5},
+        // Decoy: background chatter about the rebel group far from the
+        // capture, weeks earlier.
+        {"Belgium", 9, 4, 400.0, 9.0, 2.5, false}}},
+      {14,
+       "Vieira",
+       "The President of Guinea-Bissau, J. B. Vieira, is assassinated.",
+       3,
+       {{"Guinea-Bissau", 26, 4, 2500.0, 20.0, 5.0},
+        // Decoy: a namesake footballer in the sports pages.
+        {"Brazil", 13, 4, 800.0, 8.0, 2.0, false}}},
+      {15,
+       "Tsvangirai",
+       "M. Tsvangirai is sworn in as the new Prime Minister of Zimbabwe.",
+       3,
+       {{"Zimbabwe", 23, 4, 1400.0, 20.0, 4.5},
+        // Decoy: earlier power-sharing talks coverage from abroad.
+        {"United Kingdom", 6, 4, 400.0, 11.0, 2.0, false}}},
+      {16,
+       "Rajoelina",
+       "Andry Rajoelina becomes the new President of Madagascar after a "
+       "military coup d'etat.",
+       3,
+       {{"Madagascar", 27, 4, 1600.0, 20.0, 3.5},
+        {"France", 18, 4, 400.0, 11.0, 2.5, false}}},
+      {17,
+       "Fujimori",
+       "Former Peruvian Pres. Fujimori is sentenced to 25 years in prison "
+       "for killings and kidnappings by security forces.",
+       3,
+       {{"Peru", 31, 4, 2500.0, 20.0, 5.0},
+        // Decoy: namesake coverage in Japan.
+        {"Japan", 14, 4, 700.0, 11.0, 2.0, false}}},
+      {18,
+       "Zelaya",
+       "The Supreme Court of Honduras orders the arrest and exile of "
+       "President M. Zelaya.",
+       3,
+       {{"Honduras", 43, 4, 1800.0, 20.0, 4.5},
+        {"Spain", 20, 3, 500.0, 8.0, 2.0, false}}},
+  };
+  return kEvents;
+}
+
+}  // namespace stburst

@@ -1,0 +1,56 @@
+// The Major Events List (paper §6.1, Table 4): 18 real-world events between
+// Sep-2008 and Jul-2009, with the queries the paper's annotator chose, plus
+// the injection parameters the Topix simulator uses to re-create each
+// event's spatiotemporal footprint.
+//
+// Events fall in the paper's three tiers: (1) global impact (events 1-6),
+// (2) reported in a significant number of countries (7-12), (3) localized
+// impact (13-18). Each event carries one or more bursts; a burst marked
+// `relevant = false` is a decoy — the same query term spiking elsewhere for
+// unrelated reasons (name collisions, background chatter) — which is what
+// makes the retrieval task non-trivial for the temporal-only TB baseline.
+
+#ifndef STBURST_GEN_MAJOR_EVENTS_H_
+#define STBURST_GEN_MAJOR_EVENTS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "stburst/stream/types.h"
+
+namespace stburst {
+
+/// One injected burst of an event.
+struct EventBurst {
+  std::string_view source_country;  // must exist in WorldCountries()
+  Timestamp start_week = 0;         // week 0 = Sep-2008
+  Timestamp duration_weeks = 4;
+  /// Countries within this great-circle radius of the source are affected.
+  double footprint_km = 3000.0;
+  /// Expected extra event documents per week at the source at the burst
+  /// peak; decays with distance and with the Weibull temporal profile.
+  double peak_docs = 20.0;
+  /// Weibull shape of the temporal profile (>1: rise then decay; larger =
+  /// sharper onset).
+  double shape = 2.0;
+  /// Documents of this burst are relevant to the event (false: decoy).
+  bool relevant = true;
+};
+
+struct MajorEvent {
+  int number = 0;                 // 1-based, Table 4 numbering
+  std::string_view query;         // the annotator's search query
+  std::string_view description;
+  int tier = 1;                   // 1 = global, 2 = multi-country, 3 = localized
+  std::vector<EventBurst> bursts;
+};
+
+/// The 18 events, in Table 4 order.
+const std::vector<MajorEvent>& MajorEventsList();
+
+/// Number of weeks in the simulated timeline (Sep-2008 .. Jul-2009).
+inline constexpr Timestamp kTopixWeeks = 48;
+
+}  // namespace stburst
+
+#endif  // STBURST_GEN_MAJOR_EVENTS_H_

@@ -1,0 +1,234 @@
+#include "stburst/gen/topix_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stburst/common/logging.h"
+#include "stburst/common/random.h"
+#include "stburst/common/string_util.h"
+#include "stburst/gen/countries.h"
+#include "stburst/gen/generators.h"
+#include "stburst/geo/haversine.h"
+#include "stburst/stream/tokenizer.h"
+
+namespace stburst {
+
+namespace {
+
+// Weekly document counts for one burst at one country: Weibull profile over
+// the burst duration, scaled by distance decay from the source.
+double BurstRate(const EventBurst& burst, double distance_km, Timestamp week) {
+  if (week < burst.start_week ||
+      week >= burst.start_week + burst.duration_weeks) {
+    return 0.0;
+  }
+  if (distance_km > burst.footprint_km) return 0.0;
+  // Distance decay: the source gets the full rate, the footprint edge ~15%.
+  double decay = std::exp(-1.9 * distance_km / burst.footprint_km);
+  // Temporal profile: Weibull pdf rescaled to peak 1 over the duration,
+  // with the mode placed at ~1/3 of the duration.
+  double k = burst.shape;
+  double target_mode =
+      std::max(0.8, static_cast<double>(burst.duration_weeks) / 3.0);
+  double c = target_mode / std::pow((k - 1.0) / k, 1.0 / k);
+  double x = static_cast<double>(week - burst.start_week) + 0.5;
+  double at_mode = WeibullPdf(std::max(WeibullMode(k, c), 1e-9), k, c);
+  double profile = at_mode > 0.0 ? WeibullPdf(x, k, c) / at_mode : 0.0;
+  return burst.peak_docs * decay * profile;
+}
+
+}  // namespace
+
+TopixSimulator::TopixSimulator(Collection collection, TopixOptions options,
+                               std::vector<std::vector<StreamId>> affected,
+                               std::vector<Interval> timeframes)
+    : collection_(std::move(collection)),
+      options_(options),
+      affected_(std::move(affected)),
+      timeframes_(std::move(timeframes)) {}
+
+StatusOr<TopixSimulator> TopixSimulator::Generate(const TopixOptions& options) {
+  if (options.background_vocab == 0) {
+    return Status::InvalidArgument("background vocabulary must be non-empty");
+  }
+  if (options.doc_len_min == 0 || options.doc_len_max < options.doc_len_min) {
+    return Status::InvalidArgument("invalid document length range");
+  }
+  if (options.event_term_min == 0 ||
+      options.event_term_max < options.event_term_min) {
+    return Status::InvalidArgument("invalid event term count range");
+  }
+
+  STB_ASSIGN_OR_RETURN(Collection collection, Collection::Create(kTopixWeeks));
+
+  // Streams: the 181 countries. Positions start as equirectangular lon/lat
+  // and are optionally replaced by the MDS embedding (the paper's §6.1).
+  const std::vector<Country>& countries = WorldCountries();
+  for (const Country& c : countries) {
+    collection.AddStream(std::string(c.name), c.location,
+                         Point2D{c.location.lon_deg, c.location.lat_deg});
+  }
+  if (options.use_mds) {
+    STB_RETURN_NOT_OK(collection.ProjectStreamsWithMds());
+  }
+
+  // Vocabulary: background words first, then the event query terms.
+  Vocabulary* vocab = collection.mutable_vocabulary();
+  std::vector<TermId> background_terms;
+  background_terms.reserve(options.background_vocab);
+  for (size_t i = 0; i < options.background_vocab; ++i) {
+    background_terms.push_back(vocab->Intern(StringPrintf("bg%04zu", i)));
+  }
+  Tokenizer tokenizer;
+  const std::vector<MajorEvent>& events = MajorEventsList();
+  std::vector<std::vector<TermId>> event_terms(events.size());
+  for (size_t e = 0; e < events.size(); ++e) {
+    event_terms[e] = tokenizer.Tokenize(events[e].query, vocab);
+  }
+
+  Rng rng(options.seed);
+  ZipfSampler word_sampler(options.background_vocab, options.vocab_zipf);
+
+  // Per-country news volume: Zipf over a shuffled country order so volume
+  // does not correlate with table position.
+  std::vector<double> volume(countries.size());
+  {
+    std::vector<size_t> order(countries.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng.Shuffle(&order);
+    double total = 0.0;
+    for (size_t rank = 0; rank < order.size(); ++rank) {
+      volume[order[rank]] = 1.0 / std::pow(static_cast<double>(rank + 1), 0.35);
+      total += volume[order[rank]];
+    }
+    double scale =
+        options.mean_docs_per_week * static_cast<double>(countries.size()) /
+        total;
+    for (double& v : volume) v *= scale;
+  }
+
+  auto sample_background_tokens = [&](size_t len) {
+    std::vector<TermId> tokens;
+    tokens.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      tokens.push_back(background_terms[word_sampler.Sample(&rng)]);
+    }
+    return tokens;
+  };
+
+  // Precompute per-event affected streams and relevant timeframes.
+  std::vector<std::vector<StreamId>> affected(events.size());
+  std::vector<Interval> timeframes(events.size());
+  for (size_t e = 0; e < events.size(); ++e) {
+    Interval frame;  // invalid until the first relevant burst
+    std::vector<StreamId> streams;
+    for (const EventBurst& burst : events[e].bursts) {
+      if (!burst.relevant) continue;
+      size_t src = CountryIndex(burst.source_country);
+      STB_CHECK(src != static_cast<size_t>(-1))
+          << "unknown source country " << burst.source_country;
+      for (StreamId s = 0; s < countries.size(); ++s) {
+        double d = HaversineKm(countries[src].location, countries[s].location);
+        if (d <= burst.footprint_km) streams.push_back(s);
+      }
+      Interval span{burst.start_week,
+                    std::min<Timestamp>(
+                        burst.start_week + burst.duration_weeks - 1,
+                        kTopixWeeks - 1)};
+      frame = frame.Union(span);
+    }
+    std::sort(streams.begin(), streams.end());
+    streams.erase(std::unique(streams.begin(), streams.end()), streams.end());
+    affected[e] = std::move(streams);
+    timeframes[e] = frame;
+  }
+
+  // Emit documents week by week, country by country.
+  for (StreamId s = 0; s < countries.size(); ++s) {
+    for (Timestamp week = 0; week < kTopixWeeks; ++week) {
+      // Background documents.
+      int64_t n_docs = rng.Poisson(volume[s]);
+      for (int64_t d = 0; d < n_docs; ++d) {
+        size_t len = static_cast<size_t>(
+            rng.UniformInt(static_cast<int64_t>(options.doc_len_min),
+                           static_cast<int64_t>(options.doc_len_max)));
+        STB_RETURN_NOT_OK(
+            collection.AddDocument(s, week, sample_background_tokens(len))
+                .status());
+      }
+
+      // Ambient event-term mentions: one occurrence inside an otherwise
+      // background document, not relevant to the event.
+      for (size_t e = 0; e < events.size(); ++e) {
+        int64_t mentions = rng.Poisson(options.ambient_mention_rate);
+        for (int64_t m = 0; m < mentions; ++m) {
+          std::vector<TermId> tokens =
+              sample_background_tokens(options.doc_len_min);
+          for (TermId qt : event_terms[e]) tokens.push_back(qt);
+          STB_RETURN_NOT_OK(
+              collection.AddDocument(s, week, std::move(tokens)).status());
+        }
+      }
+
+      // Event documents.
+      for (size_t e = 0; e < events.size(); ++e) {
+        for (const EventBurst& burst : events[e].bursts) {
+          size_t src = CountryIndex(burst.source_country);
+          STB_CHECK(src != static_cast<size_t>(-1))
+              << "unknown source country " << burst.source_country;
+          double d =
+              HaversineKm(countries[src].location, countries[s].location);
+          double rate = BurstRate(burst, d, week);
+          if (rate <= 0.0) continue;
+          int64_t n_event_docs = rng.Poisson(rate);
+          for (int64_t k = 0; k < n_event_docs; ++k) {
+            std::vector<TermId> tokens =
+                sample_background_tokens(options.doc_len_min);
+            size_t rep_min =
+                burst.relevant ? options.event_term_min : options.decoy_term_min;
+            size_t rep_max =
+                burst.relevant ? options.event_term_max : options.decoy_term_max;
+            size_t reps = static_cast<size_t>(
+                rng.UniformInt(static_cast<int64_t>(rep_min),
+                               static_cast<int64_t>(rep_max)));
+            for (size_t r = 0; r < reps; ++r) {
+              for (TermId qt : event_terms[e]) tokens.push_back(qt);
+            }
+            int32_t label = burst.relevant
+                                ? static_cast<int32_t>(e)
+                                : kDecoyEventBase + static_cast<int32_t>(e);
+            STB_RETURN_NOT_OK(
+                collection.AddDocument(s, week, std::move(tokens), label)
+                    .status());
+          }
+        }
+      }
+    }
+  }
+
+  return TopixSimulator(std::move(collection), options, std::move(affected),
+                        std::move(timeframes));
+}
+
+bool TopixSimulator::IsRelevant(DocId doc, size_t event_index) const {
+  return collection_.document(doc).event_id == static_cast<int32_t>(event_index);
+}
+
+std::vector<TermId> TopixSimulator::QueryTerms(size_t event_index) const {
+  STB_CHECK(event_index < events().size()) << "event index out of range";
+  Tokenizer tokenizer;
+  return tokenizer.TokenizeFrozen(
+      std::string(events()[event_index].query), collection_.vocabulary());
+}
+
+std::vector<StreamId> TopixSimulator::AffectedStreams(size_t event_index) const {
+  STB_CHECK(event_index < affected_.size()) << "event index out of range";
+  return affected_[event_index];
+}
+
+Interval TopixSimulator::RelevantTimeframe(size_t event_index) const {
+  STB_CHECK(event_index < timeframes_.size()) << "event index out of range";
+  return timeframes_[event_index];
+}
+
+}  // namespace stburst

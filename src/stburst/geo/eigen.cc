@@ -1,0 +1,97 @@
+#include "stburst/geo/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace stburst {
+
+StatusOr<EigenDecomposition> SymmetricEigen(const std::vector<double>& a,
+                                            size_t n, double symmetry_tol,
+                                            int max_sweeps) {
+  if (n == 0) return Status::InvalidArgument("empty matrix");
+  if (a.size() != n * n) {
+    return Status::InvalidArgument("matrix size does not match n*n");
+  }
+  double max_abs = 0.0;
+  for (double v : a) max_abs = std::max(max_abs, std::abs(v));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (std::abs(a[i * n + j] - a[j * n + i]) >
+          symmetry_tol * std::max(1.0, max_abs)) {
+        return Status::InvalidArgument("matrix is not symmetric");
+      }
+    }
+  }
+
+  // Working copy; V starts as identity.
+  std::vector<double> m = a;
+  std::vector<double> v(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  auto off_diag_norm = [&]() {
+    double s = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) s += m[i * n + j] * m[i * n + j];
+    }
+    return std::sqrt(2.0 * s);
+  };
+
+  const double tol = 1e-12 * std::max(1.0, max_abs) * static_cast<double>(n);
+  for (int sweep = 0; sweep < max_sweeps && off_diag_norm() > tol; ++sweep) {
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        double apq = m[p * n + q];
+        if (std::abs(apq) <= tol / static_cast<double>(n)) continue;
+        double app = m[p * n + p], aqq = m[q * n + q];
+        // Stable rotation angle computation (Golub & Van Loan §8.5).
+        double theta = (aqq - app) / (2.0 * apq);
+        double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                   (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+
+        for (size_t k = 0; k < n; ++k) {
+          double mkp = m[k * n + p], mkq = m[k * n + q];
+          m[k * n + p] = c * mkp - s * mkq;
+          m[k * n + q] = s * mkp + c * mkq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          double mpk = m[p * n + k], mqk = m[q * n + k];
+          m[p * n + k] = c * mpk - s * mqk;
+          m[q * n + k] = s * mpk + c * mqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          double vkp = v[k * n + p], vkq = v[k * n + q];
+          v[k * n + p] = c * vkp - s * vkq;
+          v[k * n + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  EigenDecomposition out;
+  out.n = n;
+  out.values.resize(n);
+  for (size_t i = 0; i < n; ++i) out.values[i] = m[i * n + i];
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return out.values[x] > out.values[y]; });
+
+  std::vector<double> sorted_values(n);
+  std::vector<double> sorted_vectors(n * n);
+  for (size_t j = 0; j < n; ++j) {
+    sorted_values[j] = out.values[order[j]];
+    for (size_t i = 0; i < n; ++i) {
+      sorted_vectors[i * n + j] = v[i * n + order[j]];
+    }
+  }
+  out.values = std::move(sorted_values);
+  out.vectors = std::move(sorted_vectors);
+  return out;
+}
+
+}  // namespace stburst

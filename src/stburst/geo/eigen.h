@@ -1,0 +1,34 @@
+// Dense symmetric eigendecomposition (cyclic Jacobi). Substrate for the
+// classical-MDS projection of document sources; n is the number of sources
+// (hundreds), so the O(n^3) Jacobi sweep cost is negligible.
+
+#ifndef STBURST_GEO_EIGEN_H_
+#define STBURST_GEO_EIGEN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stburst/common/statusor.h"
+
+namespace stburst {
+
+/// Result of a symmetric eigendecomposition: A = V diag(values) V^T with the
+/// pairs sorted by descending eigenvalue. `vectors` is row-major n x n;
+/// column j (entries vectors[i*n + j]) is the unit eigenvector for values[j].
+struct EigenDecomposition {
+  std::vector<double> values;
+  std::vector<double> vectors;
+  size_t n = 0;
+};
+
+/// Decomposes the symmetric matrix `a` (row-major n x n). Returns
+/// InvalidArgument if the matrix is empty, not n x n, or not symmetric to
+/// within `symmetry_tol` (relative to the largest entry).
+StatusOr<EigenDecomposition> SymmetricEigen(const std::vector<double>& a,
+                                            size_t n,
+                                            double symmetry_tol = 1e-8,
+                                            int max_sweeps = 64);
+
+}  // namespace stburst
+
+#endif  // STBURST_GEO_EIGEN_H_

@@ -1,0 +1,69 @@
+#include "stburst/geo/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stburst/common/logging.h"
+
+namespace stburst {
+
+StatusOr<UniformGrid> UniformGrid::Create(const Rect& bounds, size_t cols,
+                                          size_t rows) {
+  if (bounds.empty()) return Status::InvalidArgument("grid bounds are empty");
+  if (cols == 0 || rows == 0) {
+    return Status::InvalidArgument("grid needs at least one column and row");
+  }
+  if (bounds.width() <= 0.0 || bounds.height() <= 0.0) {
+    return Status::InvalidArgument("grid bounds must have positive area");
+  }
+  return UniformGrid(bounds, cols, rows);
+}
+
+UniformGrid::UniformGrid(const Rect& bounds, size_t cols, size_t rows)
+    : bounds_(bounds),
+      cols_(cols),
+      rows_(rows),
+      cell_w_(bounds.width() / static_cast<double>(cols)),
+      cell_h_(bounds.height() / static_cast<double>(rows)) {}
+
+void UniformGrid::CellCoords(const Point2D& p, size_t* col, size_t* row) const {
+  auto clamp_idx = [](double offset, double width, size_t count) {
+    int64_t idx = static_cast<int64_t>(std::floor(offset / width));
+    idx = std::clamp<int64_t>(idx, 0, static_cast<int64_t>(count) - 1);
+    return static_cast<size_t>(idx);
+  };
+  *col = clamp_idx(p.x - bounds_.min_x(), cell_w_, cols_);
+  *row = clamp_idx(p.y - bounds_.min_y(), cell_h_, rows_);
+}
+
+size_t UniformGrid::CellIndex(const Point2D& p) const {
+  size_t col, row;
+  CellCoords(p, &col, &row);
+  return row * cols_ + col;
+}
+
+Rect UniformGrid::CellRect(size_t col, size_t row) const {
+  STB_DCHECK(col < cols_ && row < rows_);
+  double x0 = bounds_.min_x() + cell_w_ * static_cast<double>(col);
+  double y0 = bounds_.min_y() + cell_h_ * static_cast<double>(row);
+  return Rect(x0, y0, x0 + cell_w_, y0 + cell_h_);
+}
+
+Point2D UniformGrid::CellCenter(size_t col, size_t row) const {
+  Rect r = CellRect(col, row);
+  return Point2D{(r.min_x() + r.max_x()) / 2.0, (r.min_y() + r.max_y()) / 2.0};
+}
+
+std::vector<double> UniformGrid::AggregateWeights(
+    const std::vector<Point2D>& points, const std::vector<double>& weights) const {
+  STB_CHECK(points.size() == weights.size())
+      << "points/weights length mismatch: " << points.size() << " vs "
+      << weights.size();
+  std::vector<double> cells(num_cells(), 0.0);
+  for (size_t i = 0; i < points.size(); ++i) {
+    cells[CellIndex(points[i])] += weights[i];
+  }
+  return cells;
+}
+
+}  // namespace stburst

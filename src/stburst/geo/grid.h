@@ -1,0 +1,60 @@
+// Uniform grid partitioning of the map. The paper (§2) notes that streams
+// can be grouped by partitioning the map with a grid, each cell acting as an
+// aggregate stream; the discrepancy module also uses grids as its
+// approximate mode for very large stream counts.
+
+#ifndef STBURST_GEO_GRID_H_
+#define STBURST_GEO_GRID_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stburst/common/statusor.h"
+#include "stburst/geo/point.h"
+#include "stburst/geo/rect.h"
+
+namespace stburst {
+
+/// A fixed cols x rows grid over a bounding rectangle. Cells are addressed
+/// by (col, row) or by flat index row*cols + col.
+class UniformGrid {
+ public:
+  /// Builds a grid over `bounds` (must be non-empty with positive area).
+  static StatusOr<UniformGrid> Create(const Rect& bounds, size_t cols,
+                                      size_t rows);
+
+  size_t cols() const { return cols_; }
+  size_t rows() const { return rows_; }
+  size_t num_cells() const { return cols_ * rows_; }
+  const Rect& bounds() const { return bounds_; }
+
+  /// Flat index of the cell containing `p`. Points outside the bounds clamp
+  /// to the nearest edge cell, so every point maps somewhere.
+  size_t CellIndex(const Point2D& p) const;
+
+  /// Column/row of the cell containing `p` (clamped like CellIndex).
+  void CellCoords(const Point2D& p, size_t* col, size_t* row) const;
+
+  /// Geometry of cell (col, row).
+  Rect CellRect(size_t col, size_t row) const;
+
+  /// Centroid of cell (col, row).
+  Point2D CellCenter(size_t col, size_t row) const;
+
+  /// Sum of `weights[i]` per cell for point set `points` (same length).
+  std::vector<double> AggregateWeights(const std::vector<Point2D>& points,
+                                       const std::vector<double>& weights) const;
+
+ private:
+  UniformGrid(const Rect& bounds, size_t cols, size_t rows);
+
+  Rect bounds_;
+  size_t cols_;
+  size_t rows_;
+  double cell_w_;
+  double cell_h_;
+};
+
+}  // namespace stburst
+
+#endif  // STBURST_GEO_GRID_H_

@@ -1,0 +1,38 @@
+#include "stburst/geo/haversine.h"
+
+#include <cmath>
+
+namespace stburst {
+
+namespace {
+constexpr double kDegToRad = M_PI / 180.0;
+}  // namespace
+
+double HaversineKm(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = a.lat_deg * kDegToRad;
+  const double lat2 = b.lat_deg * kDegToRad;
+  const double dlat = (b.lat_deg - a.lat_deg) * kDegToRad;
+  const double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
+
+  const double sin_dlat = std::sin(dlat / 2.0);
+  const double sin_dlon = std::sin(dlon / 2.0);
+  double h = sin_dlat * sin_dlat +
+             std::cos(lat1) * std::cos(lat2) * sin_dlon * sin_dlon;
+  h = std::min(1.0, h);  // clamp rounding before asin
+  return 2.0 * kEarthRadiusKm * std::asin(std::sqrt(h));
+}
+
+std::vector<double> PairwiseDistanceMatrixKm(const std::vector<GeoPoint>& points) {
+  const size_t n = points.size();
+  std::vector<double> d(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double dist = HaversineKm(points[i], points[j]);
+      d[i * n + j] = dist;
+      d[j * n + i] = dist;
+    }
+  }
+  return d;
+}
+
+}  // namespace stburst

@@ -1,0 +1,26 @@
+// Great-circle distances. The paper (§6.1) projects sources using "pair-wise
+// geographical distances"; we use the haversine formula on a spherical Earth,
+// which is within 0.5% of the ellipsoidal (Vincenty) result and has no
+// convergence failures near antipodes.
+
+#ifndef STBURST_GEO_HAVERSINE_H_
+#define STBURST_GEO_HAVERSINE_H_
+
+#include <vector>
+
+#include "stburst/geo/point.h"
+
+namespace stburst {
+
+/// Mean Earth radius in kilometers (IUGG).
+inline constexpr double kEarthRadiusKm = 6371.0088;
+
+/// Great-circle distance between two geographic points, in kilometers.
+double HaversineKm(const GeoPoint& a, const GeoPoint& b);
+
+/// Full symmetric pair-wise distance matrix, row-major n x n, in kilometers.
+std::vector<double> PairwiseDistanceMatrixKm(const std::vector<GeoPoint>& points);
+
+}  // namespace stburst
+
+#endif  // STBURST_GEO_HAVERSINE_H_

@@ -1,0 +1,93 @@
+#include "stburst/geo/mds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stburst/geo/eigen.h"
+#include "stburst/geo/haversine.h"
+
+namespace stburst {
+
+StatusOr<std::vector<Point2D>> ClassicalMds(const std::vector<double>& distances,
+                                            size_t n) {
+  if (n == 0) return Status::InvalidArgument("no objects to embed");
+  if (distances.size() != n * n) {
+    return Status::InvalidArgument("distance matrix size does not match n*n");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (distances[i * n + i] != 0.0) {
+      return Status::InvalidArgument("distance matrix diagonal must be zero");
+    }
+    for (size_t j = 0; j < n; ++j) {
+      if (distances[i * n + j] < 0.0) {
+        return Status::InvalidArgument("distances must be non-negative");
+      }
+    }
+  }
+  if (n == 1) return std::vector<Point2D>{Point2D{0.0, 0.0}};
+
+  // Double-centered Gram matrix B = -1/2 J D^2 J.
+  std::vector<double> sq(n * n);
+  for (size_t i = 0; i < n * n; ++i) sq[i] = distances[i] * distances[i];
+
+  std::vector<double> row_mean(n, 0.0);
+  double grand_mean = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) row_mean[i] += sq[i * n + j];
+    row_mean[i] /= static_cast<double>(n);
+    grand_mean += row_mean[i];
+  }
+  grand_mean /= static_cast<double>(n);
+
+  std::vector<double> b(n * n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      b[i * n + j] =
+          -0.5 * (sq[i * n + j] - row_mean[i] - row_mean[j] + grand_mean);
+    }
+  }
+  // Symmetrize exactly: double centering is symmetric in infinite precision
+  // but the row/column means accumulate differently in floating point.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double avg = 0.5 * (b[i * n + j] + b[j * n + i]);
+      b[i * n + j] = avg;
+      b[j * n + i] = avg;
+    }
+  }
+
+  STB_ASSIGN_OR_RETURN(EigenDecomposition eig, SymmetricEigen(b, n));
+
+  std::vector<Point2D> out(n);
+  const double l0 = std::max(0.0, eig.values[0]);
+  const double l1 = n >= 2 ? std::max(0.0, eig.values[1]) : 0.0;
+  const double s0 = std::sqrt(l0);
+  const double s1 = std::sqrt(l1);
+  for (size_t i = 0; i < n; ++i) {
+    out[i].x = s0 * eig.vectors[i * n + 0];
+    out[i].y = n >= 2 ? s1 * eig.vectors[i * n + 1] : 0.0;
+  }
+  return out;
+}
+
+StatusOr<std::vector<Point2D>> ProjectGeoPoints(const std::vector<GeoPoint>& points) {
+  return ClassicalMds(PairwiseDistanceMatrixKm(points), points.size());
+}
+
+double MdsStress(const std::vector<double>& distances,
+                 const std::vector<Point2D>& embedding) {
+  const size_t n = embedding.size();
+  double num = 0.0, den = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double target = distances[i * n + j];
+      double actual = EuclideanDistance(embedding[i], embedding[j]);
+      num += (target - actual) * (target - actual);
+      den += target * target;
+    }
+  }
+  if (den == 0.0) return 0.0;
+  return std::sqrt(num / den);
+}
+
+}  // namespace stburst

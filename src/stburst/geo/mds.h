@@ -1,0 +1,35 @@
+// Classical multidimensional scaling (Torgerson). The paper (§6.1) projects
+// document sources onto the 2-D plane from their pair-wise geographical
+// distances; this module performs that projection.
+
+#ifndef STBURST_GEO_MDS_H_
+#define STBURST_GEO_MDS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stburst/common/statusor.h"
+#include "stburst/geo/point.h"
+
+namespace stburst {
+
+/// Embeds n objects in the plane from their symmetric n x n distance matrix
+/// (row-major) so that Euclidean distances approximate the inputs:
+///   B = -1/2 J D^2 J (double centering), X = V_2 Lambda_2^{1/2}.
+/// Returns InvalidArgument on malformed input (asymmetry, negative
+/// distances, nonzero diagonal).
+StatusOr<std::vector<Point2D>> ClassicalMds(const std::vector<double>& distances,
+                                            size_t n);
+
+/// Convenience: haversine distances + ClassicalMds. This is the exact
+/// pipeline the paper applies to the Topix sources.
+StatusOr<std::vector<Point2D>> ProjectGeoPoints(const std::vector<GeoPoint>& points);
+
+/// Kruskal stress-1 of an embedding against the target distances: sqrt of
+/// (sum of squared residuals / sum of squared distances). 0 is a perfect fit.
+double MdsStress(const std::vector<double>& distances,
+                 const std::vector<Point2D>& embedding);
+
+}  // namespace stburst
+
+#endif  // STBURST_GEO_MDS_H_

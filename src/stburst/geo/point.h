@@ -1,0 +1,45 @@
+// Geographic and planar point types.
+//
+// The paper's pipeline (§6.1) takes document sources with geographic
+// coordinates (GeoPoint, degrees on the sphere), computes pair-wise
+// great-circle distances, and projects the sources to the 2-D plane with
+// multidimensional scaling (Point2D). All burst mining then happens in the
+// plane.
+
+#ifndef STBURST_GEO_POINT_H_
+#define STBURST_GEO_POINT_H_
+
+#include <cmath>
+
+namespace stburst {
+
+/// A location on the sphere, in degrees. Latitude in [-90, 90], longitude in
+/// [-180, 180].
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  friend bool operator==(const GeoPoint& a, const GeoPoint& b) {
+    return a.lat_deg == b.lat_deg && a.lon_deg == b.lon_deg;
+  }
+};
+
+/// A point in the plane (the MDS embedding space, or any user-supplied map).
+struct Point2D {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point2D& a, const Point2D& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Euclidean distance between planar points.
+inline double EuclideanDistance(const Point2D& a, const Point2D& b) {
+  double dx = a.x - b.x, dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace stburst
+
+#endif  // STBURST_GEO_POINT_H_

@@ -1,0 +1,66 @@
+#include "stburst/geo/rect.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "stburst/common/string_util.h"
+
+namespace stburst {
+
+Rect::Rect() : empty_(true), min_x_(0), min_y_(0), max_x_(0), max_y_(0) {}
+
+Rect::Rect(double min_x, double min_y, double max_x, double max_y)
+    : empty_(false), min_x_(min_x), min_y_(min_y), max_x_(max_x), max_y_(max_y) {
+  if (min_x_ > max_x_) std::swap(min_x_, max_x_);
+  if (min_y_ > max_y_) std::swap(min_y_, max_y_);
+}
+
+Rect Rect::BoundingBox(const std::vector<Point2D>& points) {
+  Rect box;
+  for (const Point2D& p : points) box.ExpandToInclude(p);
+  return box;
+}
+
+bool Rect::Contains(const Point2D& p) const {
+  if (empty_) return false;
+  return p.x >= min_x_ && p.x <= max_x_ && p.y >= min_y_ && p.y <= max_y_;
+}
+
+bool Rect::Contains(const Rect& other) const {
+  if (other.empty_) return true;
+  if (empty_) return false;
+  return other.min_x_ >= min_x_ && other.max_x_ <= max_x_ &&
+         other.min_y_ >= min_y_ && other.max_y_ <= max_y_;
+}
+
+bool Rect::Intersects(const Rect& other) const {
+  if (empty_ || other.empty_) return false;
+  return min_x_ <= other.max_x_ && other.min_x_ <= max_x_ &&
+         min_y_ <= other.max_y_ && other.min_y_ <= max_y_;
+}
+
+void Rect::ExpandToInclude(const Point2D& p) {
+  if (empty_) {
+    empty_ = false;
+    min_x_ = max_x_ = p.x;
+    min_y_ = max_y_ = p.y;
+    return;
+  }
+  min_x_ = std::min(min_x_, p.x);
+  max_x_ = std::max(max_x_, p.x);
+  min_y_ = std::min(min_y_, p.y);
+  max_y_ = std::max(max_y_, p.y);
+}
+
+void Rect::ExpandToInclude(const Rect& other) {
+  if (other.empty_) return;
+  ExpandToInclude(Point2D{other.min_x_, other.min_y_});
+  ExpandToInclude(Point2D{other.max_x_, other.max_y_});
+}
+
+std::string Rect::ToString() const {
+  if (empty_) return "[empty]";
+  return StringPrintf("[%.3f,%.3f .. %.3f,%.3f]", min_x_, min_y_, max_x_, max_y_);
+}
+
+}  // namespace stburst

@@ -1,0 +1,73 @@
+// Axis-oriented rectangles on the 2-D map. STLocal's regional patterns
+// (paper §4) are restricted to this shape to keep pattern mining polynomial.
+
+#ifndef STBURST_GEO_RECT_H_
+#define STBURST_GEO_RECT_H_
+
+#include <string>
+#include <vector>
+
+#include "stburst/geo/point.h"
+
+namespace stburst {
+
+/// A closed axis-oriented rectangle [min_x, max_x] x [min_y, max_y].
+/// A default-constructed Rect is "empty": it contains no point and unions as
+/// the identity.
+class Rect {
+ public:
+  /// Constructs the empty rectangle.
+  Rect();
+
+  /// Constructs from corner coordinates; swaps as needed so min <= max.
+  Rect(double min_x, double min_y, double max_x, double max_y);
+
+  /// The minimum bounding rectangle of a point set; empty for no points.
+  static Rect BoundingBox(const std::vector<Point2D>& points);
+
+  bool empty() const { return empty_; }
+
+  double min_x() const { return min_x_; }
+  double min_y() const { return min_y_; }
+  double max_x() const { return max_x_; }
+  double max_y() const { return max_y_; }
+
+  /// Width/height; 0 for the empty rectangle.
+  double width() const { return empty_ ? 0.0 : max_x_ - min_x_; }
+  double height() const { return empty_ ? 0.0 : max_y_ - min_y_; }
+  double Area() const { return width() * height(); }
+
+  /// True iff `p` lies inside (boundary inclusive).
+  bool Contains(const Point2D& p) const;
+
+  /// True iff `other` lies fully inside this rectangle. The empty rectangle
+  /// is contained in everything.
+  bool Contains(const Rect& other) const;
+
+  /// True iff the closed rectangles share at least one point.
+  bool Intersects(const Rect& other) const;
+
+  /// Grows the rectangle to cover `p`.
+  void ExpandToInclude(const Point2D& p);
+
+  /// Grows the rectangle to cover `other`.
+  void ExpandToInclude(const Rect& other);
+
+  /// "[x0,y0 .. x1,y1]" or "[empty]".
+  std::string ToString() const;
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    if (a.empty_ || b.empty_) return a.empty_ == b.empty_;
+    return a.min_x_ == b.min_x_ && a.min_y_ == b.min_y_ &&
+           a.max_x_ == b.max_x_ && a.max_y_ == b.max_y_;
+  }
+  friend bool operator!=(const Rect& a, const Rect& b) { return !(a == b); }
+
+ private:
+  bool empty_;
+  double min_x_, min_y_, max_x_, max_y_;
+};
+
+}  // namespace stburst
+
+#endif  // STBURST_GEO_RECT_H_

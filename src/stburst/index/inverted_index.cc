@@ -1,0 +1,49 @@
+#include "stburst/index/inverted_index.h"
+
+#include <algorithm>
+
+#include "stburst/common/logging.h"
+
+namespace stburst {
+
+const std::vector<Posting> InvertedIndex::kEmpty;
+
+void InvertedIndex::Add(TermId term, DocId doc, double score) {
+  STB_CHECK(!finalized_) << "Add after Finalize";
+  if (term >= postings_.size()) postings_.resize(term + 1);
+  postings_[term].push_back(Posting{doc, score});
+  ++total_postings_;
+}
+
+void InvertedIndex::Finalize() {
+  if (finalized_) return;
+  lookup_.resize(postings_.size());
+  for (size_t t = 0; t < postings_.size(); ++t) {
+    auto& plist = postings_[t];
+    std::sort(plist.begin(), plist.end(), [](const Posting& a, const Posting& b) {
+      if (a.score != b.score) return a.score > b.score;
+      return a.doc < b.doc;
+    });
+    auto& map = lookup_[t];
+    map.reserve(plist.size());
+    for (const Posting& p : plist) map.emplace(p.doc, p.score);
+  }
+  finalized_ = true;
+}
+
+const std::vector<Posting>& InvertedIndex::postings(TermId term) const {
+  STB_CHECK(finalized_) << "postings before Finalize";
+  if (term >= postings_.size()) return kEmpty;
+  return postings_[term];
+}
+
+bool InvertedIndex::Score(TermId term, DocId doc, double* score) const {
+  STB_CHECK(finalized_) << "Score before Finalize";
+  if (term >= lookup_.size()) return false;
+  auto it = lookup_[term].find(doc);
+  if (it == lookup_[term].end()) return false;
+  *score = it->second;
+  return true;
+}
+
+}  // namespace stburst

@@ -1,0 +1,53 @@
+// Score-sorted inverted index (paper §5): term -> documents ranked by their
+// per-term score, supporting both the sorted access the Threshold Algorithm
+// scans and the random access it probes.
+
+#ifndef STBURST_INDEX_INVERTED_INDEX_H_
+#define STBURST_INDEX_INVERTED_INDEX_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "stburst/stream/types.h"
+
+namespace stburst {
+
+/// One entry of a term's posting list.
+struct Posting {
+  DocId doc = kInvalidDoc;
+  double score = 0.0;
+};
+
+/// Append-then-freeze inverted index. Add() all postings, Finalize() once,
+/// then query. Per-term posting lists are sorted by descending score.
+class InvertedIndex {
+ public:
+  /// Records that `doc` scores `score` for `term`. Must precede Finalize().
+  void Add(TermId term, DocId doc, double score);
+
+  /// Sorts posting lists and builds the random-access maps. Idempotent.
+  void Finalize();
+
+  /// Sorted postings of a term (empty if none). Requires Finalize().
+  const std::vector<Posting>& postings(TermId term) const;
+
+  /// Random access: the score of `doc` for `term`; false if absent.
+  /// Requires Finalize().
+  bool Score(TermId term, DocId doc, double* score) const;
+
+  size_t num_terms() const { return postings_.size(); }
+  size_t total_postings() const { return total_postings_; }
+  bool finalized() const { return finalized_; }
+
+ private:
+  bool finalized_ = false;
+  size_t total_postings_ = 0;
+  std::vector<std::vector<Posting>> postings_;  // indexed by TermId
+  std::vector<std::unordered_map<DocId, double>> lookup_;
+  static const std::vector<Posting> kEmpty;
+};
+
+}  // namespace stburst
+
+#endif  // STBURST_INDEX_INVERTED_INDEX_H_

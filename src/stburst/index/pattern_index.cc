@@ -1,0 +1,42 @@
+#include "stburst/index/pattern_index.h"
+
+namespace stburst {
+
+const std::vector<TermPattern> PatternIndex::kEmpty;
+
+void PatternIndex::Add(TermId term, TermPattern pattern) {
+  if (term >= patterns_.size()) patterns_.resize(term + 1);
+  std::sort(pattern.streams.begin(), pattern.streams.end());
+  if (patterns_[term].empty()) ++non_empty_terms_;
+  patterns_[term].push_back(std::move(pattern));
+  ++total_patterns_;
+}
+
+void PatternIndex::AddCombinatorial(TermId term,
+                                    const CombinatorialPattern& pattern) {
+  Add(term, TermPattern{pattern.streams, pattern.timeframe, pattern.score});
+}
+
+void PatternIndex::AddWindow(TermId term, const SpatiotemporalWindow& window) {
+  Add(term, TermPattern{window.streams, window.timeframe, window.score});
+}
+
+const std::vector<TermPattern>& PatternIndex::PatternsFor(TermId term) const {
+  if (term >= patterns_.size()) return kEmpty;
+  return patterns_[term];
+}
+
+bool PatternIndex::MaxOverlapScore(TermId term, StreamId stream, Timestamp time,
+                                   double* score) const {
+  bool any = false;
+  double best = 0.0;
+  for (const TermPattern& p : PatternsFor(term)) {
+    if (!p.Overlaps(stream, time)) continue;
+    if (!any || p.score > best) best = p.score;
+    any = true;
+  }
+  if (any) *score = best;
+  return any;
+}
+
+}  // namespace stburst

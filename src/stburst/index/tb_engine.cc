@@ -1,0 +1,36 @@
+#include "stburst/index/tb_engine.h"
+
+#include <numeric>
+
+#include "stburst/core/temporal.h"
+
+namespace stburst {
+
+PatternIndex BuildTbPatternIndex(const FrequencyIndex& frequencies,
+                                 const std::vector<TermId>& terms) {
+  std::vector<TermId> targets = terms;
+  if (targets.empty()) {
+    targets.resize(frequencies.num_terms());
+    std::iota(targets.begin(), targets.end(), 0);
+  }
+
+  // Every pattern covers the full stream set: TB is blind to origins.
+  std::vector<StreamId> all_streams(frequencies.num_streams());
+  std::iota(all_streams.begin(), all_streams.end(), 0);
+
+  PatternIndex index;
+  for (TermId term : targets) {
+    // The merged single stream: total frequency per timestamp.
+    std::vector<double> merged(
+        static_cast<size_t>(frequencies.timeline_length()), 0.0);
+    for (const TermPosting& p : frequencies.postings(term)) {
+      merged[static_cast<size_t>(p.time)] += p.count;
+    }
+    for (const BurstyInterval& bi : ExtractBurstyIntervals(merged)) {
+      index.Add(term, TermPattern{all_streams, bi.interval, bi.burstiness});
+    }
+  }
+  return index;
+}
+
+}  // namespace stburst

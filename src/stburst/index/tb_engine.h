@@ -1,0 +1,26 @@
+// TB — the temporal-burstiness-only baseline engine (paper §6.3, reference
+// [14]). "Since this approach disregards the origin of each document, the
+// streams from the various countries were merged to a single stream":
+// per term, the frequencies of all streams are aggregated into one
+// sequence, the non-overlapping bursty temporal intervals are extracted
+// (Eq. 1), and each interval becomes a pattern covering every stream. The
+// resulting PatternIndex plugs into the same BurstySearchEngine.
+
+#ifndef STBURST_INDEX_TB_ENGINE_H_
+#define STBURST_INDEX_TB_ENGINE_H_
+
+#include <vector>
+
+#include "stburst/index/pattern_index.h"
+#include "stburst/stream/frequency.h"
+
+namespace stburst {
+
+/// Builds the TB pattern index over the given terms (all terms of the
+/// frequency index when `terms` is empty).
+PatternIndex BuildTbPatternIndex(const FrequencyIndex& frequencies,
+                                 const std::vector<TermId>& terms = {});
+
+}  // namespace stburst
+
+#endif  // STBURST_INDEX_TB_ENGINE_H_

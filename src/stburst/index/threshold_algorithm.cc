@@ -1,0 +1,123 @@
+#include "stburst/index/threshold_algorithm.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "stburst/common/logging.h"
+
+namespace stburst {
+
+namespace {
+
+std::vector<TermId> DedupeQuery(const std::vector<TermId>& query) {
+  std::vector<TermId> terms = query;
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  return terms;
+}
+
+std::vector<ScoredDoc> SortAndTruncate(
+    std::unordered_map<DocId, double>&& scores, size_t k) {
+  std::vector<ScoredDoc> docs;
+  docs.reserve(scores.size());
+  for (const auto& [doc, score] : scores) {
+    if (score > 0.0) docs.push_back(ScoredDoc{doc, score});
+  }
+  std::sort(docs.begin(), docs.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  });
+  if (docs.size() > k) docs.resize(k);
+  return docs;
+}
+
+}  // namespace
+
+TopKResult ThresholdTopK(const InvertedIndex& index,
+                         const std::vector<TermId>& query, size_t k) {
+  TopKResult result;
+  if (k == 0) return result;
+  std::vector<TermId> terms = DedupeQuery(query);
+  if (terms.empty()) return result;
+
+  std::vector<const std::vector<Posting>*> lists;
+  lists.reserve(terms.size());
+  for (TermId t : terms) lists.push_back(&index.postings(t));
+
+  std::vector<size_t> pos(lists.size(), 0);
+  std::unordered_map<DocId, double> candidates;
+  std::multiset<double> best_k;  // scores of the current top-k candidates
+
+  auto offer = [&](double score) {
+    if (best_k.size() < k) {
+      best_k.insert(score);
+    } else if (score > *best_k.begin()) {
+      best_k.erase(best_k.begin());
+      best_k.insert(score);
+    }
+  };
+
+  for (;;) {
+    bool advanced = false;
+    for (size_t i = 0; i < lists.size(); ++i) {
+      if (pos[i] >= lists[i]->size()) continue;
+      const Posting& p = (*lists[i])[pos[i]];
+      ++pos[i];
+      ++result.sorted_accesses;
+      advanced = true;
+      if (candidates.find(p.doc) != candidates.end()) continue;
+      // Complete the document's aggregate with random accesses.
+      double total = 0.0;
+      for (size_t j = 0; j < lists.size(); ++j) {
+        double s = 0.0;
+        if (j == i) {
+          s = p.score;
+        } else {
+          ++result.random_accesses;
+          if (!index.Score(terms[j], p.doc, &s)) s = 0.0;
+        }
+        total += s;
+      }
+      candidates.emplace(p.doc, total);
+      offer(total);
+    }
+    if (!advanced) break;  // every list exhausted: exact result
+
+    // Threshold from the new frontier. Exhausted lists contribute 0 (a doc
+    // absent from a list scores 0 there).
+    double threshold = 0.0;
+    for (size_t i = 0; i < lists.size(); ++i) {
+      if (pos[i] < lists[i]->size()) threshold += (*lists[i])[pos[i]].score;
+    }
+    if (best_k.size() == k && *best_k.begin() >= threshold) {
+      result.early_terminated = true;
+      break;
+    }
+    if (threshold <= 0.0 && best_k.size() == k) {
+      result.early_terminated = true;
+      break;
+    }
+  }
+
+  result.docs = SortAndTruncate(std::move(candidates), k);
+  return result;
+}
+
+TopKResult ExhaustiveTopK(const InvertedIndex& index,
+                          const std::vector<TermId>& query, size_t k) {
+  TopKResult result;
+  if (k == 0) return result;
+  std::unordered_map<DocId, double> scores;
+  for (TermId t : DedupeQuery(query)) {
+    for (const Posting& p : index.postings(t)) {
+      scores[p.doc] += p.score;
+      ++result.sorted_accesses;
+    }
+  }
+  result.docs = SortAndTruncate(std::move(scores), k);
+  return result;
+}
+
+}  // namespace stburst

@@ -1,0 +1,81 @@
+#include "stburst/stream/collection.h"
+
+#include "stburst/common/logging.h"
+#include "stburst/common/string_util.h"
+#include "stburst/geo/mds.h"
+
+namespace stburst {
+
+StatusOr<Collection> Collection::Create(Timestamp timeline_length) {
+  if (timeline_length <= 0) {
+    return Status::InvalidArgument("timeline length must be positive");
+  }
+  return Collection(timeline_length);
+}
+
+Collection::Collection(Timestamp timeline_length)
+    : timeline_length_(timeline_length) {}
+
+StreamId Collection::AddStream(std::string name, GeoPoint geo, Point2D position) {
+  StreamId id = static_cast<StreamId>(streams_.size());
+  streams_.push_back(StreamInfo{id, std::move(name), geo, position});
+  docs_at_.emplace_back(static_cast<size_t>(timeline_length_));
+  return id;
+}
+
+Status Collection::ProjectStreamsWithMds() {
+  if (streams_.empty()) {
+    return Status::FailedPrecondition("no streams to project");
+  }
+  std::vector<GeoPoint> geos;
+  geos.reserve(streams_.size());
+  for (const StreamInfo& s : streams_) geos.push_back(s.geo);
+  STB_ASSIGN_OR_RETURN(std::vector<Point2D> projected, ProjectGeoPoints(geos));
+  for (size_t i = 0; i < streams_.size(); ++i) {
+    streams_[i].position = projected[i];
+  }
+  return Status::OK();
+}
+
+StatusOr<DocId> Collection::AddDocument(StreamId stream, Timestamp time,
+                                        std::vector<TermId> tokens,
+                                        int32_t event_id) {
+  if (stream >= streams_.size()) {
+    return Status::InvalidArgument(
+        StringPrintf("unknown stream id %u", stream));
+  }
+  if (time < 0 || time >= timeline_length_) {
+    return Status::OutOfRange(
+        StringPrintf("timestamp %d outside [0, %d)", time, timeline_length_));
+  }
+  DocId id = static_cast<DocId>(documents_.size());
+  documents_.push_back(Document{id, stream, time, std::move(tokens), event_id});
+  docs_at_[stream][static_cast<size_t>(time)].push_back(id);
+  return id;
+}
+
+const StreamInfo& Collection::stream(StreamId id) const {
+  STB_CHECK(id < streams_.size()) << "invalid StreamId " << id;
+  return streams_[id];
+}
+
+const Document& Collection::document(DocId id) const {
+  STB_CHECK(id < documents_.size()) << "invalid DocId " << id;
+  return documents_[id];
+}
+
+std::vector<Point2D> Collection::StreamPositions() const {
+  std::vector<Point2D> out;
+  out.reserve(streams_.size());
+  for (const StreamInfo& s : streams_) out.push_back(s.position);
+  return out;
+}
+
+const std::vector<DocId>& Collection::DocumentsAt(StreamId stream,
+                                                  Timestamp time) const {
+  STB_CHECK(stream < streams_.size()) << "invalid StreamId " << stream;
+  STB_CHECK(time >= 0 && time < timeline_length_) << "invalid time " << time;
+  return docs_at_[stream][static_cast<size_t>(time)];
+}
+
+}  // namespace stburst

@@ -1,0 +1,81 @@
+// The spatiotemporal collection D = {D1[.], ..., Dn[.]} (paper §2): a set of
+// geo-stamped document streams over a shared discrete timeline.
+
+#ifndef STBURST_STREAM_COLLECTION_H_
+#define STBURST_STREAM_COLLECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "stburst/common/statusor.h"
+#include "stburst/geo/point.h"
+#include "stburst/stream/document.h"
+#include "stburst/stream/types.h"
+#include "stburst/stream/vocabulary.h"
+
+namespace stburst {
+
+/// Static description of one document stream: a named source fixed at a
+/// geographic location (its geostamp) with a planar projection used by the
+/// regional algorithms.
+struct StreamInfo {
+  StreamId id = kInvalidStream;
+  std::string name;
+  GeoPoint geo;
+  Point2D position;  // planar location (e.g. the MDS embedding)
+};
+
+/// A spatiotemporal collection: streams, an interned vocabulary, and the
+/// documents each stream reported per timestamp. Timestamps are 0-based and
+/// the timeline length is fixed at construction.
+class Collection {
+ public:
+  /// Creates a collection over `timeline_length` timestamps (must be > 0).
+  static StatusOr<Collection> Create(Timestamp timeline_length);
+
+  /// Registers a stream; returns its dense id.
+  StreamId AddStream(std::string name, GeoPoint geo, Point2D position);
+
+  /// Recomputes every stream's planar position from its geostamp via
+  /// classical MDS over haversine distances (the paper's §6.1 pipeline).
+  Status ProjectStreamsWithMds();
+
+  /// Appends a document. Validates stream id and timestamp; assigns and
+  /// returns the document's dense id.
+  StatusOr<DocId> AddDocument(StreamId stream, Timestamp time,
+                              std::vector<TermId> tokens,
+                              int32_t event_id = kNoEvent);
+
+  /// Mutable vocabulary for tokenization during ingest.
+  Vocabulary* mutable_vocabulary() { return &vocabulary_; }
+  const Vocabulary& vocabulary() const { return vocabulary_; }
+
+  Timestamp timeline_length() const { return timeline_length_; }
+  size_t num_streams() const { return streams_.size(); }
+  size_t num_documents() const { return documents_.size(); }
+
+  const StreamInfo& stream(StreamId id) const;
+  const std::vector<StreamInfo>& streams() const { return streams_; }
+  const Document& document(DocId id) const;
+  const std::vector<Document>& documents() const { return documents_; }
+
+  /// Planar positions of all streams, indexed by StreamId.
+  std::vector<Point2D> StreamPositions() const;
+
+  /// Ids of documents reported by `stream` at `time` (Dx[i] in the paper).
+  const std::vector<DocId>& DocumentsAt(StreamId stream, Timestamp time) const;
+
+ private:
+  explicit Collection(Timestamp timeline_length);
+
+  Timestamp timeline_length_;
+  Vocabulary vocabulary_;
+  std::vector<StreamInfo> streams_;
+  std::vector<Document> documents_;
+  // per-stream, per-timestamp document id lists; indexed [stream][time]
+  std::vector<std::vector<std::vector<DocId>>> docs_at_;
+};
+
+}  // namespace stburst
+
+#endif  // STBURST_STREAM_COLLECTION_H_

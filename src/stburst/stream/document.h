@@ -1,0 +1,39 @@
+// The document record: a bag of interned terms arriving from one stream at
+// one timestamp (paper §2: Dx[i] is the set of documents reported from
+// stream Dx at timestamp i).
+
+#ifndef STBURST_STREAM_DOCUMENT_H_
+#define STBURST_STREAM_DOCUMENT_H_
+
+#include <vector>
+
+#include "stburst/stream/types.h"
+
+namespace stburst {
+
+/// A geo- and time-stamped document. Terms are kept as a flat token list
+/// (duplicates encode term frequency).
+struct Document {
+  DocId id = kInvalidDoc;
+  StreamId stream = kInvalidStream;
+  Timestamp time = 0;
+  std::vector<TermId> tokens;
+
+  /// Provenance: id of the injected event that emitted this document, or
+  /// kNoEvent for background text. Used only by the evaluation harness (the
+  /// simulated annotator); the mining algorithms never read it.
+  int32_t event_id = kNoEvent;
+
+  /// Number of occurrences of `t` in this document (freq(t, d), Eq. 6).
+  int64_t TermFrequency(TermId t) const {
+    int64_t c = 0;
+    for (TermId tok : tokens) {
+      if (tok == t) ++c;
+    }
+    return c;
+  }
+};
+
+}  // namespace stburst
+
+#endif  // STBURST_STREAM_DOCUMENT_H_

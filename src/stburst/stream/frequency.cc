@@ -1,0 +1,117 @@
+#include "stburst/stream/frequency.h"
+
+#include <algorithm>
+
+#include "stburst/common/logging.h"
+
+namespace stburst {
+
+TermSeries::TermSeries(size_t num_streams, Timestamp timeline_length)
+    : num_streams_(num_streams), timeline_length_(timeline_length) {
+  STB_CHECK(timeline_length > 0) << "timeline length must be positive";
+  data_.assign(num_streams * static_cast<size_t>(timeline_length), 0.0);
+}
+
+size_t TermSeries::Index(StreamId stream, Timestamp time) const {
+  STB_DCHECK(stream < num_streams_) << "stream " << stream << " out of range";
+  STB_DCHECK(time >= 0 && time < timeline_length_)
+      << "time " << time << " out of range";
+  return static_cast<size_t>(stream) * static_cast<size_t>(timeline_length_) +
+         static_cast<size_t>(time);
+}
+
+std::vector<double> TermSeries::StreamRow(StreamId stream) const {
+  std::vector<double> row(static_cast<size_t>(timeline_length_));
+  for (Timestamp t = 0; t < timeline_length_; ++t) row[t] = at(stream, t);
+  return row;
+}
+
+std::vector<double> TermSeries::SnapshotColumn(Timestamp time) const {
+  std::vector<double> col(num_streams_);
+  for (StreamId s = 0; s < num_streams_; ++s) col[s] = at(s, time);
+  return col;
+}
+
+std::vector<double> TermSeries::AggregateOverStreams() const {
+  std::vector<double> agg(static_cast<size_t>(timeline_length_), 0.0);
+  for (StreamId s = 0; s < num_streams_; ++s) {
+    for (Timestamp t = 0; t < timeline_length_; ++t) agg[t] += at(s, t);
+  }
+  return agg;
+}
+
+double TermSeries::Total() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v;
+  return sum;
+}
+
+const std::vector<TermPosting> FrequencyIndex::kEmpty;
+
+FrequencyIndex FrequencyIndex::Build(const Collection& collection) {
+  FrequencyIndex index;
+  index.num_streams_ = collection.num_streams();
+  index.timeline_length_ = collection.timeline_length();
+  index.postings_.resize(collection.vocabulary().size());
+
+  // Accumulate (term -> stream -> time -> count) by a single scan; documents
+  // repeat terms, so count duplicates within each token list first.
+  for (const Document& doc : collection.documents()) {
+    // Tokens within a doc are few; sort a local copy to group duplicates.
+    std::vector<TermId> toks = doc.tokens;
+    std::sort(toks.begin(), toks.end());
+    for (size_t i = 0; i < toks.size();) {
+      size_t j = i;
+      while (j < toks.size() && toks[j] == toks[i]) ++j;
+      TermId term = toks[i];
+      STB_CHECK(term < index.postings_.size()) << "token outside vocabulary";
+      index.postings_[term].push_back(TermPosting{
+          doc.stream, doc.time, static_cast<double>(j - i)});
+      i = j;
+    }
+  }
+
+  // Merge duplicate (stream, time) pairs produced by multiple documents.
+  for (auto& plist : index.postings_) {
+    std::sort(plist.begin(), plist.end(),
+              [](const TermPosting& a, const TermPosting& b) {
+                if (a.stream != b.stream) return a.stream < b.stream;
+                return a.time < b.time;
+              });
+    size_t out = 0;
+    for (size_t i = 0; i < plist.size();) {
+      size_t j = i;
+      double count = 0.0;
+      while (j < plist.size() && plist[j].stream == plist[i].stream &&
+             plist[j].time == plist[i].time) {
+        count += plist[j].count;
+        ++j;
+      }
+      plist[out++] = TermPosting{plist[i].stream, plist[i].time, count};
+      i = j;
+    }
+    plist.resize(out);
+  }
+  return index;
+}
+
+const std::vector<TermPosting>& FrequencyIndex::postings(TermId term) const {
+  if (term >= postings_.size()) return kEmpty;
+  return postings_[term];
+}
+
+TermSeries FrequencyIndex::DenseSeries(TermId term) const {
+  TermSeries series(num_streams_, timeline_length_);
+  for (const TermPosting& p : postings(term)) {
+    series.add(p.stream, p.time, p.count);
+  }
+  return series;
+}
+
+double FrequencyIndex::TotalCount(TermId term) const {
+  double total = 0.0;
+  for (const TermPosting& p : postings(term)) total += p.count;
+  return total;
+}
+
+}  // namespace stburst

@@ -1,0 +1,102 @@
+// Term-frequency views over a collection.
+//
+// Dx[i][t] (paper Eq. 6) — the total frequency of term t in the documents
+// stream Dx reported at timestamp i — is the sole input the mining
+// algorithms need. TermSeries is the dense n-streams x L-timestamps matrix
+// of those values for one term; FrequencyIndex materializes it from a
+// document Collection. The synthetic generators construct TermSeries
+// directly, bypassing documents.
+
+#ifndef STBURST_STREAM_FREQUENCY_H_
+#define STBURST_STREAM_FREQUENCY_H_
+
+#include <vector>
+
+#include "stburst/common/statusor.h"
+#include "stburst/stream/collection.h"
+#include "stburst/stream/types.h"
+
+namespace stburst {
+
+/// Dense frequency matrix for a single term: rows are streams, columns are
+/// timestamps. Values are real (generators inject fractional frequencies).
+class TermSeries {
+ public:
+  /// Zero-initialized n x L matrix. Requires n > 0 would be too strict (a
+  /// collection may have no streams); L must be positive.
+  TermSeries(size_t num_streams, Timestamp timeline_length);
+
+  size_t num_streams() const { return num_streams_; }
+  Timestamp timeline_length() const { return timeline_length_; }
+
+  double at(StreamId stream, Timestamp time) const {
+    return data_[Index(stream, time)];
+  }
+  void set(StreamId stream, Timestamp time, double value) {
+    data_[Index(stream, time)] = value;
+  }
+  void add(StreamId stream, Timestamp time, double delta) {
+    data_[Index(stream, time)] += delta;
+  }
+
+  /// Frequency sequence of one stream over the whole timeline (length L).
+  std::vector<double> StreamRow(StreamId stream) const;
+
+  /// Frequencies of all streams at one timestamp (length n) — the snapshot
+  /// D[i] restricted to this term.
+  std::vector<double> SnapshotColumn(Timestamp time) const;
+
+  /// Element-wise sum across streams (length L): the single merged stream
+  /// the TB baseline operates on (§6.3).
+  std::vector<double> AggregateOverStreams() const;
+
+  /// Sum of all entries.
+  double Total() const;
+
+ private:
+  size_t Index(StreamId stream, Timestamp time) const;
+
+  size_t num_streams_;
+  Timestamp timeline_length_;
+  std::vector<double> data_;  // row-major: stream * L + time
+};
+
+/// One (stream, time, count) observation for a term.
+struct TermPosting {
+  StreamId stream;
+  Timestamp time;
+  double count;
+};
+
+/// Sparse per-term frequency postings over a document collection, built once
+/// and then queried per term. Postings are sorted by (stream, time).
+class FrequencyIndex {
+ public:
+  /// Scans every document in `collection` once.
+  static FrequencyIndex Build(const Collection& collection);
+
+  size_t num_terms() const { return postings_.size(); }
+  size_t num_streams() const { return num_streams_; }
+  Timestamp timeline_length() const { return timeline_length_; }
+
+  /// Sparse postings for a term; empty for out-of-range ids.
+  const std::vector<TermPosting>& postings(TermId term) const;
+
+  /// Materializes the dense matrix for one term.
+  TermSeries DenseSeries(TermId term) const;
+
+  /// Total corpus frequency of a term.
+  double TotalCount(TermId term) const;
+
+ private:
+  FrequencyIndex() = default;
+
+  size_t num_streams_ = 0;
+  Timestamp timeline_length_ = 0;
+  std::vector<std::vector<TermPosting>> postings_;  // indexed by TermId
+  static const std::vector<TermPosting> kEmpty;
+};
+
+}  // namespace stburst
+
+#endif  // STBURST_STREAM_FREQUENCY_H_

@@ -1,0 +1,61 @@
+#include "stburst/stream/tokenizer.h"
+
+#include <cctype>
+
+#include "stburst/common/string_util.h"
+
+namespace stburst {
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(std::move(options)) {}
+
+std::vector<std::string> Tokenizer::SplitNormalize(std::string_view text) const {
+  std::vector<std::string> out;
+  std::string current;
+  auto flush = [&]() {
+    if (current.size() >= options_.min_token_length &&
+        options_.stopwords.find(current) == options_.stopwords.end()) {
+      out.push_back(current);
+    }
+    current.clear();
+  };
+  for (char raw : text) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      current.push_back(options_.lowercase
+                            ? static_cast<char>(std::tolower(c))
+                            : raw);
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return out;
+}
+
+std::vector<TermId> Tokenizer::Tokenize(std::string_view text,
+                                        Vocabulary* vocab) const {
+  std::vector<TermId> out;
+  for (const std::string& tok : SplitNormalize(text)) {
+    out.push_back(vocab->Intern(tok));
+  }
+  return out;
+}
+
+std::vector<TermId> Tokenizer::TokenizeFrozen(std::string_view text,
+                                              const Vocabulary& vocab) const {
+  std::vector<TermId> out;
+  for (const std::string& tok : SplitNormalize(text)) {
+    TermId id = vocab.Lookup(tok);
+    if (id != kInvalidTerm) out.push_back(id);
+  }
+  return out;
+}
+
+std::unordered_set<std::string> Tokenizer::DefaultStopwords() {
+  return {"a",    "an",  "and", "are", "as",   "at",   "be",   "by",   "for",
+          "from", "has", "he",  "in",  "is",   "it",   "its",  "of",   "on",
+          "that", "the", "to",  "was", "were", "will", "with", "this", "but",
+          "they", "have", "had", "what", "when", "where", "who",  "which"};
+}
+
+}  // namespace stburst

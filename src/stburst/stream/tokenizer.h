@@ -1,0 +1,53 @@
+// Text tokenization into interned terms.
+
+#ifndef STBURST_STREAM_TOKENIZER_H_
+#define STBURST_STREAM_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "stburst/stream/types.h"
+#include "stburst/stream/vocabulary.h"
+
+namespace stburst {
+
+/// Tokenizer configuration.
+struct TokenizerOptions {
+  /// ASCII-lowercase tokens before interning.
+  bool lowercase = true;
+  /// Drop tokens shorter than this many characters.
+  size_t min_token_length = 1;
+  /// Drop tokens in this set (checked after lowercasing).
+  std::unordered_set<std::string> stopwords;
+};
+
+/// Splits text on non-alphanumeric characters, normalizes per the options,
+/// and interns the surviving tokens into a vocabulary.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  /// Tokenizes `text`, interning new terms into `*vocab`.
+  std::vector<TermId> Tokenize(std::string_view text, Vocabulary* vocab) const;
+
+  /// Tokenizes without interning: unseen terms are dropped. Useful for
+  /// queries against a frozen index.
+  std::vector<TermId> TokenizeFrozen(std::string_view text,
+                                     const Vocabulary& vocab) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+  /// A small English stopword list suitable for the news-like corpora.
+  static std::unordered_set<std::string> DefaultStopwords();
+
+ private:
+  std::vector<std::string> SplitNormalize(std::string_view text) const;
+
+  TokenizerOptions options_;
+};
+
+}  // namespace stburst
+
+#endif  // STBURST_STREAM_TOKENIZER_H_

@@ -1,0 +1,34 @@
+// Identifier types shared across the stream, core, and index modules.
+
+#ifndef STBURST_STREAM_TYPES_H_
+#define STBURST_STREAM_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace stburst {
+
+/// Interned term identifier (see Vocabulary).
+using TermId = uint32_t;
+
+/// Document stream identifier: dense, assigned by Collection in insertion
+/// order, so it doubles as an index into per-stream arrays.
+using StreamId = uint32_t;
+
+/// Document identifier: dense, assigned by Collection in insertion order.
+using DocId = uint32_t;
+
+/// Discrete timestamp (snapshot index on the timeline), 0-based.
+using Timestamp = int32_t;
+
+inline constexpr TermId kInvalidTerm = std::numeric_limits<TermId>::max();
+inline constexpr StreamId kInvalidStream = std::numeric_limits<StreamId>::max();
+inline constexpr DocId kInvalidDoc = std::numeric_limits<DocId>::max();
+
+/// Sentinel for "document not produced by any injected event" (used by the
+/// generators' provenance labels and the simulated annotator).
+inline constexpr int32_t kNoEvent = -1;
+
+}  // namespace stburst
+
+#endif  // STBURST_STREAM_TYPES_H_

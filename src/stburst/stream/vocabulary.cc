@@ -1,0 +1,26 @@
+#include "stburst/stream/vocabulary.h"
+
+#include "stburst/common/logging.h"
+
+namespace stburst {
+
+TermId Vocabulary::Intern(std::string_view term) {
+  auto it = ids_.find(std::string(term));
+  if (it != ids_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  ids_.emplace(terms_.back(), id);
+  return id;
+}
+
+TermId Vocabulary::Lookup(std::string_view term) const {
+  auto it = ids_.find(std::string(term));
+  return it == ids_.end() ? kInvalidTerm : it->second;
+}
+
+const std::string& Vocabulary::TermOf(TermId id) const {
+  STB_CHECK(id < terms_.size()) << "invalid TermId " << id;
+  return terms_[id];
+}
+
+}  // namespace stburst

@@ -1,0 +1,38 @@
+// Term interning: bidirectional string <-> TermId mapping.
+
+#ifndef STBURST_STREAM_VOCABULARY_H_
+#define STBURST_STREAM_VOCABULARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "stburst/stream/types.h"
+
+namespace stburst {
+
+/// Dense term dictionary. Ids are assigned in first-seen order and are
+/// stable for the lifetime of the vocabulary.
+class Vocabulary {
+ public:
+  /// Returns the id for `term`, interning it if new.
+  TermId Intern(std::string_view term);
+
+  /// Returns the id for `term`, or kInvalidTerm if it was never interned.
+  TermId Lookup(std::string_view term) const;
+
+  /// Returns the string for an id. Requires a valid id.
+  const std::string& TermOf(TermId id) const;
+
+  /// Number of distinct terms.
+  size_t size() const { return terms_.size(); }
+
+ private:
+  std::unordered_map<std::string, TermId> ids_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace stburst
+
+#endif  // STBURST_STREAM_VOCABULARY_H_

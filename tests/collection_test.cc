@@ -1,0 +1,90 @@
+// Tests for stream/collection.
+
+#include "stburst/stream/collection.h"
+
+#include <gtest/gtest.h>
+
+namespace stburst {
+namespace {
+
+TEST(Collection, RejectsNonPositiveTimeline) {
+  EXPECT_TRUE(Collection::Create(0).status().IsInvalidArgument());
+  EXPECT_TRUE(Collection::Create(-3).status().IsInvalidArgument());
+}
+
+TEST(Collection, AddStreamAssignsDenseIds) {
+  auto c = Collection::Create(10);
+  ASSERT_TRUE(c.ok());
+  StreamId a = c->AddStream("Athens", GeoPoint{37.98, 23.73}, Point2D{1, 2});
+  StreamId b = c->AddStream("Berlin", GeoPoint{52.52, 13.41}, Point2D{3, 4});
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(c->num_streams(), 2u);
+  EXPECT_EQ(c->stream(a).name, "Athens");
+  EXPECT_EQ(c->stream(b).position.x, 3.0);
+}
+
+TEST(Collection, AddDocumentValidates) {
+  auto c = Collection::Create(5);
+  ASSERT_TRUE(c.ok());
+  StreamId s = c->AddStream("X", {}, {});
+  EXPECT_TRUE(c->AddDocument(99, 0, {}).status().IsInvalidArgument());
+  EXPECT_TRUE(c->AddDocument(s, -1, {}).status().IsOutOfRange());
+  EXPECT_TRUE(c->AddDocument(s, 5, {}).status().IsOutOfRange());
+  auto doc = c->AddDocument(s, 4, {1, 2, 3});
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(*doc, 0u);
+  EXPECT_EQ(c->num_documents(), 1u);
+}
+
+TEST(Collection, DocumentsAtGroupsByStreamAndTime) {
+  auto c = Collection::Create(3);
+  ASSERT_TRUE(c.ok());
+  StreamId s0 = c->AddStream("A", {}, {});
+  StreamId s1 = c->AddStream("B", {}, {});
+  TermId t = c->mutable_vocabulary()->Intern("word");
+  auto d0 = c->AddDocument(s0, 0, {t});
+  auto d1 = c->AddDocument(s0, 0, {t, t});
+  auto d2 = c->AddDocument(s1, 2, {t});
+  ASSERT_TRUE(d0.ok() && d1.ok() && d2.ok());
+
+  EXPECT_EQ(c->DocumentsAt(s0, 0).size(), 2u);
+  EXPECT_EQ(c->DocumentsAt(s0, 1).size(), 0u);
+  EXPECT_EQ(c->DocumentsAt(s1, 2).size(), 1u);
+  EXPECT_EQ(c->document(*d1).TermFrequency(t), 2);
+  EXPECT_EQ(c->document(*d2).stream, s1);
+  EXPECT_EQ(c->document(*d2).time, 2);
+}
+
+TEST(Collection, EventLabelDefaultsToNoEvent) {
+  auto c = Collection::Create(2);
+  ASSERT_TRUE(c.ok());
+  StreamId s = c->AddStream("A", {}, {});
+  auto plain = c->AddDocument(s, 0, {});
+  auto labeled = c->AddDocument(s, 0, {}, 7);
+  ASSERT_TRUE(plain.ok() && labeled.ok());
+  EXPECT_EQ(c->document(*plain).event_id, kNoEvent);
+  EXPECT_EQ(c->document(*labeled).event_id, 7);
+}
+
+TEST(Collection, MdsProjectionRequiresStreams) {
+  auto c = Collection::Create(2);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->ProjectStreamsWithMds().IsFailedPrecondition());
+}
+
+TEST(Collection, MdsProjectionPreservesNeighborhoods) {
+  auto c = Collection::Create(2);
+  ASSERT_TRUE(c.ok());
+  c->AddStream("London", GeoPoint{51.51, -0.13}, {});
+  c->AddStream("Paris", GeoPoint{48.86, 2.35}, {});
+  c->AddStream("Tokyo", GeoPoint{35.68, 139.69}, {});
+  ASSERT_TRUE(c->ProjectStreamsWithMds().ok());
+  auto pos = c->StreamPositions();
+  double lp = EuclideanDistance(pos[0], pos[1]);
+  double lt = EuclideanDistance(pos[0], pos[2]);
+  EXPECT_LT(lp, lt);
+}
+
+}  // namespace
+}  // namespace stburst

@@ -1,0 +1,183 @@
+// Tests for the max-weight rectangle module (core/discrepancy).
+
+#include "stburst/core/discrepancy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "stburst/common/random.h"
+
+namespace stburst {
+namespace {
+
+TEST(MaxWeightRectangle, RejectsMismatchedInput) {
+  EXPECT_TRUE(MaxWeightRectangle({{0, 0}}, {1.0, 2.0}).status()
+                  .IsInvalidArgument());
+}
+
+TEST(MaxWeightRectangle, EmptyInput) {
+  auto r = MaxWeightRectangle({}, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->score, 0.0);
+  EXPECT_TRUE(r->rect.empty());
+}
+
+TEST(MaxWeightRectangle, AllNegativeGivesEmptyResult) {
+  auto r = MaxWeightRectangle({{0, 0}, {1, 1}}, {-1.0, -2.0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->score, 0.0);
+  EXPECT_TRUE(r->rect.empty());
+  EXPECT_TRUE(r->points_inside.empty());
+}
+
+TEST(MaxWeightRectangle, SinglePositivePoint) {
+  auto r = MaxWeightRectangle({{3, 4}}, {2.5});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->score, 2.5);
+  EXPECT_TRUE(r->rect.Contains(Point2D{3, 4}));
+  EXPECT_EQ(r->points_inside, (std::vector<size_t>{0}));
+}
+
+TEST(MaxWeightRectangle, ExcludesHeavyNegativePoint) {
+  // Two positives flanking a strong negative: best rect takes one positive.
+  std::vector<Point2D> pts = {{0, 0}, {1, 0}, {2, 0}};
+  std::vector<double> w = {1.0, -5.0, 1.2};
+  auto r = MaxWeightRectangle(pts, w);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->score, 1.2);
+  EXPECT_EQ(r->points_inside, (std::vector<size_t>{2}));
+}
+
+TEST(MaxWeightRectangle, AbsorbsWeakNegativePoint) {
+  // The same geometry with a weak negative: spanning all three wins.
+  std::vector<Point2D> pts = {{0, 0}, {1, 0}, {2, 0}};
+  std::vector<double> w = {1.0, -0.3, 1.2};
+  auto r = MaxWeightRectangle(pts, w);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->score, 1.9, 1e-12);
+  EXPECT_EQ(r->points_inside.size(), 3u);
+}
+
+TEST(MaxWeightRectangle, TwoDimensionalSelection) {
+  // Positive cluster at upper-right; lone positive lower-left with a
+  // negative moat between them.
+  std::vector<Point2D> pts = {{0, 0}, {5, 5}, {5, 6}, {6, 5}, {3, 3}};
+  std::vector<double> w = {0.5, 1.0, 1.0, 1.0, -2.0};
+  auto r = MaxWeightRectangle(pts, w);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->score, 3.0);
+  std::vector<size_t> inside = r->points_inside;
+  std::sort(inside.begin(), inside.end());
+  EXPECT_EQ(inside, (std::vector<size_t>{1, 2, 3}));
+}
+
+TEST(MaxWeightRectangle, ExcludedWeightPoisonsContainingRects) {
+  // The excluded point sits amid the cluster: the best rect must avoid it.
+  std::vector<Point2D> pts = {{0, 0}, {1, 0}, {2, 0}};
+  std::vector<double> w = {1.0, kExcludedWeight, 1.2};
+  auto r = MaxWeightRectangle(pts, w);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->score, 1.2);
+  EXPECT_EQ(r->points_inside, (std::vector<size_t>{2}));
+}
+
+TEST(MaxWeightRectangle, CoincidentPointsAggregate) {
+  std::vector<Point2D> pts = {{1, 1}, {1, 1}, {1, 1}};
+  std::vector<double> w = {1.0, 2.0, -0.5};
+  auto r = MaxWeightRectangle(pts, w);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->score, 2.5, 1e-12);
+  EXPECT_EQ(r->points_inside.size(), 3u);
+}
+
+// Brute-force oracle: all candidate rectangles from pairs of point coords.
+double BruteForceBest(const std::vector<Point2D>& pts,
+                      const std::vector<double>& w) {
+  double best = 0.0;
+  const size_t n = pts.size();
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = 0; b < n; ++b) {
+      for (size_t c = 0; c < n; ++c) {
+        for (size_t d = 0; d < n; ++d) {
+          Rect rect(pts[a].x, pts[c].y, pts[b].x, pts[d].y);
+          double score = 0.0;
+          for (size_t i = 0; i < n; ++i) {
+            if (rect.Contains(pts[i])) score += w[i];
+          }
+          best = std::max(best, score);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+class MaxRectRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaxRectRandomTest, MatchesBruteForce) {
+  Rng rng(1000 + GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t n = 3 + rng.NextUint64(8);
+    std::vector<Point2D> pts(n);
+    std::vector<double> w(n);
+    for (size_t i = 0; i < n; ++i) {
+      pts[i] = Point2D{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+      w[i] = rng.Uniform(-2.0, 2.0);
+    }
+    auto r = MaxWeightRectangle(pts, w);
+    ASSERT_TRUE(r.ok());
+    EXPECT_NEAR(r->score, BruteForceBest(pts, w), 1e-9)
+        << "seed " << GetParam() << " trial " << trial;
+    // Reported score must equal the sum of weights inside the rect.
+    double sum = 0.0;
+    for (size_t i : r->points_inside) sum += w[i];
+    EXPECT_NEAR(sum, r->score, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxRectRandomTest, ::testing::Range(0, 10));
+
+TEST(MaxWeightRectangleGrid, FindsClusterOnCoarseGrid) {
+  MaxRectOptions opts;
+  opts.mode = MaxRectOptions::Mode::kGrid;
+  opts.grid_cols = 8;
+  opts.grid_rows = 8;
+  // Positive cluster in one corner, negatives elsewhere.
+  std::vector<Point2D> pts;
+  std::vector<double> w;
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    pts.push_back(Point2D{rng.Uniform(0, 2), rng.Uniform(0, 2)});
+    w.push_back(1.0);
+  }
+  for (int i = 0; i < 20; ++i) {
+    pts.push_back(Point2D{rng.Uniform(5, 10), rng.Uniform(5, 10)});
+    w.push_back(-0.5);
+  }
+  auto r = MaxWeightRectangle(pts, w, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->score, 20.0, 1e-9);
+  EXPECT_EQ(r->points_inside.size(), 20u);
+}
+
+TEST(MaxWeightRectangleGrid, CollinearPointsFallBackToExact) {
+  MaxRectOptions opts;
+  opts.mode = MaxRectOptions::Mode::kGrid;
+  std::vector<Point2D> pts = {{0, 1}, {1, 1}, {2, 1}};
+  std::vector<double> w = {1.0, -5.0, 2.0};
+  auto r = MaxWeightRectangle(pts, w, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->score, 2.0);
+}
+
+TEST(MaxWeightRectangleGrid, RejectsZeroResolution) {
+  MaxRectOptions opts;
+  opts.mode = MaxRectOptions::Mode::kGrid;
+  opts.grid_cols = 0;
+  EXPECT_TRUE(MaxWeightRectangle({{0, 0}}, {1.0}, opts).status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace stburst

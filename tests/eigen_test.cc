@@ -1,0 +1,101 @@
+// Tests for the Jacobi symmetric eigensolver (geo/eigen).
+
+#include "stburst/geo/eigen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stburst/common/random.h"
+
+namespace stburst {
+namespace {
+
+TEST(SymmetricEigen, RejectsBadInput) {
+  EXPECT_TRUE(SymmetricEigen({}, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(SymmetricEigen({1.0, 2.0}, 2).status().IsInvalidArgument());
+  // Asymmetric 2x2.
+  EXPECT_TRUE(
+      SymmetricEigen({1.0, 2.0, 3.0, 4.0}, 2).status().IsInvalidArgument());
+}
+
+TEST(SymmetricEigen, DiagonalMatrix) {
+  auto result = SymmetricEigen({3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0}, 3);
+  ASSERT_TRUE(result.ok());
+  const auto& eig = *result;
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 2.0, 1e-10);
+  EXPECT_NEAR(eig.values[2], 1.0, 1e-10);
+}
+
+TEST(SymmetricEigen, KnownTwoByTwo) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  auto result = SymmetricEigen({2.0, 1.0, 1.0, 2.0}, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->values[0], 3.0, 1e-10);
+  EXPECT_NEAR(result->values[1], 1.0, 1e-10);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  double v0 = result->vectors[0 * 2 + 0];
+  double v1 = result->vectors[1 * 2 + 0];
+  EXPECT_NEAR(std::abs(v0), 1.0 / std::sqrt(2.0), 1e-9);
+  EXPECT_NEAR(v0, v1, 1e-9);
+}
+
+// Property sweep: reconstruction, orthonormality, and trace preservation on
+// random symmetric matrices of several sizes.
+class EigenPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EigenPropertyTest, ReconstructsMatrix) {
+  const size_t n = GetParam();
+  Rng rng(100 + n);
+  std::vector<double> a(n * n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      double v = rng.Uniform(-2.0, 2.0);
+      a[i * n + j] = v;
+      a[j * n + i] = v;
+    }
+  }
+  auto result = SymmetricEigen(a, n);
+  ASSERT_TRUE(result.ok());
+  const auto& eig = *result;
+
+  // A ≈ V diag(w) V^T.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (size_t k = 0; k < n; ++k) {
+        sum += eig.vectors[i * n + k] * eig.values[k] * eig.vectors[j * n + k];
+      }
+      EXPECT_NEAR(sum, a[i * n + j], 1e-8) << "entry " << i << "," << j;
+    }
+  }
+
+  // Columns orthonormal.
+  for (size_t c1 = 0; c1 < n; ++c1) {
+    for (size_t c2 = c1; c2 < n; ++c2) {
+      double dot = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        dot += eig.vectors[i * n + c1] * eig.vectors[i * n + c2];
+      }
+      EXPECT_NEAR(dot, c1 == c2 ? 1.0 : 0.0, 1e-9);
+    }
+  }
+
+  // Trace preserved; eigenvalues sorted descending.
+  double trace = 0.0, wsum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    trace += a[i * n + i];
+    wsum += eig.values[i];
+  }
+  EXPECT_NEAR(trace, wsum, 1e-8);
+  for (size_t i = 1; i < n; ++i) {
+    EXPECT_GE(eig.values[i - 1], eig.values[i] - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 40));
+
+}  // namespace
+}  // namespace stburst

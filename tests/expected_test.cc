@@ -1,0 +1,147 @@
+// Tests for the expected-frequency models (core/expected).
+
+#include "stburst/core/expected.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace stburst {
+namespace {
+
+TEST(GlobalMeanModel, MeanOfAllPastObservations) {
+  GlobalMeanModel m;
+  EXPECT_FALSE(m.HasHistory());
+  m.Observe(2.0);
+  EXPECT_TRUE(m.HasHistory());
+  EXPECT_DOUBLE_EQ(m.Expected(), 2.0);
+  m.Observe(4.0);
+  EXPECT_DOUBLE_EQ(m.Expected(), 3.0);
+  m.Observe(9.0);
+  EXPECT_DOUBLE_EQ(m.Expected(), 5.0);
+  m.Reset();
+  EXPECT_FALSE(m.HasHistory());
+}
+
+TEST(WindowMeanModel, OnlyRecentWindowCounts) {
+  WindowMeanModel m(2);
+  m.Observe(100.0);  // will fall out of the window
+  m.Observe(2.0);
+  m.Observe(4.0);
+  EXPECT_DOUBLE_EQ(m.Expected(), 3.0);
+  m.Observe(6.0);
+  EXPECT_DOUBLE_EQ(m.Expected(), 5.0);
+}
+
+TEST(WindowMeanModel, PartialWindow) {
+  WindowMeanModel m(10);
+  m.Observe(4.0);
+  m.Observe(8.0);
+  EXPECT_DOUBLE_EQ(m.Expected(), 6.0);
+}
+
+TEST(EwmaModel, TracksWithSmoothing) {
+  EwmaModel m(0.5);
+  EXPECT_FALSE(m.HasHistory());
+  m.Observe(10.0);
+  EXPECT_DOUBLE_EQ(m.Expected(), 10.0);
+  m.Observe(0.0);
+  EXPECT_DOUBLE_EQ(m.Expected(), 5.0);
+}
+
+TEST(SeasonalMeanModel, UsesSamePhaseHistory) {
+  SeasonalMeanModel m(7);  // weekly seasonality over a daily timeline
+  // Two full weeks: weekends (phases 5, 6) run hot.
+  for (int day = 0; day < 14; ++day) {
+    m.Observe(day % 7 >= 5 ? 10.0 : 2.0);
+  }
+  // Day 14 is phase 0 (weekday): expect the weekday mean.
+  EXPECT_DOUBLE_EQ(m.Expected(), 2.0);
+  for (int day = 14; day < 19; ++day) m.Observe(2.0);
+  // Day 19 is phase 5 (weekend): expect the weekend mean.
+  EXPECT_DOUBLE_EQ(m.Expected(), 10.0);
+}
+
+TEST(SeasonalMeanModel, FallsBackToGlobalMeanBeforeFullPeriod) {
+  SeasonalMeanModel m(5);
+  m.Observe(4.0);
+  m.Observe(8.0);
+  // Phase 2 has no history yet: global mean 6.
+  EXPECT_DOUBLE_EQ(m.Expected(), 6.0);
+}
+
+TEST(BurstinessSeries, FirstTimestampNeutral) {
+  GlobalMeanModel m;
+  auto b = BurstinessSeries({5.0, 5.0, 9.0}, &m);
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_DOUBLE_EQ(b[0], 0.0);       // no history: neutral
+  EXPECT_DOUBLE_EQ(b[1], 0.0);       // 5 - mean(5)
+  EXPECT_DOUBLE_EQ(b[2], 4.0);       // 9 - mean(5, 5)
+}
+
+TEST(BurstinessSeries, DetectsDeviationFromRunningMean) {
+  GlobalMeanModel m;
+  std::vector<double> y = {2, 2, 2, 2, 10, 2};
+  auto b = BurstinessSeries(y, &m);
+  EXPECT_DOUBLE_EQ(b[4], 8.0);  // 10 - mean(2,2,2,2)
+  EXPECT_LT(b[5], 0.0);         // 2 - inflated mean
+}
+
+TEST(BurstinessSeries, IsCausal) {
+  // Prefix invariance: b[i] must not depend on later observations.
+  std::vector<double> y1 = {3, 1, 4, 1, 5};
+  std::vector<double> y2 = {3, 1, 4, 99, 99};
+  GlobalMeanModel m1, m2;
+  auto b1 = BurstinessSeries(y1, &m1);
+  auto b2 = BurstinessSeries(y2, &m2);
+  for (size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(b1[i], b2[i]);
+}
+
+TEST(PriorFloorModel, FloorsTheInnerExpectation) {
+  PriorFloorModel m(std::make_unique<GlobalMeanModel>(), 0.5);
+  // No inner history: the floor applies immediately.
+  EXPECT_TRUE(m.HasHistory());
+  EXPECT_DOUBLE_EQ(m.Expected(), 0.5);
+  // Inner mean below the floor: still floored.
+  m.Observe(0.1);
+  EXPECT_DOUBLE_EQ(m.Expected(), 0.5);
+  // Inner mean above the floor: inner wins.
+  m.Observe(3.9);
+  EXPECT_DOUBLE_EQ(m.Expected(), 2.0);
+  m.Reset();
+  EXPECT_DOUBLE_EQ(m.Expected(), 0.5);
+}
+
+TEST(PriorFloorModel, SilentStreamScoresNegative) {
+  // The motivating property: a stream that never mentions the term yields a
+  // strictly negative burstiness everywhere, so rectangles pay to cover it.
+  PriorFloorModel m(std::make_unique<GlobalMeanModel>(), 0.2);
+  std::vector<double> y(10, 0.0);
+  auto b = BurstinessSeries(y, &m);
+  for (double v : b) EXPECT_DOUBLE_EQ(v, -0.2);
+}
+
+TEST(WithPriorFloor, DecoratesFactory) {
+  ExpectedModelFactory factory = WithPriorFloor(
+      [] { return std::make_unique<GlobalMeanModel>(); }, 0.3);
+  auto a = factory();
+  auto b = factory();
+  EXPECT_DOUBLE_EQ(a->Expected(), 0.3);
+  a->Observe(10.0);
+  EXPECT_DOUBLE_EQ(a->Expected(), 10.0);
+  EXPECT_DOUBLE_EQ(b->Expected(), 0.3);  // independent instances
+}
+
+TEST(ExpectedModelFactory, ProducesIndependentModels) {
+  ExpectedModelFactory factory = [] {
+    return std::make_unique<GlobalMeanModel>();
+  };
+  auto a = factory();
+  auto b = factory();
+  a->Observe(100.0);
+  EXPECT_TRUE(a->HasHistory());
+  EXPECT_FALSE(b->HasHistory());
+}
+
+}  // namespace
+}  // namespace stburst

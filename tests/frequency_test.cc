@@ -1,0 +1,107 @@
+// Tests for stream/frequency: TermSeries and FrequencyIndex.
+
+#include "stburst/stream/frequency.h"
+
+#include <gtest/gtest.h>
+
+namespace stburst {
+namespace {
+
+TEST(TermSeries, ZeroInitializedAndAddressable) {
+  TermSeries s(3, 4);
+  EXPECT_EQ(s.num_streams(), 3u);
+  EXPECT_EQ(s.timeline_length(), 4);
+  for (StreamId i = 0; i < 3; ++i) {
+    for (Timestamp t = 0; t < 4; ++t) EXPECT_DOUBLE_EQ(s.at(i, t), 0.0);
+  }
+  s.set(1, 2, 5.0);
+  s.add(1, 2, 1.5);
+  EXPECT_DOUBLE_EQ(s.at(1, 2), 6.5);
+  EXPECT_DOUBLE_EQ(s.Total(), 6.5);
+}
+
+TEST(TermSeries, RowColumnAndAggregateViews) {
+  TermSeries s(2, 3);
+  s.set(0, 0, 1);
+  s.set(0, 1, 2);
+  s.set(0, 2, 3);
+  s.set(1, 0, 10);
+  s.set(1, 2, 30);
+  EXPECT_EQ(s.StreamRow(0), (std::vector<double>{1, 2, 3}));
+  EXPECT_EQ(s.SnapshotColumn(0), (std::vector<double>{1, 10}));
+  EXPECT_EQ(s.SnapshotColumn(1), (std::vector<double>{2, 0}));
+  EXPECT_EQ(s.AggregateOverStreams(), (std::vector<double>{11, 2, 33}));
+}
+
+Collection MakeCollection() {
+  auto c = Collection::Create(4);
+  StreamId s0 = c->AddStream("A", {}, {});
+  StreamId s1 = c->AddStream("B", {}, {});
+  Vocabulary* v = c->mutable_vocabulary();
+  TermId cat = v->Intern("cat");
+  TermId dog = v->Intern("dog");
+  // doc with "cat cat dog" on (s0, t1); "cat" on (s0, t1) again; "dog" on (s1, t3)
+  (void)c->AddDocument(s0, 1, {cat, cat, dog});
+  (void)c->AddDocument(s0, 1, {cat});
+  (void)c->AddDocument(s1, 3, {dog});
+  return std::move(*c);
+}
+
+TEST(FrequencyIndex, MergesPostingsAcrossDocuments) {
+  Collection c = MakeCollection();
+  FrequencyIndex idx = FrequencyIndex::Build(c);
+  EXPECT_EQ(idx.num_streams(), 2u);
+  EXPECT_EQ(idx.timeline_length(), 4);
+  TermId cat = c.vocabulary().Lookup("cat");
+  TermId dog = c.vocabulary().Lookup("dog");
+
+  const auto& cat_postings = idx.postings(cat);
+  ASSERT_EQ(cat_postings.size(), 1u);  // both docs at (s0, t1) merged
+  EXPECT_EQ(cat_postings[0].stream, 0u);
+  EXPECT_EQ(cat_postings[0].time, 1);
+  EXPECT_DOUBLE_EQ(cat_postings[0].count, 3.0);
+
+  const auto& dog_postings = idx.postings(dog);
+  ASSERT_EQ(dog_postings.size(), 2u);
+  EXPECT_DOUBLE_EQ(idx.TotalCount(dog), 2.0);
+}
+
+TEST(FrequencyIndex, DenseSeriesMatchesPostings) {
+  Collection c = MakeCollection();
+  FrequencyIndex idx = FrequencyIndex::Build(c);
+  TermId cat = c.vocabulary().Lookup("cat");
+  TermSeries series = idx.DenseSeries(cat);
+  EXPECT_DOUBLE_EQ(series.at(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(series.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(series.at(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(series.Total(), idx.TotalCount(cat));
+}
+
+TEST(FrequencyIndex, UnknownTermIsEmpty) {
+  Collection c = MakeCollection();
+  FrequencyIndex idx = FrequencyIndex::Build(c);
+  EXPECT_TRUE(idx.postings(9999).empty());
+  EXPECT_DOUBLE_EQ(idx.TotalCount(9999), 0.0);
+}
+
+TEST(FrequencyIndex, PostingsSortedByStreamThenTime) {
+  auto c = Collection::Create(5);
+  StreamId s0 = c->AddStream("A", {}, {});
+  StreamId s1 = c->AddStream("B", {}, {});
+  TermId t = c->mutable_vocabulary()->Intern("x");
+  (void)c->AddDocument(s1, 4, {t});
+  (void)c->AddDocument(s0, 2, {t});
+  (void)c->AddDocument(s1, 0, {t});
+  (void)c->AddDocument(s0, 0, {t});
+  FrequencyIndex idx = FrequencyIndex::Build(*c);
+  const auto& p = idx.postings(t);
+  ASSERT_EQ(p.size(), 4u);
+  for (size_t i = 1; i < p.size(); ++i) {
+    bool ordered = p[i - 1].stream < p[i].stream ||
+                   (p[i - 1].stream == p[i].stream && p[i - 1].time < p[i].time);
+    EXPECT_TRUE(ordered);
+  }
+}
+
+}  // namespace
+}  // namespace stburst

@@ -1,0 +1,176 @@
+// Tests for the distGen/randGen synthetic generators (gen/generators).
+
+#include "stburst/gen/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace stburst {
+namespace {
+
+GeneratorOptions SmallOptions() {
+  GeneratorOptions o;
+  o.timeline = 100;
+  o.num_streams = 40;
+  o.num_terms = 50;
+  o.num_patterns = 30;
+  o.seed = 11;
+  return o;
+}
+
+TEST(SyntheticGenerator, ValidatesOptions) {
+  GeneratorOptions o = SmallOptions();
+  o.timeline = 0;
+  EXPECT_TRUE(SyntheticGenerator::Create(GeneratorMode::kDist, o)
+                  .status()
+                  .IsInvalidArgument());
+  o = SmallOptions();
+  o.num_streams = 0;
+  EXPECT_TRUE(SyntheticGenerator::Create(GeneratorMode::kDist, o)
+                  .status()
+                  .IsInvalidArgument());
+  o = SmallOptions();
+  o.shape_min = 0.9;  // must exceed 1
+  EXPECT_TRUE(SyntheticGenerator::Create(GeneratorMode::kDist, o)
+                  .status()
+                  .IsInvalidArgument());
+  o = SmallOptions();
+  o.span_max = o.span_min - 1;
+  EXPECT_TRUE(SyntheticGenerator::Create(GeneratorMode::kDist, o)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SyntheticGenerator, GroundTruthShape) {
+  auto gen = SyntheticGenerator::Create(GeneratorMode::kDist, SmallOptions());
+  ASSERT_TRUE(gen.ok());
+  EXPECT_EQ(gen->positions().size(), 40u);
+  EXPECT_EQ(gen->patterns().size(), 30u);
+  for (const auto& p : gen->patterns()) {
+    EXPECT_LT(p.term, 50u);
+    EXPECT_TRUE(p.timeframe.valid());
+    EXPECT_GE(p.timeframe.start, 0);
+    EXPECT_LT(p.timeframe.end, 100);
+    EXPECT_GE(p.streams.size(), SmallOptions().streams_min);
+    EXPECT_LE(p.streams.size(), SmallOptions().streams_max);
+    // Streams sorted and distinct.
+    for (size_t i = 1; i < p.streams.size(); ++i) {
+      EXPECT_LT(p.streams[i - 1], p.streams[i]);
+    }
+  }
+}
+
+TEST(SyntheticGenerator, PatternsForTermConsistent) {
+  auto gen = SyntheticGenerator::Create(GeneratorMode::kRand, SmallOptions());
+  ASSERT_TRUE(gen.ok());
+  size_t total = 0;
+  for (TermId t = 0; t < 50; ++t) {
+    for (size_t idx : gen->PatternsForTerm(t)) {
+      EXPECT_EQ(gen->patterns()[idx].term, t);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, gen->patterns().size());
+  EXPECT_TRUE(gen->PatternsForTerm(9999).empty());
+}
+
+TEST(SyntheticGenerator, DeterministicAcrossInstances) {
+  auto a = SyntheticGenerator::Create(GeneratorMode::kDist, SmallOptions());
+  auto b = SyntheticGenerator::Create(GeneratorMode::kDist, SmallOptions());
+  ASSERT_TRUE(a.ok() && b.ok());
+  TermSeries sa = a->GenerateTerm(7);
+  TermSeries sb = b->GenerateTerm(7);
+  for (StreamId s = 0; s < 40; ++s) {
+    for (Timestamp t = 0; t < 100; ++t) {
+      ASSERT_DOUBLE_EQ(sa.at(s, t), sb.at(s, t));
+    }
+  }
+}
+
+TEST(SyntheticGenerator, TermGenerationOrderIndependent) {
+  auto a = SyntheticGenerator::Create(GeneratorMode::kDist, SmallOptions());
+  ASSERT_TRUE(a.ok());
+  TermSeries first = a->GenerateTerm(3);
+  (void)a->GenerateTerm(9);  // interleave another term
+  TermSeries again = a->GenerateTerm(3);
+  for (StreamId s = 0; s < 40; ++s) {
+    for (Timestamp t = 0; t < 100; ++t) {
+      ASSERT_DOUBLE_EQ(first.at(s, t), again.at(s, t));
+    }
+  }
+}
+
+TEST(SyntheticGenerator, InjectedPatternRaisesFrequencies) {
+  auto gen = SyntheticGenerator::Create(GeneratorMode::kDist, SmallOptions());
+  ASSERT_TRUE(gen.ok());
+  ASSERT_FALSE(gen->patterns().empty());
+  const InjectedPattern& p = gen->patterns()[0];
+  TermSeries series = gen->GenerateTerm(p.term);
+
+  // Mean frequency of affected streams inside the timeframe must clearly
+  // exceed the background mean.
+  double in_sum = 0.0;
+  size_t in_count = 0;
+  for (StreamId s : p.streams) {
+    for (Timestamp t = p.timeframe.start; t <= p.timeframe.end; ++t) {
+      in_sum += series.at(s, t);
+      ++in_count;
+    }
+  }
+  double in_mean = in_sum / static_cast<double>(in_count);
+  EXPECT_GT(in_mean, 3.0 * SmallOptions().background_mean);
+}
+
+TEST(SyntheticGenerator, DistGenIsSpatiallyLocal) {
+  // The mean pairwise distance within distGen patterns must be well below
+  // randGen's (which matches the map's global mean).
+  GeneratorOptions o = SmallOptions();
+  o.num_patterns = 60;
+  // Patterns must be small relative to the stream population, otherwise any
+  // subset necessarily spans most of the map and locality cannot show.
+  o.streams_max = 8;
+  auto dist = SyntheticGenerator::Create(GeneratorMode::kDist, o);
+  auto rand = SyntheticGenerator::Create(GeneratorMode::kRand, o);
+  ASSERT_TRUE(dist.ok() && rand.ok());
+
+  auto mean_spread = [](const SyntheticGenerator& gen) {
+    double total = 0.0;
+    size_t pairs = 0;
+    for (const auto& p : gen.patterns()) {
+      for (size_t i = 0; i < p.streams.size(); ++i) {
+        for (size_t j = i + 1; j < p.streams.size(); ++j) {
+          total += EuclideanDistance(gen.positions()[p.streams[i]],
+                                     gen.positions()[p.streams[j]]);
+          ++pairs;
+        }
+      }
+    }
+    return total / static_cast<double>(pairs);
+  };
+  EXPECT_LT(mean_spread(*dist), 0.7 * mean_spread(*rand));
+}
+
+TEST(InjectedProfile, PeaksAtRequestedValue) {
+  const double k = 2.5, c = 10.0, peak = 20.0;
+  double max_seen = 0.0;
+  for (Timestamp x = 0; x < 60; ++x) {
+    max_seen = std::max(max_seen, InjectedProfile(x, k, c, peak));
+  }
+  EXPECT_NEAR(max_seen, peak, 0.5);  // discretization slack
+  EXPECT_DOUBLE_EQ(InjectedProfile(-1, k, c, peak), 0.0);
+}
+
+TEST(SyntheticGenerator, BackgroundMeanRoughlyMatchesOption) {
+  GeneratorOptions o = SmallOptions();
+  o.num_patterns = 0;  // pure background
+  auto gen = SyntheticGenerator::Create(GeneratorMode::kDist, o);
+  ASSERT_TRUE(gen.ok());
+  TermSeries series = gen->GenerateTerm(0);
+  double mean = series.Total() / (40.0 * 100.0);
+  EXPECT_NEAR(mean, o.background_mean, 0.05);
+}
+
+}  // namespace
+}  // namespace stburst

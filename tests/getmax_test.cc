@@ -1,0 +1,197 @@
+// Tests for the Ruzzo–Tompa maximal-segments algorithm (core/getmax).
+
+#include "stburst/core/getmax.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stburst/common/random.h"
+
+namespace stburst {
+namespace {
+
+TEST(MaximalSegments, EmptyInput) {
+  EXPECT_TRUE(MaximalSegments({}).empty());
+}
+
+TEST(MaximalSegments, AllNegative) {
+  EXPECT_TRUE(MaximalSegments({-1.0, -0.5, -2.0}).empty());
+}
+
+TEST(MaximalSegments, SinglePositive) {
+  auto segs = MaximalSegments({-1.0, 2.0, -1.0});
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].start, 1u);
+  EXPECT_EQ(segs[0].end, 1u);
+  EXPECT_DOUBLE_EQ(segs[0].score, 2.0);
+}
+
+TEST(MaximalSegments, MergesAcrossSmallDip) {
+  // 4 - 1 + 4 = 7 beats either 4 alone, so one merged segment.
+  auto segs = MaximalSegments({4.0, -1.0, 4.0});
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].start, 0u);
+  EXPECT_EQ(segs[0].end, 2u);
+  EXPECT_DOUBLE_EQ(segs[0].score, 7.0);
+}
+
+TEST(MaximalSegments, KeepsSeparateAcrossDeepDip) {
+  // Merging 4 -5 4 scores 3 < 4, so two separate segments.
+  auto segs = MaximalSegments({4.0, -5.0, 4.0});
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].start, 0u);
+  EXPECT_EQ(segs[0].end, 0u);
+  EXPECT_EQ(segs[1].start, 2u);
+  EXPECT_EQ(segs[1].end, 2u);
+}
+
+TEST(MaximalSegments, RuzzoTompaPaperExample) {
+  // The worked example from Ruzzo & Tompa (1999): scores
+  // (4, -5, 3, -3, 1, 2, -2, 2, -2, 1, 5) yield maximal segments
+  // [0,0]=4, [2,2]=3, [4,10]=7.
+  auto segs = MaximalSegments({4, -5, 3, -3, 1, 2, -2, 2, -2, 1, 5});
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0].start, 0u);
+  EXPECT_EQ(segs[0].end, 0u);
+  EXPECT_DOUBLE_EQ(segs[0].score, 4.0);
+  EXPECT_EQ(segs[1].start, 2u);
+  EXPECT_EQ(segs[1].end, 2u);
+  EXPECT_DOUBLE_EQ(segs[1].score, 3.0);
+  EXPECT_EQ(segs[2].start, 4u);
+  EXPECT_EQ(segs[2].end, 10u);
+  EXPECT_DOUBLE_EQ(segs[2].score, 7.0);
+}
+
+TEST(MaximalSegments, SegmentsStartAndEndPositive) {
+  Rng rng(123);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> scores(200);
+    for (double& s : scores) s = rng.Uniform(-1.0, 1.0);
+    for (const Segment& seg : MaximalSegments(scores)) {
+      EXPECT_GT(scores[seg.start], 0.0);
+      EXPECT_GT(scores[seg.end], 0.0);
+      EXPECT_GT(seg.score, 0.0);
+    }
+  }
+}
+
+TEST(MaximalSegments, SegmentsAreDisjointAndOrdered) {
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> scores(300);
+    for (double& s : scores) s = rng.Uniform(-2.0, 1.0);
+    auto segs = MaximalSegments(scores);
+    for (size_t i = 1; i < segs.size(); ++i) {
+      EXPECT_GT(segs[i].start, segs[i - 1].end);
+    }
+  }
+}
+
+// Brute-force check of the Ruzzo–Tompa characterization: a segment is
+// maximal iff every proper prefix and suffix has strictly positive sum, and
+// it is containment-maximal among segments with that property.
+bool AllPrefixesSuffixesPositive(const std::vector<double>& s, size_t a,
+                                 size_t b) {
+  double run = 0.0;
+  for (size_t j = a; j <= b; ++j) {
+    run += s[j];
+    if (run <= 0.0) return false;  // prefix [a, j] non-positive
+  }
+  run = 0.0;
+  for (size_t j = b + 1; j-- > a;) {
+    run += s[j];
+    if (run <= 0.0) return false;  // suffix [j, b] non-positive
+  }
+  return true;
+}
+
+std::vector<Segment> BruteForceMaximalSegments(const std::vector<double>& s) {
+  std::vector<Segment> eligible;
+  for (size_t a = 0; a < s.size(); ++a) {
+    double total = 0.0;
+    for (size_t b = a; b < s.size(); ++b) {
+      total += s[b];
+      if (AllPrefixesSuffixesPositive(s, a, b)) {
+        eligible.push_back(Segment{a, b, total});
+      }
+    }
+  }
+  std::vector<Segment> maximal;
+  for (const Segment& cand : eligible) {
+    bool contained = false;
+    for (const Segment& other : eligible) {
+      if (other.start <= cand.start && cand.end <= other.end &&
+          (other.start != cand.start || other.end != cand.end)) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) maximal.push_back(cand);
+  }
+  return maximal;
+}
+
+TEST(MaximalSegments, MatchesBruteForceCharacterization) {
+  Rng rng(9);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<double> scores(12);
+    for (double& s : scores) s = rng.Uniform(-1.5, 1.0);
+    auto fast = MaximalSegments(scores);
+    auto brute = BruteForceMaximalSegments(scores);
+    ASSERT_EQ(fast.size(), brute.size()) << "trial " << trial;
+    for (size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_EQ(fast[i].start, brute[i].start) << "trial " << trial;
+      EXPECT_EQ(fast[i].end, brute[i].end) << "trial " << trial;
+      EXPECT_NEAR(fast[i].score, brute[i].score, 1e-9) << "trial " << trial;
+    }
+  }
+}
+
+TEST(OnlineMaxSegments, TotalTracksSum) {
+  OnlineMaxSegments online;
+  std::vector<double> scores = {1.0, -2.0, 0.5, 3.0, -1.5};
+  double sum = 0.0;
+  for (double s : scores) {
+    online.Add(s);
+    sum += s;
+    EXPECT_DOUBLE_EQ(online.total(), sum);
+  }
+  EXPECT_EQ(online.size(), scores.size());
+}
+
+TEST(OnlineMaxSegments, MatchesBatchAtEveryPrefix) {
+  Rng rng(2024);
+  std::vector<double> scores(150);
+  for (double& s : scores) s = rng.Uniform(-1.0, 1.0);
+
+  OnlineMaxSegments online;
+  std::vector<double> prefix;
+  for (double s : scores) {
+    online.Add(s);
+    prefix.push_back(s);
+    EXPECT_EQ(online.CurrentSegments(), MaximalSegments(prefix));
+  }
+}
+
+TEST(OnlineMaxSegments, ResetClearsState) {
+  OnlineMaxSegments online;
+  online.Add(1.0);
+  online.Add(2.0);
+  online.Reset();
+  EXPECT_EQ(online.size(), 0u);
+  EXPECT_DOUBLE_EQ(online.total(), 0.0);
+  EXPECT_TRUE(online.CurrentSegments().empty());
+}
+
+TEST(OnlineMaxSegments, NumCandidatesMatchesSegments) {
+  Rng rng(5);
+  OnlineMaxSegments online;
+  for (int i = 0; i < 500; ++i) {
+    online.Add(rng.Uniform(-1.0, 1.0));
+    EXPECT_EQ(online.num_candidates(), online.CurrentSegments().size());
+  }
+}
+
+}  // namespace
+}  // namespace stburst

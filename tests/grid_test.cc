@@ -1,0 +1,90 @@
+// Tests for geo/grid.
+
+#include "stburst/geo/grid.h"
+
+#include <gtest/gtest.h>
+
+namespace stburst {
+namespace {
+
+TEST(UniformGrid, RejectsBadArguments) {
+  EXPECT_TRUE(UniformGrid::Create(Rect(), 4, 4).status().IsInvalidArgument());
+  EXPECT_TRUE(UniformGrid::Create(Rect(0, 0, 1, 1), 0, 4)
+                  .status()
+                  .IsInvalidArgument());
+  // Zero-area bounds.
+  EXPECT_TRUE(UniformGrid::Create(Rect(0, 0, 0, 1), 2, 2)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(UniformGrid, CellIndexing) {
+  auto grid = UniformGrid::Create(Rect(0, 0, 10, 10), 5, 2);
+  ASSERT_TRUE(grid.ok());
+  EXPECT_EQ(grid->cols(), 5u);
+  EXPECT_EQ(grid->rows(), 2u);
+  EXPECT_EQ(grid->num_cells(), 10u);
+
+  size_t col, row;
+  grid->CellCoords(Point2D{0.5, 0.5}, &col, &row);
+  EXPECT_EQ(col, 0u);
+  EXPECT_EQ(row, 0u);
+  grid->CellCoords(Point2D{9.9, 9.9}, &col, &row);
+  EXPECT_EQ(col, 4u);
+  EXPECT_EQ(row, 1u);
+  // Exact max boundary clamps into the last cell.
+  grid->CellCoords(Point2D{10.0, 10.0}, &col, &row);
+  EXPECT_EQ(col, 4u);
+  EXPECT_EQ(row, 1u);
+}
+
+TEST(UniformGrid, OutOfBoundsClampToEdges) {
+  auto grid = UniformGrid::Create(Rect(0, 0, 10, 10), 4, 4);
+  ASSERT_TRUE(grid.ok());
+  EXPECT_EQ(grid->CellIndex(Point2D{-100, -100}), 0u);
+  EXPECT_EQ(grid->CellIndex(Point2D{100, 100}), grid->num_cells() - 1);
+}
+
+TEST(UniformGrid, CellRectTilesTheBounds) {
+  auto grid = UniformGrid::Create(Rect(1, 2, 5, 10), 4, 2);
+  ASSERT_TRUE(grid.ok());
+  Rect first = grid->CellRect(0, 0);
+  EXPECT_DOUBLE_EQ(first.min_x(), 1.0);
+  EXPECT_DOUBLE_EQ(first.min_y(), 2.0);
+  EXPECT_DOUBLE_EQ(first.max_x(), 2.0);
+  EXPECT_DOUBLE_EQ(first.max_y(), 6.0);
+  Rect last = grid->CellRect(3, 1);
+  EXPECT_DOUBLE_EQ(last.max_x(), 5.0);
+  EXPECT_DOUBLE_EQ(last.max_y(), 10.0);
+}
+
+TEST(UniformGrid, CellCenter) {
+  auto grid = UniformGrid::Create(Rect(0, 0, 4, 4), 2, 2);
+  ASSERT_TRUE(grid.ok());
+  Point2D c = grid->CellCenter(0, 0);
+  EXPECT_DOUBLE_EQ(c.x, 1.0);
+  EXPECT_DOUBLE_EQ(c.y, 1.0);
+  c = grid->CellCenter(1, 1);
+  EXPECT_DOUBLE_EQ(c.x, 3.0);
+  EXPECT_DOUBLE_EQ(c.y, 3.0);
+}
+
+TEST(UniformGrid, AggregateWeightsSumsPerCell) {
+  auto grid = UniformGrid::Create(Rect(0, 0, 2, 2), 2, 2);
+  ASSERT_TRUE(grid.ok());
+  std::vector<Point2D> pts = {{0.5, 0.5}, {0.6, 0.4}, {1.5, 0.5}, {1.5, 1.5}};
+  std::vector<double> w = {1.0, 2.0, 4.0, 8.0};
+  auto cells = grid->AggregateWeights(pts, w);
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_DOUBLE_EQ(cells[0], 3.0);  // (0,0)
+  EXPECT_DOUBLE_EQ(cells[1], 4.0);  // (1,0)
+  EXPECT_DOUBLE_EQ(cells[2], 0.0);  // (0,1)
+  EXPECT_DOUBLE_EQ(cells[3], 8.0);  // (1,1)
+
+  double total = 0.0;
+  for (double c : cells) total += c;
+  EXPECT_DOUBLE_EQ(total, 15.0);
+}
+
+}  // namespace
+}  // namespace stburst

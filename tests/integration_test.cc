@@ -1,0 +1,185 @@
+// Cross-module integration tests: generator -> miners -> metrics, and
+// corpus -> patterns -> search engine -> annotator.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "stburst/core/base_baseline.h"
+#include "stburst/core/stcomb.h"
+#include "stburst/core/stlocal.h"
+#include "stburst/eval/metrics.h"
+#include "stburst/eval/pattern_match.h"
+#include "stburst/gen/generators.h"
+#include "stburst/gen/topix_sim.h"
+#include "stburst/index/search_engine.h"
+#include "stburst/index/tb_engine.h"
+
+namespace stburst {
+namespace {
+
+ExpectedModelFactory MeanFactory() {
+  return [] { return std::make_unique<GlobalMeanModel>(); };
+}
+
+GeneratorOptions IntegrationGenOptions() {
+  GeneratorOptions o;
+  o.timeline = 120;
+  o.num_streams = 60;
+  o.num_terms = 20;
+  o.num_patterns = 15;
+  o.seed = 31337;
+  return o;
+}
+
+// STLocal must retrieve distGen patterns with high stream Jaccard and small
+// timeframe errors (the Table 2 headline behaviour).
+TEST(Integration, StLocalRetrievesDistGenPatterns) {
+  auto gen =
+      SyntheticGenerator::Create(GeneratorMode::kDist, IntegrationGenOptions());
+  ASSERT_TRUE(gen.ok());
+
+  std::vector<PatternRetrievalScore> scores;
+  for (const InjectedPattern& truth : gen->patterns()) {
+    TermSeries series = gen->GenerateTerm(truth.term);
+    auto windows = MineRegionalPatterns(series, gen->positions(), MeanFactory());
+    ASSERT_TRUE(windows.ok());
+    std::vector<MinedPattern> mined;
+    for (const auto& w : *windows) {
+      mined.push_back(MinedPattern{w.streams, w.timeframe, w.score});
+    }
+    scores.push_back(ScoreRetrieval(truth.streams, truth.timeframe, mined,
+                                    IntegrationGenOptions().timeline));
+  }
+  auto agg = Aggregate(scores);
+  EXPECT_GT(agg.mean_jaccard, 0.5);
+  EXPECT_LT(agg.mean_start_error, 25.0);
+  EXPECT_LT(agg.mean_end_error, 25.0);
+}
+
+// STComb must retrieve randGen patterns (arbitrary stream sets) well.
+TEST(Integration, StCombRetrievesRandGenPatterns) {
+  auto gen =
+      SyntheticGenerator::Create(GeneratorMode::kRand, IntegrationGenOptions());
+  ASSERT_TRUE(gen.ok());
+
+  // Background noise streams produce low-B_T maximal segments; the planted
+  // bursts dominate their streams' mass, so a moderate threshold separates.
+  StCombOptions opts;
+  opts.min_interval_burstiness = 0.3;
+  StComb miner(opts);
+
+  std::vector<PatternRetrievalScore> scores;
+  for (const InjectedPattern& truth : gen->patterns()) {
+    TermSeries series = gen->GenerateTerm(truth.term);
+    std::vector<MinedPattern> mined;
+    for (const auto& p : miner.MinePatterns(series)) {
+      mined.push_back(MinedPattern{p.streams, p.timeframe, p.score});
+    }
+    scores.push_back(ScoreRetrieval(truth.streams, truth.timeframe, mined,
+                                    IntegrationGenOptions().timeline));
+  }
+  auto agg = Aggregate(scores);
+  EXPECT_GT(agg.mean_jaccard, 0.5);
+  EXPECT_LT(agg.mean_start_error, 25.0);
+  EXPECT_LT(agg.mean_end_error, 25.0);
+}
+
+// Base is a weaker baseline than both main algorithms on distGen data.
+TEST(Integration, BaseIsWorseThanStLocalOnDistGen) {
+  auto gen =
+      SyntheticGenerator::Create(GeneratorMode::kDist, IntegrationGenOptions());
+  ASSERT_TRUE(gen.ok());
+
+  std::vector<PatternRetrievalScore> stlocal_scores, base_scores;
+  for (const InjectedPattern& truth : gen->patterns()) {
+    TermSeries series = gen->GenerateTerm(truth.term);
+
+    auto windows = MineRegionalPatterns(series, gen->positions(), MeanFactory());
+    ASSERT_TRUE(windows.ok());
+    std::vector<MinedPattern> mined;
+    for (const auto& w : *windows) {
+      mined.push_back(MinedPattern{w.streams, w.timeframe, w.score});
+    }
+    stlocal_scores.push_back(ScoreRetrieval(
+        truth.streams, truth.timeframe, mined, IntegrationGenOptions().timeline));
+
+    mined.clear();
+    for (const auto& p : BaseMine(series, MeanFactory())) {
+      mined.push_back(MinedPattern{p.streams, p.timeframe, 0.0});
+    }
+    base_scores.push_back(ScoreRetrieval(
+        truth.streams, truth.timeframe, mined, IntegrationGenOptions().timeline));
+  }
+  EXPECT_GT(Aggregate(stlocal_scores).mean_jaccard,
+            Aggregate(base_scores).mean_jaccard);
+}
+
+// Full corpus path: simulate Topix, mine patterns for one event term, build
+// the engine, retrieve top-10, check precision via provenance.
+TEST(Integration, TopixSearchPrecisionForLocalizedEvent) {
+  TopixOptions topts;
+  topts.mean_docs_per_week = 3.0;
+  topts.background_vocab = 300;
+  topts.use_mds = false;
+  auto sim = TopixSimulator::Generate(topts);
+  ASSERT_TRUE(sim.ok());
+  const Collection& corpus = sim->collection();
+  FrequencyIndex freq = FrequencyIndex::Build(corpus);
+
+  const size_t kVieira = 13;  // tier-3 event with a decoy burst
+  auto query = sim->QueryTerms(kVieira);
+  ASSERT_EQ(query.size(), 1u);
+  TermId term = query[0];
+
+  // Regional patterns for the query term.
+  PatternIndex regional;
+  {
+    TermSeries series = freq.DenseSeries(term);
+    auto windows =
+        MineRegionalPatterns(series, corpus.StreamPositions(), MeanFactory());
+    ASSERT_TRUE(windows.ok());
+    for (const auto& w : *windows) regional.AddWindow(term, w);
+  }
+  ASSERT_GE(regional.total_patterns(), 1u);
+
+  auto engine = BurstySearchEngine::Build(corpus, regional);
+  auto top = engine.Search(query, 10);
+  ASSERT_GE(top.docs.size(), 5u);
+
+  std::vector<bool> relevance;
+  for (const auto& d : top.docs) {
+    relevance.push_back(sim->IsRelevant(d.doc, kVieira));
+  }
+  EXPECT_GE(PrecisionAtK(relevance, 10), 0.8);
+}
+
+// The TB engine on the same corpus still retrieves mostly relevant docs for
+// a clean tier-1 query.
+TEST(Integration, TbPrecisionOnGlobalEvent) {
+  TopixOptions topts;
+  topts.mean_docs_per_week = 3.0;
+  topts.background_vocab = 300;
+  topts.use_mds = false;
+  auto sim = TopixSimulator::Generate(topts);
+  ASSERT_TRUE(sim.ok());
+  const Collection& corpus = sim->collection();
+  FrequencyIndex freq = FrequencyIndex::Build(corpus);
+
+  const size_t kJackson = 3;
+  auto query = sim->QueryTerms(kJackson);
+  ASSERT_EQ(query.size(), 1u);
+
+  PatternIndex tb = BuildTbPatternIndex(freq, query);
+  auto engine = BurstySearchEngine::Build(corpus, tb);
+  auto top = engine.Search(query, 10);
+  ASSERT_GE(top.docs.size(), 5u);
+  std::vector<bool> relevance;
+  for (const auto& d : top.docs) {
+    relevance.push_back(sim->IsRelevant(d.doc, kJackson));
+  }
+  EXPECT_GE(PrecisionAtK(relevance, 10), 0.8);
+}
+
+}  // namespace
+}  // namespace stburst

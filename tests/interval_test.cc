@@ -1,0 +1,68 @@
+// Tests for core/interval.
+
+#include "stburst/core/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace stburst {
+namespace {
+
+TEST(Interval, DefaultIsInvalid) {
+  Interval i;
+  EXPECT_FALSE(i.valid());
+  EXPECT_EQ(i.length(), 0);
+  EXPECT_FALSE(i.Contains(0));
+}
+
+TEST(Interval, LengthAndContains) {
+  Interval i{3, 7};
+  EXPECT_TRUE(i.valid());
+  EXPECT_EQ(i.length(), 5);
+  EXPECT_TRUE(i.Contains(3));
+  EXPECT_TRUE(i.Contains(7));
+  EXPECT_FALSE(i.Contains(2));
+  EXPECT_FALSE(i.Contains(8));
+}
+
+TEST(Interval, SinglePoint) {
+  Interval i{4, 4};
+  EXPECT_EQ(i.length(), 1);
+  EXPECT_TRUE(i.Contains(4));
+}
+
+TEST(Interval, Intersects) {
+  EXPECT_TRUE((Interval{0, 5}).Intersects(Interval{5, 9}));   // touching
+  EXPECT_TRUE((Interval{0, 5}).Intersects(Interval{2, 3}));   // nested
+  EXPECT_FALSE((Interval{0, 5}).Intersects(Interval{6, 9}));  // disjoint
+  EXPECT_FALSE((Interval{0, 5}).Intersects(Interval{}));      // invalid
+}
+
+TEST(Interval, IntersectAndUnion) {
+  Interval a{0, 5}, b{3, 9};
+  EXPECT_EQ(a.Intersect(b), (Interval{3, 5}));
+  EXPECT_EQ(a.Union(b), (Interval{0, 9}));
+  // Disjoint intersection is invalid.
+  EXPECT_FALSE((Interval{0, 2}).Intersect(Interval{4, 6}).valid());
+  // Union with invalid returns the other operand.
+  EXPECT_EQ(Interval{}.Union(a), a);
+  EXPECT_EQ(a.Union(Interval{}), a);
+}
+
+TEST(Interval, TemporalJaccard) {
+  Interval a{0, 9}, b{5, 14};
+  // |inter| = 5, |union of coverage| = 10 + 10 - 5 = 15.
+  EXPECT_NEAR(a.TemporalJaccard(b), 5.0 / 15.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.TemporalJaccard(a), 1.0);
+  EXPECT_DOUBLE_EQ(a.TemporalJaccard(Interval{20, 25}), 0.0);
+  EXPECT_DOUBLE_EQ(a.TemporalJaccard(Interval{}), 0.0);
+}
+
+TEST(Interval, ToStringAndEquality) {
+  EXPECT_EQ((Interval{2, 4}).ToString(), "[2:4]");
+  EXPECT_EQ(Interval{}.ToString(), "[invalid]");
+  EXPECT_EQ((Interval{1, 2}), (Interval{1, 2}));
+  EXPECT_NE((Interval{1, 2}), (Interval{1, 3}));
+}
+
+}  // namespace
+}  // namespace stburst

@@ -1,0 +1,113 @@
+// Tests for index/inverted_index and index/pattern_index.
+
+#include "stburst/index/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+#include "stburst/index/pattern_index.h"
+
+namespace stburst {
+namespace {
+
+TEST(InvertedIndex, PostingsSortedByScoreDescending) {
+  InvertedIndex idx;
+  idx.Add(0, 10, 1.0);
+  idx.Add(0, 11, 3.0);
+  idx.Add(0, 12, 2.0);
+  idx.Finalize();
+  const auto& p = idx.postings(0);
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[0].doc, 11u);
+  EXPECT_EQ(p[1].doc, 12u);
+  EXPECT_EQ(p[2].doc, 10u);
+}
+
+TEST(InvertedIndex, TieBreakByDocId) {
+  InvertedIndex idx;
+  idx.Add(0, 9, 1.0);
+  idx.Add(0, 3, 1.0);
+  idx.Finalize();
+  EXPECT_EQ(idx.postings(0)[0].doc, 3u);
+}
+
+TEST(InvertedIndex, RandomAccess) {
+  InvertedIndex idx;
+  idx.Add(2, 5, 1.5);
+  idx.Finalize();
+  double score = 0.0;
+  EXPECT_TRUE(idx.Score(2, 5, &score));
+  EXPECT_DOUBLE_EQ(score, 1.5);
+  EXPECT_FALSE(idx.Score(2, 6, &score));
+  EXPECT_FALSE(idx.Score(99, 5, &score));
+}
+
+TEST(InvertedIndex, UnknownTermEmpty) {
+  InvertedIndex idx;
+  idx.Finalize();
+  EXPECT_TRUE(idx.postings(42).empty());
+  EXPECT_EQ(idx.total_postings(), 0u);
+}
+
+TEST(InvertedIndex, CountsAndFinalizeIdempotent) {
+  InvertedIndex idx;
+  idx.Add(0, 1, 1.0);
+  idx.Add(1, 2, 2.0);
+  idx.Finalize();
+  idx.Finalize();
+  EXPECT_EQ(idx.total_postings(), 2u);
+  EXPECT_EQ(idx.num_terms(), 2u);
+  EXPECT_TRUE(idx.finalized());
+}
+
+TEST(PatternIndex, OverlapSemantics) {
+  PatternIndex pidx;
+  pidx.Add(7, TermPattern{{2, 5, 9}, Interval{10, 20}, 1.5});
+
+  double score = 0.0;
+  // Stream and time both inside.
+  EXPECT_TRUE(pidx.MaxOverlapScore(7, 5, 15, &score));
+  EXPECT_DOUBLE_EQ(score, 1.5);
+  // Wrong stream.
+  EXPECT_FALSE(pidx.MaxOverlapScore(7, 4, 15, &score));
+  // Outside timeframe.
+  EXPECT_FALSE(pidx.MaxOverlapScore(7, 5, 21, &score));
+  // Unknown term.
+  EXPECT_FALSE(pidx.MaxOverlapScore(8, 5, 15, &score));
+}
+
+TEST(PatternIndex, MaxScoreAcrossOverlappingPatterns) {
+  PatternIndex pidx;
+  pidx.Add(0, TermPattern{{1}, Interval{0, 30}, 0.5});
+  pidx.Add(0, TermPattern{{1, 2}, Interval{10, 20}, 2.0});
+  double score = 0.0;
+  ASSERT_TRUE(pidx.MaxOverlapScore(0, 1, 15, &score));
+  EXPECT_DOUBLE_EQ(score, 2.0);  // max, not sum or first
+  ASSERT_TRUE(pidx.MaxOverlapScore(0, 1, 25, &score));
+  EXPECT_DOUBLE_EQ(score, 0.5);  // only the broad pattern covers t=25
+}
+
+TEST(PatternIndex, AddersFromMinerOutputs) {
+  PatternIndex pidx;
+  CombinatorialPattern cp;
+  cp.streams = {3, 1};
+  cp.timeframe = {5, 8};
+  cp.score = 1.0;
+  pidx.AddCombinatorial(0, cp);
+
+  SpatiotemporalWindow w;
+  w.streams = {2};
+  w.timeframe = {1, 2};
+  w.score = 0.7;
+  pidx.AddWindow(1, w);
+
+  // Streams sorted on insertion, so binary search works.
+  double score = 0.0;
+  EXPECT_TRUE(pidx.MaxOverlapScore(0, 1, 6, &score));
+  EXPECT_TRUE(pidx.MaxOverlapScore(0, 3, 6, &score));
+  EXPECT_TRUE(pidx.MaxOverlapScore(1, 2, 1, &score));
+  EXPECT_EQ(pidx.total_patterns(), 2u);
+  EXPECT_EQ(pidx.num_terms_with_patterns(), 2u);
+}
+
+}  // namespace
+}  // namespace stburst

@@ -1,0 +1,118 @@
+// Tests for the Kleinberg two-state burst automaton (core/kleinberg).
+
+#include "stburst/core/kleinberg.h"
+
+#include <gtest/gtest.h>
+
+#include "stburst/common/random.h"
+#include "stburst/core/stcomb.h"
+
+namespace stburst {
+namespace {
+
+TEST(KleinbergBursts, RejectsBadInput) {
+  EXPECT_TRUE(KleinbergBursts({1.0}, {1.0, 2.0}).status().IsInvalidArgument());
+  KleinbergOptions bad_s;
+  bad_s.s = 1.0;
+  EXPECT_TRUE(KleinbergBursts({1.0}, {2.0}, bad_s).status().IsInvalidArgument());
+  KleinbergOptions bad_gamma;
+  bad_gamma.gamma = -0.5;
+  EXPECT_TRUE(
+      KleinbergBursts({1.0}, {2.0}, bad_gamma).status().IsInvalidArgument());
+  // relevant > total is inconsistent.
+  EXPECT_TRUE(KleinbergBursts({3.0}, {2.0}).status().IsInvalidArgument());
+}
+
+TEST(KleinbergBursts, EmptyOrZeroInput) {
+  auto none = KleinbergBursts({}, {});
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+
+  auto zeros = KleinbergBursts({0, 0, 0}, {10, 10, 10});
+  ASSERT_TRUE(zeros.ok());
+  EXPECT_TRUE(zeros->empty());
+}
+
+TEST(KleinbergBursts, FlatRateHasNoBursts) {
+  std::vector<double> r(40, 5.0), d(40, 100.0);
+  auto bursts = KleinbergBursts(r, d);
+  ASSERT_TRUE(bursts.ok());
+  EXPECT_TRUE(bursts->empty());
+}
+
+TEST(KleinbergBursts, DetectsPlantedBurst) {
+  // Base rate 5/100; rate 30/100 during [15, 22].
+  std::vector<double> r(50, 5.0), d(50, 100.0);
+  for (int t = 15; t <= 22; ++t) r[t] = 30.0;
+  auto bursts = KleinbergBursts(r, d);
+  ASSERT_TRUE(bursts.ok());
+  ASSERT_EQ(bursts->size(), 1u);
+  const auto& b = (*bursts)[0];
+  EXPECT_LE(b.interval.start, 16);
+  EXPECT_GE(b.interval.end, 21);
+  EXPECT_GT(b.burstiness, 0.0);
+}
+
+TEST(KleinbergBursts, SeparatesTwoBursts) {
+  std::vector<double> r(60, 4.0), d(60, 100.0);
+  for (int t = 10; t <= 14; ++t) r[t] = 25.0;
+  for (int t = 40; t <= 46; ++t) r[t] = 25.0;
+  auto bursts = KleinbergBursts(r, d);
+  ASSERT_TRUE(bursts.ok());
+  ASSERT_EQ(bursts->size(), 2u);
+  EXPECT_LT((*bursts)[0].interval.end, (*bursts)[1].interval.start);
+}
+
+TEST(KleinbergBursts, HigherGammaSuppressesWeakBursts) {
+  std::vector<double> r(50, 5.0), d(50, 100.0);
+  for (int t = 20; t <= 21; ++t) r[t] = 11.0;  // weak, short bump
+  KleinbergOptions lenient;
+  lenient.gamma = 0.05;
+  KleinbergOptions strict;
+  strict.gamma = 8.0;
+  auto weak = KleinbergBursts(r, d, lenient);
+  auto none = KleinbergBursts(r, d, strict);
+  ASSERT_TRUE(weak.ok());
+  ASSERT_TRUE(none.ok());
+  EXPECT_GE(weak->size(), none->size());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST(KleinbergBursts, IntervalsNonOverlappingOrdered) {
+  Rng rng(12);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> r(100), d(100);
+    for (int t = 0; t < 100; ++t) {
+      d[t] = 50.0 + rng.NextUint64(50);
+      r[t] = static_cast<double>(rng.NextUint64(static_cast<uint64_t>(d[t])));
+    }
+    auto bursts = KleinbergBursts(r, d);
+    ASSERT_TRUE(bursts.ok());
+    for (size_t i = 1; i < bursts->size(); ++i) {
+      EXPECT_GT((*bursts)[i].interval.start, (*bursts)[i - 1].interval.end);
+    }
+  }
+}
+
+TEST(KleinbergBursts, PlugsIntoStCombAsAlternativeDetector) {
+  // §3: STComb accepts any non-overlapping interval reporter. Build stream
+  // intervals from Kleinberg output and mine the joint pattern.
+  std::vector<StreamInterval> intervals;
+  for (StreamId s = 0; s < 3; ++s) {
+    std::vector<double> r(50, 3.0), d(50, 100.0);
+    for (int t = 20; t <= 27; ++t) r[t] = 25.0;
+    auto bursts = KleinbergBursts(r, d);
+    ASSERT_TRUE(bursts.ok());
+    for (const auto& b : *bursts) {
+      intervals.push_back(StreamInterval{s, b.interval, b.burstiness});
+    }
+  }
+  StComb miner;
+  auto patterns = miner.MineFromIntervals(intervals);
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_EQ(patterns[0].streams, (std::vector<StreamId>{0, 1, 2}));
+  EXPECT_TRUE(patterns[0].timeframe.Intersects(Interval{20, 27}));
+}
+
+}  // namespace
+}  // namespace stburst

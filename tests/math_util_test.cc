@@ -1,0 +1,130 @@
+// Tests for common/math_util: compensated sums, streaming stats, EWMA,
+// histograms.
+
+#include "stburst/common/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stburst/common/random.h"
+
+namespace stburst {
+namespace {
+
+TEST(KahanSum, ExactForSmallInputs) {
+  KahanSum s;
+  s.Add(1.0);
+  s.Add(2.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.Get(), 6.0);
+}
+
+TEST(KahanSum, CompensatesCancellation) {
+  // 1 + 1e16 - 1e16 repeatedly: naive summation loses the ones.
+  KahanSum s;
+  double naive = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    for (double v : {1.0, 1e16, -1e16}) {
+      s.Add(v);
+      naive += v;
+    }
+  }
+  EXPECT_DOUBLE_EQ(s.Get(), 1000.0);
+  EXPECT_NE(naive, 1000.0);  // demonstrates why Kahan is needed
+}
+
+TEST(KahanSum, ResetZeroes) {
+  KahanSum s;
+  s.Add(5.0);
+  s.Reset();
+  EXPECT_DOUBLE_EQ(s.Get(), 0.0);
+}
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats st;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) st.Add(v);
+  EXPECT_EQ(st.count(), 8);
+  EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+  EXPECT_NEAR(st.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_NEAR(st.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats st;
+  EXPECT_EQ(st.count(), 0);
+  EXPECT_DOUBLE_EQ(st.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(st.variance(), 0.0);
+  st.Add(3.0);
+  EXPECT_DOUBLE_EQ(st.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(st.variance(), 0.0);
+}
+
+TEST(RunningStats, MatchesBatchOnRandomData) {
+  Rng rng(1);
+  std::vector<double> data(5000);
+  for (double& v : data) v = rng.Uniform(-10.0, 10.0);
+  RunningStats st;
+  double sum = 0.0;
+  for (double v : data) {
+    st.Add(v);
+    sum += v;
+  }
+  double mean = sum / data.size();
+  double ss = 0.0;
+  for (double v : data) ss += (v - mean) * (v - mean);
+  EXPECT_NEAR(st.mean(), mean, 1e-9);
+  EXPECT_NEAR(st.variance(), ss / (data.size() - 1), 1e-6);
+}
+
+TEST(Ewma, FirstObservationInitializes) {
+  Ewma e(0.5);
+  EXPECT_TRUE(e.empty());
+  e.Add(10.0);
+  EXPECT_FALSE(e.empty());
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(Ewma, SmoothsTowardNewValues) {
+  Ewma e(0.5);
+  e.Add(0.0);
+  e.Add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 5.0);
+  e.Add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 7.5);
+}
+
+TEST(Ewma, AlphaOneTracksExactly) {
+  Ewma e(1.0);
+  e.Add(3.0);
+  e.Add(-2.0);
+  EXPECT_DOUBLE_EQ(e.value(), -2.0);
+}
+
+TEST(Histogram, BucketsValues) {
+  auto h = Histogram({0.1, 0.2, 0.6, 0.9, 0.95}, 0.0, 1.0, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], 2);
+  EXPECT_EQ(h[1], 3);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  auto h = Histogram({-5.0, 0.5, 99.0}, 0.0, 1.0, 4);
+  EXPECT_EQ(h[0], 1);
+  EXPECT_EQ(h[3], 1);
+  int64_t total = 0;
+  for (int64_t c : h) total += c;
+  EXPECT_EQ(total, 3);
+}
+
+TEST(AlmostEqual, Tolerances) {
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0));
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0 + 1e-13));
+  EXPECT_TRUE(AlmostEqual(1e12, 1e12 * (1 + 1e-10)));
+  EXPECT_FALSE(AlmostEqual(1.0, 1.001));
+  EXPECT_TRUE(AlmostEqual(0.0, 1e-13));
+}
+
+}  // namespace
+}  // namespace stburst

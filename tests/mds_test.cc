@@ -1,0 +1,126 @@
+// Tests for classical MDS (geo/mds).
+
+#include "stburst/geo/mds.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stburst/common/random.h"
+#include "stburst/geo/haversine.h"
+
+namespace stburst {
+namespace {
+
+std::vector<double> EuclideanMatrix(const std::vector<Point2D>& pts) {
+  size_t n = pts.size();
+  std::vector<double> d(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      d[i * n + j] = EuclideanDistance(pts[i], pts[j]);
+    }
+  }
+  return d;
+}
+
+TEST(ClassicalMds, RejectsBadInput) {
+  EXPECT_TRUE(ClassicalMds({}, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(ClassicalMds({0.0, 1.0}, 2).status().IsInvalidArgument());
+  // Nonzero diagonal.
+  EXPECT_TRUE(
+      ClassicalMds({1.0, 2.0, 2.0, 0.0}, 2).status().IsInvalidArgument());
+  // Negative distance.
+  EXPECT_TRUE(
+      ClassicalMds({0.0, -1.0, -1.0, 0.0}, 2).status().IsInvalidArgument());
+}
+
+TEST(ClassicalMds, SinglePointAtOrigin) {
+  auto result = ClassicalMds({0.0}, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);
+}
+
+TEST(ClassicalMds, RecoversPlanarConfigurationExactly) {
+  // Points already in the plane: MDS must reproduce all pairwise distances.
+  Rng rng(3);
+  std::vector<Point2D> pts(12);
+  for (auto& p : pts) {
+    p.x = rng.Uniform(-10, 10);
+    p.y = rng.Uniform(-10, 10);
+  }
+  auto d = EuclideanMatrix(pts);
+  auto result = ClassicalMds(d, pts.size());
+  ASSERT_TRUE(result.ok());
+  const auto& emb = *result;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    for (size_t j = 0; j < pts.size(); ++j) {
+      EXPECT_NEAR(EuclideanDistance(emb[i], emb[j]),
+                  d[i * pts.size() + j], 1e-6);
+    }
+  }
+  EXPECT_LT(MdsStress(d, emb), 1e-8);
+}
+
+TEST(ClassicalMds, EquilateralTriangle) {
+  // All pairwise distances 1.
+  std::vector<double> d = {0, 1, 1, 1, 0, 1, 1, 1, 0};
+  auto result = ClassicalMds(d, 3);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = i + 1; j < 3; ++j) {
+      EXPECT_NEAR(EuclideanDistance((*result)[i], (*result)[j]), 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(ProjectGeoPoints, EuropeanCapitalsLowStress) {
+  // Spherical distances are nearly planar at continental scale, so a 2-D
+  // embedding must fit well.
+  std::vector<GeoPoint> capitals = {
+      {51.51, -0.13},  // London
+      {48.86, 2.35},   // Paris
+      {52.52, 13.41},  // Berlin
+      {40.42, -3.70},  // Madrid
+      {41.90, 12.50},  // Rome
+      {59.33, 18.07},  // Stockholm
+      {37.98, 23.73},  // Athens
+      {52.23, 21.01},  // Warsaw
+  };
+  auto result = ProjectGeoPoints(capitals);
+  ASSERT_TRUE(result.ok());
+  auto distances = PairwiseDistanceMatrixKm(capitals);
+  EXPECT_LT(MdsStress(distances, *result), 0.02);
+
+  // Relative geometry sanity: London-Paris much closer than London-Athens.
+  double lp = EuclideanDistance((*result)[0], (*result)[1]);
+  double la = EuclideanDistance((*result)[0], (*result)[6]);
+  EXPECT_LT(lp, la);
+}
+
+TEST(ProjectGeoPoints, GlobalConfigurationPreservesNeighborhoods) {
+  std::vector<GeoPoint> pts = {
+      {38.91, -77.04},   // Washington
+      {45.42, -75.70},   // Ottawa (close to Washington)
+      {35.68, 139.69},   // Tokyo
+      {37.57, 126.98},   // Seoul (close to Tokyo)
+      {-35.28, 149.13},  // Canberra
+      {-41.29, 174.78},  // Wellington (close to Canberra)
+  };
+  auto result = ProjectGeoPoints(pts);
+  ASSERT_TRUE(result.ok());
+  const auto& e = *result;
+  // Each pair of neighbors is embedded closer than any cross-pair.
+  double wash_ottawa = EuclideanDistance(e[0], e[1]);
+  double tokyo_seoul = EuclideanDistance(e[2], e[3]);
+  double wash_tokyo = EuclideanDistance(e[0], e[2]);
+  EXPECT_LT(wash_ottawa, wash_tokyo);
+  EXPECT_LT(tokyo_seoul, wash_tokyo);
+}
+
+TEST(MdsStress, ZeroForPerfectEmbedding) {
+  std::vector<Point2D> pts = {{0, 0}, {3, 0}, {0, 4}};
+  EXPECT_NEAR(MdsStress(EuclideanMatrix(pts), pts), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace stburst

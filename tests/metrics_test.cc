@@ -1,0 +1,61 @@
+// Tests for eval/metrics.
+
+#include "stburst/eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace stburst {
+namespace {
+
+TEST(JaccardSim, BasicCases) {
+  EXPECT_DOUBLE_EQ(JaccardSim({1, 2, 3}, {2, 3, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(JaccardSim({1, 2}, {1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSim({1}, {2}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSim({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSim({1}, {}), 0.0);
+}
+
+TEST(JaccardSim, DuplicatesCollapse) {
+  EXPECT_DOUBLE_EQ(JaccardSim({1, 1, 2, 2}, {1, 2}), 1.0);
+}
+
+TEST(StartEndError, AbsoluteDifferences) {
+  Interval truth{10, 20};
+  EXPECT_DOUBLE_EQ(StartError(truth, Interval{13, 22}, 100), 3.0);
+  EXPECT_DOUBLE_EQ(EndError(truth, Interval{13, 22}, 100), 2.0);
+  EXPECT_DOUBLE_EQ(StartError(truth, truth, 100), 0.0);
+}
+
+TEST(StartEndError, MissesCostFullTimeline) {
+  Interval truth{10, 20};
+  EXPECT_DOUBLE_EQ(StartError(truth, Interval{}, 365), 365.0);
+  EXPECT_DOUBLE_EQ(EndError(Interval{}, truth, 365), 365.0);
+}
+
+TEST(PrecisionAtK, CountsRelevantPrefix) {
+  std::vector<bool> rel = {true, true, false, true, false};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(rel, 5), 0.6);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(rel, 2), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(rel, 3), 2.0 / 3.0);
+  // Shorter ranking than k: evaluated over what exists.
+  EXPECT_DOUBLE_EQ(PrecisionAtK({true}, 10), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({}, 10), 0.0);
+}
+
+TEST(TopKOverlap, PaperStyleSimilarity) {
+  std::vector<DocId> a = {1, 2, 3, 4, 5};
+  std::vector<DocId> b = {4, 5, 6, 7, 8};
+  EXPECT_DOUBLE_EQ(TopKOverlap(a, b, 5), 0.4);
+  EXPECT_DOUBLE_EQ(TopKOverlap(a, a, 5), 1.0);
+  EXPECT_DOUBLE_EQ(TopKOverlap(a, b, 0), 0.0);
+  // Only the first k entries of each list count.
+  EXPECT_DOUBLE_EQ(TopKOverlap({1, 9}, {9, 1}, 1), 0.0);
+}
+
+TEST(Mean, Basic) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+}  // namespace
+}  // namespace stburst

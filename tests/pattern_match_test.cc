@@ -1,0 +1,69 @@
+// Tests for eval/pattern_match (Table 2 scoring protocol).
+
+#include "stburst/eval/pattern_match.h"
+
+#include <gtest/gtest.h>
+
+namespace stburst {
+namespace {
+
+TEST(ScoreRetrieval, PerfectMatch) {
+  std::vector<StreamId> truth = {1, 2, 3};
+  Interval frame{10, 20};
+  std::vector<MinedPattern> mined = {{{1, 2, 3}, {10, 20}, 1.0}};
+  auto score = ScoreRetrieval(truth, frame, mined, 365);
+  EXPECT_TRUE(score.matched);
+  EXPECT_DOUBLE_EQ(score.jaccard, 1.0);
+  EXPECT_DOUBLE_EQ(score.start_error, 0.0);
+  EXPECT_DOUBLE_EQ(score.end_error, 0.0);
+}
+
+TEST(ScoreRetrieval, NoCandidatesIsAMiss) {
+  auto score = ScoreRetrieval({1}, Interval{5, 9}, {}, 365);
+  EXPECT_FALSE(score.matched);
+  EXPECT_DOUBLE_EQ(score.jaccard, 0.0);
+  EXPECT_DOUBLE_EQ(score.start_error, 365.0);
+  EXPECT_DOUBLE_EQ(score.end_error, 365.0);
+}
+
+TEST(ScoreRetrieval, NonOverlappingCandidatesIgnored) {
+  std::vector<MinedPattern> mined = {{{1}, {100, 120}, 5.0}};
+  auto score = ScoreRetrieval({1}, Interval{5, 9}, mined, 365);
+  EXPECT_FALSE(score.matched);
+}
+
+TEST(ScoreRetrieval, PicksBestCombinedMatch) {
+  std::vector<StreamId> truth = {1, 2, 3, 4};
+  Interval frame{10, 20};
+  std::vector<MinedPattern> mined = {
+      {{9, 8}, {10, 20}, 3.0},          // right time, wrong streams
+      {{1, 2, 3}, {12, 19}, 1.0},       // good on both axes
+      {{1}, {15, 15}, 9.0},             // overlapping but poor
+  };
+  auto score = ScoreRetrieval(truth, frame, mined, 365);
+  EXPECT_TRUE(score.matched);
+  EXPECT_DOUBLE_EQ(score.jaccard, 0.75);
+  EXPECT_DOUBLE_EQ(score.start_error, 2.0);
+  EXPECT_DOUBLE_EQ(score.end_error, 1.0);
+}
+
+TEST(Aggregate, Averages) {
+  std::vector<PatternRetrievalScore> scores = {
+      {1.0, 0.0, 2.0, true},
+      {0.5, 4.0, 6.0, true},
+  };
+  auto agg = Aggregate(scores);
+  EXPECT_EQ(agg.patterns, 2u);
+  EXPECT_DOUBLE_EQ(agg.mean_jaccard, 0.75);
+  EXPECT_DOUBLE_EQ(agg.mean_start_error, 2.0);
+  EXPECT_DOUBLE_EQ(agg.mean_end_error, 4.0);
+}
+
+TEST(Aggregate, EmptyIsZero) {
+  auto agg = Aggregate({});
+  EXPECT_EQ(agg.patterns, 0u);
+  EXPECT_DOUBLE_EQ(agg.mean_jaccard, 0.0);
+}
+
+}  // namespace
+}  // namespace stburst

@@ -1,0 +1,55 @@
+// Tests for core/pattern helpers (MBR, streams-in-rect) and the types.
+
+#include "stburst/core/pattern.h"
+
+#include <gtest/gtest.h>
+
+namespace stburst {
+namespace {
+
+TEST(StreamsMbr, BoundingBoxOfPositions) {
+  std::vector<Point2D> positions = {{0, 0}, {5, 1}, {2, 8}, {-3, 4}};
+  Rect mbr = StreamsMbr({0, 1, 2}, positions);
+  EXPECT_DOUBLE_EQ(mbr.min_x(), 0);
+  EXPECT_DOUBLE_EQ(mbr.max_x(), 5);
+  EXPECT_DOUBLE_EQ(mbr.max_y(), 8);
+  EXPECT_TRUE(StreamsMbr({}, positions).empty());
+}
+
+TEST(StreamsInRect, InclusiveBoundaries) {
+  std::vector<Point2D> positions = {{0, 0}, {1, 1}, {2, 2}, {5, 5}};
+  auto inside = StreamsInRect(Rect(0, 0, 2, 2), positions);
+  EXPECT_EQ(inside, (std::vector<StreamId>{0, 1, 2}));
+  EXPECT_TRUE(StreamsInRect(Rect(), positions).empty());
+}
+
+TEST(StreamsInRect, MbrRoundTripCoversMembers) {
+  // Every stream used to build the MBR must lie inside it (Table 1's
+  // "# countries in MBR" is computed exactly this way).
+  std::vector<Point2D> positions = {{0, 0}, {4, 7}, {9, 3}, {-2, -5}, {6, 6}};
+  std::vector<StreamId> members = {1, 2, 4};
+  Rect mbr = StreamsMbr(members, positions);
+  auto inside = StreamsInRect(mbr, positions);
+  for (StreamId m : members) {
+    EXPECT_TRUE(std::binary_search(inside.begin(), inside.end(), m));
+  }
+  EXPECT_GE(inside.size(), members.size());
+}
+
+TEST(PatternTypes, ToStringSmoke) {
+  CombinatorialPattern p;
+  p.streams = {1, 2};
+  p.timeframe = {3, 9};
+  p.score = 1.25;
+  EXPECT_NE(p.ToString().find("2 streams"), std::string::npos);
+
+  SpatiotemporalWindow w;
+  w.region = Rect(0, 0, 1, 1);
+  w.streams = {0};
+  w.timeframe = {2, 4};
+  w.score = 0.5;
+  EXPECT_NE(w.ToString().find("[2:4]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stburst

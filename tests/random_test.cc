@@ -1,0 +1,217 @@
+// Tests for the deterministic RNG and samplers (common/random).
+
+#include "stburst/common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace stburst {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BoundedUniformStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextUint64(17), 17u);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(6);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all 7 values hit
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanCloseToCenter) {
+  Rng rng(8);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform(2.0, 4.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(9);
+  const double lambda = 2.5;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(lambda);
+  EXPECT_NEAR(sum / n, 1.0 / lambda, 0.01);
+}
+
+TEST(Rng, WeibullMeanMatchesClosedForm) {
+  Rng rng(10);
+  const double k = 2.0, c = 3.0;
+  // E[X] = c * Gamma(1 + 1/k); Gamma(1.5) = sqrt(pi)/2.
+  const double expected = c * std::sqrt(M_PI) / 2.0;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.Weibull(k, c);
+  EXPECT_NEAR(sum / n, expected, 0.03);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal(5.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.03);
+  EXPECT_NEAR(var, 4.0, 0.08);
+}
+
+TEST(Rng, PoissonMeanSmallLambda) {
+  Rng rng(12);
+  const double lambda = 3.2;
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(lambda));
+  EXPECT_NEAR(sum / n, lambda, 0.05);
+}
+
+TEST(Rng, PoissonMeanLargeLambda) {
+  Rng rng(13);
+  const double lambda = 250.0;
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(lambda));
+  EXPECT_NEAR(sum / n, lambda, 1.5);
+}
+
+TEST(Rng, PoissonZeroLambdaIsZero) {
+  Rng rng(14);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(15);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(16);
+  Rng child = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.NextUint64() == child.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinct) {
+  Rng rng(18);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto sample = rng.SampleWithoutReplacement(50, 12);
+    EXPECT_EQ(sample.size(), 12u);
+    std::set<size_t> uniq(sample.begin(), sample.end());
+    EXPECT_EQ(uniq.size(), 12u);
+    for (size_t s : sample) EXPECT_LT(s, 50u);
+  }
+}
+
+TEST(Rng, SampleAllElements) {
+  Rng rng(19);
+  auto sample = rng.SampleWithoutReplacement(5, 5);
+  std::set<size_t> uniq(sample.begin(), sample.end());
+  EXPECT_EQ(uniq.size(), 5u);
+}
+
+TEST(ZipfSampler, RanksAreWithinRange) {
+  Rng rng(20);
+  ZipfSampler zipf(100, 1.1);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Sample(&rng), 100u);
+}
+
+TEST(ZipfSampler, LowerRanksMoreFrequent) {
+  Rng rng(21);
+  ZipfSampler zipf(50, 1.2);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Sample(&rng)];
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[5], counts[25]);
+}
+
+TEST(ZipfSampler, SingleElement) {
+  Rng rng(22);
+  ZipfSampler zipf(1, 2.0);
+  EXPECT_EQ(zipf.Sample(&rng), 0u);
+}
+
+TEST(WeibullPdf, MatchesClosedFormPoints) {
+  // k=1, c=1 is Exponential(1): pdf(x) = exp(-x).
+  EXPECT_NEAR(WeibullPdf(0.5, 1.0, 1.0), std::exp(-0.5), 1e-12);
+  EXPECT_DOUBLE_EQ(WeibullPdf(-1.0, 2.0, 1.0), 0.0);
+  // pdf integrates to ~1 (trapezoid over a wide range).
+  double integral = 0.0, prev = WeibullPdf(0.0, 2.0, 3.0);
+  const double dx = 0.001;
+  for (double x = dx; x < 30.0; x += dx) {
+    double cur = WeibullPdf(x, 2.0, 3.0);
+    integral += 0.5 * (prev + cur) * dx;
+    prev = cur;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(WeibullMode, PeakLocation) {
+  // Mode of Weibull(k, c) = c ((k-1)/k)^{1/k}; the pdf must be maximal there.
+  const double k = 3.0, c = 5.0;
+  double mode = WeibullMode(k, c);
+  double at_mode = WeibullPdf(mode, k, c);
+  EXPECT_GT(at_mode, WeibullPdf(mode * 0.8, k, c));
+  EXPECT_GT(at_mode, WeibullPdf(mode * 1.2, k, c));
+  EXPECT_DOUBLE_EQ(WeibullMode(0.9, 2.0), 0.0);  // k <= 1: mode at origin
+}
+
+}  // namespace
+}  // namespace stburst

@@ -1,0 +1,143 @@
+// Tests for R-Bursty (core/rbursty, paper Algorithm 1).
+
+#include "stburst/core/rbursty.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "stburst/common/random.h"
+
+namespace stburst {
+namespace {
+
+TEST(RBursty, RejectsMismatchedInput) {
+  EXPECT_TRUE(RBursty({{0, 0}}, {1.0, 2.0}).status().IsInvalidArgument());
+}
+
+TEST(RBursty, EmptyAndAllNegative) {
+  auto none = RBursty({}, {});
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+
+  auto neg = RBursty({{0, 0}, {1, 1}}, {-1.0, -0.5});
+  ASSERT_TRUE(neg.ok());
+  EXPECT_TRUE(neg->empty());
+}
+
+TEST(RBursty, SingleBurstyRegion) {
+  std::vector<Point2D> pts = {{0, 0}, {1, 0}, {10, 10}};
+  std::vector<double> b = {1.0, 1.5, -1.0};
+  auto rects = RBursty(pts, b);
+  ASSERT_TRUE(rects.ok());
+  ASSERT_EQ(rects->size(), 1u);
+  EXPECT_NEAR((*rects)[0].score, 2.5, 1e-12);
+  EXPECT_EQ((*rects)[0].streams, (std::vector<StreamId>{0, 1}));
+}
+
+TEST(RBursty, ReportsMultipleDisjointRegionsInScoreOrder) {
+  // Two positive clusters separated by negative space.
+  std::vector<Point2D> pts = {{0, 0}, {1, 1}, {20, 20}, {21, 21}, {10, 10}};
+  std::vector<double> b = {1.0, 1.0, 3.0, 3.0, -2.0};
+  auto rects = RBursty(pts, b);
+  ASSERT_TRUE(rects.ok());
+  ASSERT_EQ(rects->size(), 2u);
+  EXPECT_NEAR((*rects)[0].score, 6.0, 1e-12);
+  EXPECT_EQ((*rects)[0].streams, (std::vector<StreamId>{2, 3}));
+  EXPECT_NEAR((*rects)[1].score, 2.0, 1e-12);
+  EXPECT_EQ((*rects)[1].streams, (std::vector<StreamId>{0, 1}));
+}
+
+TEST(RBursty, ReportedRectanglesShareNoStreams) {
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t n = 20;
+    std::vector<Point2D> pts(n);
+    std::vector<double> b(n);
+    for (size_t i = 0; i < n; ++i) {
+      pts[i] = Point2D{rng.Uniform(0, 50), rng.Uniform(0, 50)};
+      b[i] = rng.Uniform(-1.5, 1.5);
+    }
+    auto rects = RBursty(pts, b);
+    ASSERT_TRUE(rects.ok());
+    std::set<StreamId> seen;
+    for (const auto& rect : *rects) {
+      EXPECT_GT(rect.score, 0.0);
+      for (StreamId s : rect.streams) {
+        EXPECT_TRUE(seen.insert(s).second)
+            << "stream " << s << " in two rectangles, trial " << trial;
+      }
+      // r-score consistency: sum of member burstiness equals the score.
+      double sum = 0.0;
+      for (StreamId s : rect.streams) sum += b[s];
+      EXPECT_NEAR(sum, rect.score, 1e-9);
+    }
+    // At most n rectangles (the paper's bound).
+    EXPECT_LE(rects->size(), n);
+  }
+}
+
+TEST(RBursty, ScoresAreNonIncreasing) {
+  Rng rng(23);
+  std::vector<Point2D> pts(30);
+  std::vector<double> b(30);
+  for (size_t i = 0; i < 30; ++i) {
+    pts[i] = Point2D{rng.Uniform(0, 40), rng.Uniform(0, 40)};
+    b[i] = rng.Uniform(-1.0, 1.0);
+  }
+  auto rects = RBursty(pts, b);
+  ASSERT_TRUE(rects.ok());
+  for (size_t i = 1; i < rects->size(); ++i) {
+    EXPECT_GE((*rects)[i - 1].score, (*rects)[i].score - 1e-9);
+  }
+}
+
+TEST(RBursty, MaxRectanglesCap) {
+  // Three positives separated by strong negative moats would yield three
+  // rectangles; the cap keeps two.
+  std::vector<Point2D> pts = {{0, 0}, {10, 0}, {20, 0}, {30, 0}, {40, 0}};
+  std::vector<double> b = {1.0, -5.0, 1.0, -5.0, 1.0};
+  RBurstyOptions opts;
+  opts.max_rectangles = 2;
+  auto rects = RBursty(pts, b, opts);
+  ASSERT_TRUE(rects.ok());
+  EXPECT_EQ(rects->size(), 2u);
+}
+
+TEST(RBursty, MoatedPositivesEachBecomeARectangle) {
+  // Positives fenced off by strong negatives: one rect each.
+  std::vector<Point2D> pts = {{0, 0}, {10, 0}, {20, 0}, {30, 0}, {40, 0}};
+  std::vector<double> b = {0.5, -5.0, 0.7, -5.0, 0.9};
+  auto rects = RBursty(pts, b);
+  ASSERT_TRUE(rects.ok());
+  EXPECT_EQ(rects->size(), 3u);
+}
+
+TEST(RBursty, NoNegativesMergeIntoOneRectangle) {
+  // With no negative mass anywhere, the single best rectangle absorbs every
+  // positive stream, however far apart.
+  std::vector<Point2D> pts = {{0, 0}, {50, 0}, {0, 50}};
+  std::vector<double> b = {0.5, 0.7, 0.9};
+  auto rects = RBursty(pts, b);
+  ASSERT_TRUE(rects.ok());
+  ASSERT_EQ(rects->size(), 1u);
+  EXPECT_NEAR((*rects)[0].score, 2.1, 1e-12);
+  EXPECT_EQ((*rects)[0].streams.size(), 3u);
+}
+
+TEST(RBursty, MergeDecisionDependsOnInterveningWeight) {
+  // Paper §4: the algorithm decides automatically whether to span weak
+  // negatives or split. Weak moat: one rect; strong moat: two.
+  std::vector<Point2D> pts = {{0, 0}, {5, 0}, {10, 0}};
+  auto weak = RBursty(pts, {2.0, -0.4, 2.0});
+  ASSERT_TRUE(weak.ok());
+  ASSERT_EQ(weak->size(), 1u);
+  EXPECT_EQ((*weak)[0].streams.size(), 3u);
+
+  auto strong = RBursty(pts, {2.0, -5.0, 2.0});
+  ASSERT_TRUE(strong.ok());
+  EXPECT_EQ(strong->size(), 2u);
+}
+
+}  // namespace
+}  // namespace stburst

@@ -1,0 +1,93 @@
+// Tests for geo/rect.
+
+#include "stburst/geo/rect.h"
+
+#include <gtest/gtest.h>
+
+namespace stburst {
+namespace {
+
+TEST(Rect, DefaultIsEmpty) {
+  Rect r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_DOUBLE_EQ(r.Area(), 0.0);
+  EXPECT_FALSE(r.Contains(Point2D{0, 0}));
+}
+
+TEST(Rect, NormalizesCorners) {
+  Rect r(5, 7, 1, 2);
+  EXPECT_DOUBLE_EQ(r.min_x(), 1);
+  EXPECT_DOUBLE_EQ(r.min_y(), 2);
+  EXPECT_DOUBLE_EQ(r.max_x(), 5);
+  EXPECT_DOUBLE_EQ(r.max_y(), 7);
+  EXPECT_DOUBLE_EQ(r.Area(), 20.0);
+}
+
+TEST(Rect, ContainsPointBoundaryInclusive) {
+  Rect r(0, 0, 2, 2);
+  EXPECT_TRUE(r.Contains(Point2D{1, 1}));
+  EXPECT_TRUE(r.Contains(Point2D{0, 0}));
+  EXPECT_TRUE(r.Contains(Point2D{2, 2}));
+  EXPECT_FALSE(r.Contains(Point2D{2.001, 1}));
+  EXPECT_FALSE(r.Contains(Point2D{-0.001, 1}));
+}
+
+TEST(Rect, ContainsRect) {
+  Rect outer(0, 0, 10, 10);
+  EXPECT_TRUE(outer.Contains(Rect(2, 2, 5, 5)));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_FALSE(outer.Contains(Rect(5, 5, 11, 6)));
+  EXPECT_TRUE(outer.Contains(Rect()));   // empty in everything
+  EXPECT_FALSE(Rect().Contains(outer));  // nothing in empty
+}
+
+TEST(Rect, Intersects) {
+  Rect a(0, 0, 2, 2);
+  EXPECT_TRUE(a.Intersects(Rect(1, 1, 3, 3)));
+  EXPECT_TRUE(a.Intersects(Rect(2, 2, 4, 4)));  // touching corner counts
+  EXPECT_FALSE(a.Intersects(Rect(3, 3, 4, 4)));
+  EXPECT_FALSE(a.Intersects(Rect()));
+  EXPECT_FALSE(Rect().Intersects(a));
+}
+
+TEST(Rect, ExpandToIncludePoint) {
+  Rect r;
+  r.ExpandToInclude(Point2D{1, 2});
+  EXPECT_FALSE(r.empty());
+  EXPECT_DOUBLE_EQ(r.Area(), 0.0);  // degenerate single point
+  EXPECT_TRUE(r.Contains(Point2D{1, 2}));
+  r.ExpandToInclude(Point2D{-1, 5});
+  EXPECT_DOUBLE_EQ(r.min_x(), -1);
+  EXPECT_DOUBLE_EQ(r.max_y(), 5);
+  EXPECT_TRUE(r.Contains(Point2D{0, 3}));
+}
+
+TEST(Rect, ExpandToIncludeRect) {
+  Rect r(0, 0, 1, 1);
+  r.ExpandToInclude(Rect(3, -2, 4, 0.5));
+  EXPECT_DOUBLE_EQ(r.min_y(), -2);
+  EXPECT_DOUBLE_EQ(r.max_x(), 4);
+  Rect unchanged = r;
+  r.ExpandToInclude(Rect());
+  EXPECT_EQ(r, unchanged);
+}
+
+TEST(Rect, BoundingBox) {
+  auto box = Rect::BoundingBox({{1, 1}, {4, -2}, {0, 3}});
+  EXPECT_DOUBLE_EQ(box.min_x(), 0);
+  EXPECT_DOUBLE_EQ(box.min_y(), -2);
+  EXPECT_DOUBLE_EQ(box.max_x(), 4);
+  EXPECT_DOUBLE_EQ(box.max_y(), 3);
+  EXPECT_TRUE(Rect::BoundingBox({}).empty());
+}
+
+TEST(Rect, EqualityAndToString) {
+  EXPECT_EQ(Rect(), Rect());
+  EXPECT_EQ(Rect(0, 0, 1, 1), Rect(1, 1, 0, 0));
+  EXPECT_NE(Rect(0, 0, 1, 1), Rect(0, 0, 1, 2));
+  EXPECT_NE(Rect(), Rect(0, 0, 0, 0));  // degenerate != empty
+  EXPECT_EQ(Rect().ToString(), "[empty]");
+}
+
+}  // namespace
+}  // namespace stburst

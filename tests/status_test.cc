@@ -1,0 +1,139 @@
+// Tests for the Status / StatusOr error model (common/status, statusor).
+
+#include "stburst/common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "stburst/common/statusor.h"
+
+namespace stburst {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoryCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(Status, AllFactories) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(Status, CopyPreservesState) {
+  Status s = Status::NotFound("missing");
+  Status copy = s;
+  EXPECT_EQ(copy, s);
+  EXPECT_EQ(copy.message(), "missing");
+  // Mutating the copy via assignment does not alter the original.
+  copy = Status::OK();
+  EXPECT_TRUE(copy.ok());
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(Status, MoveLeavesSourceReusable) {
+  Status s = Status::Internal("boom");
+  Status moved = std::move(s);
+  EXPECT_TRUE(moved.IsInternal());
+  s = Status::OK();  // reassignment after move is legal
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_NE(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_NE(Status::NotFound("a"), Status::Internal("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(Status, OkCodeWithMessageNormalizesToOk) {
+  Status s(StatusCode::kOk, "ignored");
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.message(), "");
+}
+
+TEST(Status, CodeToString) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+Status FailIfNegative(int v) {
+  if (v < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chained(int v) {
+  STB_RETURN_NOT_OK(FailIfNegative(v));
+  return Status::OK();
+}
+
+TEST(Status, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(Chained(1).ok());
+  EXPECT_TRUE(Chained(-1).IsInvalidArgument());
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsNotFound());
+  EXPECT_EQ(v.value_or(-1), -1);
+}
+
+TEST(StatusOr, ValueOrReturnsValueOnSuccess) {
+  StatusOr<int> v(7);
+  EXPECT_EQ(v.value_or(-1), 7);
+}
+
+TEST(StatusOr, MoveOnlyValueWorks) {
+  StatusOr<std::unique_ptr<int>> v(std::make_unique<int>(5));
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> out = std::move(v).value();
+  EXPECT_EQ(*out, 5);
+}
+
+StatusOr<int> HalfIfEven(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+StatusOr<int> QuarterIfDivisible(int v) {
+  int half = 0;
+  STB_ASSIGN_OR_RETURN(half, HalfIfEven(v));
+  return HalfIfEven(half);
+}
+
+TEST(StatusOr, AssignOrReturnMacro) {
+  auto ok = QuarterIfDivisible(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 2);
+  EXPECT_TRUE(QuarterIfDivisible(6).status().IsInvalidArgument());
+  EXPECT_TRUE(QuarterIfDivisible(5).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace stburst

@@ -1,0 +1,46 @@
+// Tests for common/string_util.
+
+#include "stburst/common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace stburst {
+namespace {
+
+TEST(Split, BasicAndEmptyPieces) {
+  EXPECT_EQ(Split("a,b,,c", ","), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", ","), std::vector<std::string>{});
+  EXPECT_EQ(Split(",,,", ","), std::vector<std::string>{});
+}
+
+TEST(Split, MultipleDelimiters) {
+  EXPECT_EQ(Split("a b\tc", " \t"), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(ToLower("HeLLo 123"), "hello 123");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(Trim, StripsWhitespace) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim("\t\n"), "");
+  EXPECT_EQ(Trim("abc"), "abc");
+}
+
+TEST(Join, WithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringPrintf, Formats) {
+  EXPECT_EQ(StringPrintf("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+  EXPECT_EQ(StringPrintf("%s", ""), "");
+  // Long output exercises the resize path.
+  std::string wide = StringPrintf("%200d", 5);
+  EXPECT_EQ(wide.size(), 200u);
+}
+
+}  // namespace
+}  // namespace stburst

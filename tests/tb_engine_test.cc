@@ -1,0 +1,91 @@
+// Tests for the TB temporal-only baseline (index/tb_engine).
+
+#include "stburst/index/tb_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "stburst/index/search_engine.h"
+
+namespace stburst {
+namespace {
+
+// 3 streams, 30 weeks; the term bursts on weeks [10, 13] in streams 0 and 1
+// simultaneously — TB merges everything, so the pattern covers all streams.
+Collection MakeCorpus() {
+  auto c = Collection::Create(30);
+  StreamId s0 = c->AddStream("A", {}, {});
+  StreamId s1 = c->AddStream("B", {}, {});
+  c->AddStream("C", {}, {});
+  TermId t = c->mutable_vocabulary()->Intern("gaza");
+  TermId filler = c->mutable_vocabulary()->Intern("filler");
+  // Background: one mention somewhere every week.
+  for (Timestamp w = 0; w < 30; ++w) {
+    (void)c->AddDocument(w % 2 == 0 ? s0 : s1, w, {t, filler});
+  }
+  // Burst: many mentions during [10, 13].
+  for (Timestamp w = 10; w <= 13; ++w) {
+    for (int i = 0; i < 6; ++i) {
+      (void)c->AddDocument(i % 2 == 0 ? s0 : s1, w, {t, t, filler});
+    }
+  }
+  return std::move(*c);
+}
+
+TEST(BuildTbPatternIndex, PatternsCoverAllStreams) {
+  Collection c = MakeCorpus();
+  FrequencyIndex freq = FrequencyIndex::Build(c);
+  TermId t = c.vocabulary().Lookup("gaza");
+  PatternIndex tb = BuildTbPatternIndex(freq, {t});
+  const auto& patterns = tb.PatternsFor(t);
+  ASSERT_GE(patterns.size(), 1u);
+  for (const auto& p : patterns) {
+    EXPECT_EQ(p.streams.size(), c.num_streams());  // blind to origins
+  }
+}
+
+TEST(BuildTbPatternIndex, TopPatternCoversTheBurst) {
+  Collection c = MakeCorpus();
+  FrequencyIndex freq = FrequencyIndex::Build(c);
+  TermId t = c.vocabulary().Lookup("gaza");
+  PatternIndex tb = BuildTbPatternIndex(freq, {t});
+  const TermPattern* best = nullptr;
+  for (const auto& p : tb.PatternsFor(t)) {
+    if (best == nullptr || p.score > best->score) best = &p;
+  }
+  ASSERT_NE(best, nullptr);
+  EXPECT_LE(best->timeframe.start, 10);
+  EXPECT_GE(best->timeframe.end, 13);
+}
+
+TEST(BuildTbPatternIndex, AllTermsWhenUnspecified) {
+  Collection c = MakeCorpus();
+  FrequencyIndex freq = FrequencyIndex::Build(c);
+  PatternIndex tb = BuildTbPatternIndex(freq);
+  TermId t = c.vocabulary().Lookup("gaza");
+  EXPECT_GE(tb.PatternsFor(t).size(), 1u);
+}
+
+TEST(BuildTbPatternIndex, SearchOverTbPatterns) {
+  Collection c = MakeCorpus();
+  FrequencyIndex freq = FrequencyIndex::Build(c);
+  PatternIndex tb = BuildTbPatternIndex(freq);
+  auto engine = BurstySearchEngine::Build(c, tb);
+  auto result = engine.Search("gaza", 5);
+  ASSERT_GE(result.docs.size(), 1u);
+  // All top docs come from the burst weeks (highest burstiness x relevance).
+  for (const auto& d : result.docs) {
+    Timestamp w = c.document(d.doc).time;
+    EXPECT_GE(w, 10);
+    EXPECT_LE(w, 13);
+  }
+}
+
+TEST(BuildTbPatternIndex, TermWithNoMassYieldsNoPatterns) {
+  Collection c = MakeCorpus();
+  FrequencyIndex freq = FrequencyIndex::Build(c);
+  PatternIndex tb = BuildTbPatternIndex(freq, {9999});
+  EXPECT_TRUE(tb.PatternsFor(9999).empty());
+}
+
+}  // namespace
+}  // namespace stburst

@@ -1,0 +1,108 @@
+// Tests for core/temporal: B_T (Eq. 1) and bursty interval extraction.
+
+#include "stburst/core/temporal.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stburst/common/random.h"
+
+namespace stburst {
+namespace {
+
+TEST(TemporalBurstiness, MatchesEquationOne) {
+  std::vector<double> y = {1, 1, 8, 8, 1, 1};  // W = 20, N = 6
+  Interval burst{2, 3};
+  // (16/20) - (2/6) = 0.8 - 0.3333...
+  EXPECT_NEAR(TemporalBurstiness(y, burst), 0.8 - 2.0 / 6.0, 1e-12);
+}
+
+TEST(TemporalBurstiness, WholeTimelineScoresZero) {
+  std::vector<double> y = {2, 5, 1};
+  EXPECT_NEAR(TemporalBurstiness(y, Interval{0, 2}), 0.0, 1e-12);
+}
+
+TEST(TemporalBurstiness, BoundedByOne) {
+  Rng rng(1);
+  std::vector<double> y(50);
+  for (double& v : y) v = rng.Uniform(0.0, 10.0);
+  for (int trial = 0; trial < 100; ++trial) {
+    Timestamp a = static_cast<Timestamp>(rng.UniformInt(0, 49));
+    Timestamp b = static_cast<Timestamp>(rng.UniformInt(a, 49));
+    double bt = TemporalBurstiness(y, Interval{a, b});
+    EXPECT_GE(bt, -1.0);
+    EXPECT_LE(bt, 1.0);
+  }
+}
+
+TEST(TemporalBurstiness, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(TemporalBurstiness({}, Interval{0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(TemporalBurstiness({1, 2}, Interval{}), 0.0);
+  EXPECT_DOUBLE_EQ(TemporalBurstiness({1, 2}, Interval{0, 5}), 0.0);  // OOR
+  EXPECT_DOUBLE_EQ(TemporalBurstiness({0, 0, 0}, Interval{0, 1}), 0.0);  // no mass
+}
+
+TEST(ExtractBurstyIntervals, FindsThePlantedBurst) {
+  // Flat background of 1 with a strong burst at [10, 14].
+  std::vector<double> y(30, 1.0);
+  for (int t = 10; t <= 14; ++t) y[t] = 12.0;
+  auto bursts = ExtractBurstyIntervals(y);
+  ASSERT_EQ(bursts.size(), 1u);
+  EXPECT_EQ(bursts[0].interval, (Interval{10, 14}));
+  EXPECT_NEAR(bursts[0].burstiness, TemporalBurstiness(y, bursts[0].interval),
+              1e-12);
+  EXPECT_GT(bursts[0].burstiness, 0.5);
+}
+
+TEST(ExtractBurstyIntervals, FindsMultipleSeparatedBursts) {
+  std::vector<double> y(60, 1.0);
+  for (int t = 5; t <= 8; ++t) y[t] = 10.0;
+  for (int t = 40; t <= 46; ++t) y[t] = 8.0;
+  auto bursts = ExtractBurstyIntervals(y);
+  ASSERT_EQ(bursts.size(), 2u);
+  EXPECT_EQ(bursts[0].interval, (Interval{5, 8}));
+  EXPECT_EQ(bursts[1].interval, (Interval{40, 46}));
+}
+
+TEST(ExtractBurstyIntervals, NonOverlappingAndOrdered) {
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> y(120);
+    for (double& v : y) v = rng.Exponential(1.0);
+    auto bursts = ExtractBurstyIntervals(y);
+    for (size_t i = 1; i < bursts.size(); ++i) {
+      EXPECT_GT(bursts[i].interval.start, bursts[i - 1].interval.end);
+    }
+    for (const auto& b : bursts) {
+      EXPECT_GT(b.burstiness, 0.0);
+      EXPECT_LE(b.burstiness, 1.0);
+      // Score consistency with the definition.
+      EXPECT_NEAR(b.burstiness, TemporalBurstiness(y, b.interval), 1e-9);
+    }
+  }
+}
+
+TEST(ExtractBurstyIntervals, ThresholdFilters) {
+  std::vector<double> y(30, 1.0);
+  for (int t = 10; t <= 14; ++t) y[t] = 12.0;  // strong burst
+  y[25] = 4.0;                                 // small blip
+  auto all = ExtractBurstyIntervals(y, 0.0);
+  auto strong = ExtractBurstyIntervals(y, 0.3);
+  EXPECT_GT(all.size(), strong.size());
+  ASSERT_EQ(strong.size(), 1u);
+  EXPECT_EQ(strong[0].interval, (Interval{10, 14}));
+}
+
+TEST(ExtractBurstyIntervals, UniformSequenceHasNoBursts) {
+  std::vector<double> y(50, 3.0);
+  EXPECT_TRUE(ExtractBurstyIntervals(y).empty());
+}
+
+TEST(ExtractBurstyIntervals, ZeroOrEmptySequence) {
+  EXPECT_TRUE(ExtractBurstyIntervals({}).empty());
+  EXPECT_TRUE(ExtractBurstyIntervals(std::vector<double>(10, 0.0)).empty());
+}
+
+}  // namespace
+}  // namespace stburst

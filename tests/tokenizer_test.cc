@@ -1,0 +1,83 @@
+// Tests for stream/tokenizer.
+
+#include "stburst/stream/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace stburst {
+namespace {
+
+TEST(Tokenizer, SplitsOnNonAlnumAndLowercases) {
+  Vocabulary vocab;
+  Tokenizer tok;
+  auto ids = tok.Tokenize("Hello, World! 42 foo-bar", &vocab);
+  ASSERT_EQ(ids.size(), 5u);
+  EXPECT_EQ(vocab.TermOf(ids[0]), "hello");
+  EXPECT_EQ(vocab.TermOf(ids[1]), "world");
+  EXPECT_EQ(vocab.TermOf(ids[2]), "42");
+  EXPECT_EQ(vocab.TermOf(ids[3]), "foo");
+  EXPECT_EQ(vocab.TermOf(ids[4]), "bar");
+}
+
+TEST(Tokenizer, PreservesCaseWhenDisabled) {
+  TokenizerOptions opts;
+  opts.lowercase = false;
+  Vocabulary vocab;
+  Tokenizer tok(opts);
+  auto ids = tok.Tokenize("Obama visits", &vocab);
+  EXPECT_EQ(vocab.TermOf(ids[0]), "Obama");
+}
+
+TEST(Tokenizer, MinTokenLengthDropsShortTokens) {
+  TokenizerOptions opts;
+  opts.min_token_length = 3;
+  Vocabulary vocab;
+  Tokenizer tok(opts);
+  auto ids = tok.Tokenize("a an the quick fox", &vocab);
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(vocab.TermOf(ids[0]), "the");
+  EXPECT_EQ(vocab.TermOf(ids[1]), "quick");
+  EXPECT_EQ(vocab.TermOf(ids[2]), "fox");
+}
+
+TEST(Tokenizer, StopwordsRemoved) {
+  TokenizerOptions opts;
+  opts.stopwords = Tokenizer::DefaultStopwords();
+  Vocabulary vocab;
+  Tokenizer tok(opts);
+  auto ids = tok.Tokenize("the earthquake in Chile was strong", &vocab);
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(vocab.TermOf(ids[0]), "earthquake");
+  EXPECT_EQ(vocab.TermOf(ids[1]), "chile");
+  EXPECT_EQ(vocab.TermOf(ids[2]), "strong");
+}
+
+TEST(Tokenizer, DuplicatesKeptForFrequency) {
+  Vocabulary vocab;
+  Tokenizer tok;
+  auto ids = tok.Tokenize("gaza gaza ceasefire gaza", &vocab);
+  ASSERT_EQ(ids.size(), 4u);
+  EXPECT_EQ(ids[0], ids[1]);
+  EXPECT_EQ(ids[0], ids[3]);
+  EXPECT_NE(ids[0], ids[2]);
+}
+
+TEST(Tokenizer, TokenizeFrozenDropsUnknownWords) {
+  Vocabulary vocab;
+  Tokenizer tok;
+  tok.Tokenize("swine flu pandemic", &vocab);
+  size_t before = vocab.size();
+  auto ids = tok.TokenizeFrozen("swine flu unknownword", vocab);
+  EXPECT_EQ(ids.size(), 2u);
+  EXPECT_EQ(vocab.size(), before);  // frozen: nothing interned
+}
+
+TEST(Tokenizer, EmptyAndPunctuationOnly) {
+  Vocabulary vocab;
+  Tokenizer tok;
+  EXPECT_TRUE(tok.Tokenize("", &vocab).empty());
+  EXPECT_TRUE(tok.Tokenize("..., --- !!!", &vocab).empty());
+}
+
+}  // namespace
+}  // namespace stburst

@@ -1,0 +1,196 @@
+// Tests for the simulated Topix corpus (gen/topix_sim, gen/countries,
+// gen/major_events).
+
+#include "stburst/gen/topix_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "stburst/gen/countries.h"
+
+namespace stburst {
+namespace {
+
+TopixOptions FastOptions() {
+  TopixOptions o;
+  o.mean_docs_per_week = 2.0;  // small corpus for unit-test speed
+  o.background_vocab = 200;
+  o.use_mds = false;  // equirectangular is fine for structural checks
+  return o;
+}
+
+TEST(Countries, Exactly181WithValidCoordinates) {
+  const auto& countries = WorldCountries();
+  ASSERT_EQ(countries.size(), 181u);
+  for (const auto& c : countries) {
+    EXPECT_FALSE(c.name.empty());
+    EXPECT_GE(c.location.lat_deg, -90.0);
+    EXPECT_LE(c.location.lat_deg, 90.0);
+    EXPECT_GE(c.location.lon_deg, -180.0);
+    EXPECT_LE(c.location.lon_deg, 180.0);
+  }
+  EXPECT_NE(CountryIndex("Zimbabwe"), static_cast<size_t>(-1));
+  EXPECT_EQ(CountryIndex("Atlantis"), static_cast<size_t>(-1));
+}
+
+TEST(MajorEvents, TableFourStructure) {
+  const auto& events = MajorEventsList();
+  ASSERT_EQ(events.size(), 18u);
+  for (size_t e = 0; e < events.size(); ++e) {
+    EXPECT_EQ(events[e].number, static_cast<int>(e) + 1);
+    EXPECT_FALSE(events[e].query.empty());
+    EXPECT_FALSE(events[e].bursts.empty());
+    EXPECT_GE(events[e].tier, 1);
+    EXPECT_LE(events[e].tier, 3);
+    bool has_relevant = false;
+    for (const auto& b : events[e].bursts) {
+      // Source country must resolve, weeks must fit the timeline.
+      EXPECT_NE(CountryIndex(b.source_country), static_cast<size_t>(-1))
+          << b.source_country;
+      EXPECT_GE(b.start_week, 0);
+      EXPECT_LT(b.start_week, kTopixWeeks);
+      has_relevant |= b.relevant;
+    }
+    EXPECT_TRUE(has_relevant);
+  }
+  // Tier layout of the paper: 1-6 global, 7-12 multi-country, 13-18 local.
+  for (size_t e = 0; e < 6; ++e) EXPECT_EQ(events[e].tier, 1);
+  for (size_t e = 6; e < 12; ++e) EXPECT_EQ(events[e].tier, 2);
+  for (size_t e = 12; e < 18; ++e) EXPECT_EQ(events[e].tier, 3);
+}
+
+class TopixFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto sim = TopixSimulator::Generate(FastOptions());
+    ASSERT_TRUE(sim.ok());
+    sim_ = new TopixSimulator(std::move(*sim));
+  }
+  static void TearDownTestSuite() {
+    delete sim_;
+    sim_ = nullptr;
+  }
+  static TopixSimulator* sim_;
+};
+
+TopixSimulator* TopixFixture::sim_ = nullptr;
+
+TEST_F(TopixFixture, CorpusShape) {
+  const Collection& c = sim_->collection();
+  EXPECT_EQ(c.num_streams(), 181u);
+  EXPECT_EQ(c.timeline_length(), kTopixWeeks);
+  EXPECT_GT(c.num_documents(), 5000u);
+  EXPECT_GT(c.vocabulary().size(), 200u);  // background + query terms
+}
+
+TEST_F(TopixFixture, QueryTermsResolve) {
+  for (size_t e = 0; e < sim_->events().size(); ++e) {
+    auto terms = sim_->QueryTerms(e);
+    EXPECT_FALSE(terms.empty()) << "event " << e;
+  }
+  // Multi-word queries resolve to several terms.
+  EXPECT_EQ(sim_->QueryTerms(1).size(), 2u);   // "financial crisis"
+  EXPECT_EQ(sim_->QueryTerms(10).size(), 2u);  // "Air France"
+}
+
+TEST_F(TopixFixture, EventDocumentsCarryProvenance) {
+  const Collection& c = sim_->collection();
+  size_t event_docs = 0, decoy_docs = 0, background_docs = 0;
+  for (const Document& d : c.documents()) {
+    if (d.event_id == kNoEvent) {
+      ++background_docs;
+    } else if (d.event_id >= kDecoyEventBase) {
+      ++decoy_docs;
+    } else {
+      ++event_docs;
+    }
+  }
+  EXPECT_GT(event_docs, 100u);
+  EXPECT_GT(decoy_docs, 10u);  // tier-3 decoys exist
+  EXPECT_GT(background_docs, 1000u);
+}
+
+TEST_F(TopixFixture, RelevanceFollowsProvenance) {
+  const Collection& c = sim_->collection();
+  for (const Document& d : c.documents()) {
+    if (d.event_id >= 0 && d.event_id < 18) {
+      EXPECT_TRUE(sim_->IsRelevant(d.id, static_cast<size_t>(d.event_id)));
+      EXPECT_FALSE(
+          sim_->IsRelevant(d.id, static_cast<size_t>((d.event_id + 1) % 18)));
+    } else {
+      for (size_t e = 0; e < 18; ++e) EXPECT_FALSE(sim_->IsRelevant(d.id, e));
+    }
+  }
+}
+
+TEST_F(TopixFixture, GlobalEventsAffectMoreStreamsThanLocalOnes) {
+  // Tier 1 footprints must dominate tier 3 ones.
+  size_t tier1_min = 181, tier3_max = 0;
+  for (size_t e = 0; e < 6; ++e) {
+    tier1_min = std::min(tier1_min, sim_->AffectedStreams(e).size());
+  }
+  for (size_t e = 12; e < 18; ++e) {
+    tier3_max = std::max(tier3_max, sim_->AffectedStreams(e).size());
+  }
+  EXPECT_GT(tier1_min, tier3_max);
+  // The fully global events cover (almost) everything.
+  EXPECT_GT(sim_->AffectedStreams(0).size(), 150u);  // Obama
+  // Localized events stay compact.
+  EXPECT_LT(sim_->AffectedStreams(13).size(), 40u);  // Vieira
+}
+
+TEST_F(TopixFixture, RelevantTimeframesMatchBurstDefinitions) {
+  // Jackson (event 4, index 3): single burst at week 42 for 5 weeks.
+  Interval frame = sim_->RelevantTimeframe(3);
+  EXPECT_EQ(frame.start, 42);
+  EXPECT_EQ(frame.end, 46);
+  // Decoy bursts must not extend the relevant timeframe (Vieira, index 13:
+  // relevant burst starts week 26; its decoy is week 13).
+  EXPECT_EQ(sim_->RelevantTimeframe(13).start, 26);
+}
+
+TEST_F(TopixFixture, EventTermFrequencySpikesDuringEvent) {
+  const Collection& c = sim_->collection();
+  FrequencyIndex freq = FrequencyIndex::Build(c);
+  TermId jackson = c.vocabulary().Lookup("jackson");
+  ASSERT_NE(jackson, kInvalidTerm);
+  TermSeries series = freq.DenseSeries(jackson);
+  auto merged = series.AggregateOverStreams();
+  double in_burst = 0.0, outside = 0.0;
+  for (Timestamp w = 0; w < kTopixWeeks; ++w) {
+    if (w >= 42 && w <= 46) {
+      in_burst += merged[w];
+    } else {
+      outside += merged[w];
+    }
+  }
+  // 5 burst weeks carry far more mass than the 43 quiet weeks combined.
+  EXPECT_GT(in_burst, outside);
+}
+
+TEST(TopixSimulator, DeterministicForSeed) {
+  TopixOptions o = FastOptions();
+  o.mean_docs_per_week = 1.0;
+  auto a = TopixSimulator::Generate(o);
+  auto b = TopixSimulator::Generate(o);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->collection().num_documents(), b->collection().num_documents());
+  for (size_t i = 0; i < a->collection().num_documents(); i += 997) {
+    const Document& da = a->collection().document(static_cast<DocId>(i));
+    const Document& db = b->collection().document(static_cast<DocId>(i));
+    EXPECT_EQ(da.stream, db.stream);
+    EXPECT_EQ(da.time, db.time);
+    EXPECT_EQ(da.tokens, db.tokens);
+  }
+}
+
+TEST(TopixSimulator, ValidatesOptions) {
+  TopixOptions o = FastOptions();
+  o.background_vocab = 0;
+  EXPECT_TRUE(TopixSimulator::Generate(o).status().IsInvalidArgument());
+  o = FastOptions();
+  o.doc_len_max = o.doc_len_min - 1;
+  EXPECT_TRUE(TopixSimulator::Generate(o).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace stburst

@@ -1,0 +1,52 @@
+// Tests for stream/vocabulary.
+
+#include "stburst/stream/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace stburst {
+namespace {
+
+TEST(Vocabulary, InternAssignsDenseIds) {
+  Vocabulary v;
+  EXPECT_EQ(v.Intern("alpha"), 0u);
+  EXPECT_EQ(v.Intern("beta"), 1u);
+  EXPECT_EQ(v.Intern("alpha"), 0u);  // repeated intern is stable
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(Vocabulary, LookupWithoutIntern) {
+  Vocabulary v;
+  v.Intern("x");
+  EXPECT_EQ(v.Lookup("x"), 0u);
+  EXPECT_EQ(v.Lookup("missing"), kInvalidTerm);
+  EXPECT_EQ(v.size(), 1u);  // Lookup does not intern
+}
+
+TEST(Vocabulary, TermOfRoundTrips) {
+  Vocabulary v;
+  TermId a = v.Intern("hello");
+  TermId b = v.Intern("world");
+  EXPECT_EQ(v.TermOf(a), "hello");
+  EXPECT_EQ(v.TermOf(b), "world");
+}
+
+TEST(Vocabulary, ManyTerms) {
+  Vocabulary v;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(v.Intern("term" + std::to_string(i)), static_cast<TermId>(i));
+  }
+  EXPECT_EQ(v.size(), 1000u);
+  EXPECT_EQ(v.Lookup("term537"), 537u);
+  EXPECT_EQ(v.TermOf(999), "term999");
+}
+
+TEST(Vocabulary, EmptyStringIsATerm) {
+  Vocabulary v;
+  TermId id = v.Intern("");
+  EXPECT_EQ(v.Lookup(""), id);
+  EXPECT_EQ(v.TermOf(id), "");
+}
+
+}  // namespace
+}  // namespace stburst
