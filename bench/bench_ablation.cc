@@ -140,7 +140,8 @@ int main() {
       // Kleinberg per stream, pooled through the same clique machinery.
       std::vector<StreamInterval> intervals;
       for (StreamId s = 0; s < series.num_streams(); ++s) {
-        std::vector<double> row = series.StreamRow(s);
+        std::span<const double> row_view = series.StreamRow(s);
+        std::vector<double> row(row_view.begin(), row_view.end());
         std::vector<double> totals(row.size(), 0.0);
         double max_row = 1.0;
         for (double v : row) max_row = std::max(max_row, v);

@@ -8,8 +8,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "stburst/core/batch_miner.h"
 #include "stburst/core/stcomb.h"
 #include "stburst/core/stlocal.h"
 #include "stburst/gen/topix_sim.h"
@@ -94,6 +96,66 @@ inline bool TopRegionalWindow(const FrequencyIndex& freq,
   }
   return found;
 }
+
+/// Whole-vocabulary combinatorial mining through the batch engine with the
+/// standard experiment configuration.
+inline StatusOr<BatchMineResult> MineVocabulary(const FrequencyIndex& freq,
+                                                size_t num_threads) {
+  BatchMinerOptions opts;
+  opts.stcomb.min_interval_burstiness = 0.1;
+  opts.num_threads = num_threads;
+  return MineAllTerms(freq, opts);
+}
+
+/// Machine-readable perf log: every harness appends (op, ns/op, items)
+/// entries and writes one BENCH_<name>.json so the perf trajectory is
+/// trackable across PRs. Schema:
+///   {"benchmark": "...",
+///    "corpus": {"documents": D, "streams": n, "terms": V, "timeline": L},
+///    "results": [{"op": "...", "ns_per_op": X, "items": N}, ...]}
+class PerfJson {
+ public:
+  explicit PerfJson(std::string benchmark) : benchmark_(std::move(benchmark)) {}
+
+  void SetCorpus(size_t documents, size_t streams, size_t terms,
+                 Timestamp timeline) {
+    corpus_ = StringPrintf(
+        "{\"documents\": %zu, \"streams\": %zu, \"terms\": %zu, "
+        "\"timeline\": %d}",
+        documents, streams, terms, timeline);
+  }
+
+  /// Records one measurement: `ns_per_op` nanoseconds per logical op over
+  /// `items` processed units (0 when not meaningful).
+  void Add(const std::string& op, double ns_per_op, size_t items = 0) {
+    entries_.push_back(StringPrintf(
+        "{\"op\": \"%s\", \"ns_per_op\": %.1f, \"items\": %zu}", op.c_str(),
+        ns_per_op, items));
+  }
+
+  bool Write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n  \"corpus\": %s,\n"
+                 "  \"results\": [\n", benchmark_.c_str(), corpus_.c_str());
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(f, "    %s%s\n", entries_[i].c_str(),
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("perf json written to %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string benchmark_;
+  std::string corpus_ = "{}";
+  std::vector<std::string> entries_;
+};
 
 }  // namespace bench
 }  // namespace stburst

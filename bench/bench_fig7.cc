@@ -74,10 +74,17 @@ int main() {
   std::printf("terms timed: %zu, streams: %zu\n\n", terms.size(), n);
   std::printf("%6s %12s %12s\n", "week", "STComb", "STLocal");
   double denom = static_cast<double>(terms.size());
+  PerfJson perf("bench_fig7");
+  perf.SetCorpus(corpus.num_documents(), n, corpus.vocabulary().size(), weeks);
   for (Timestamp w = 0; w < weeks; ++w) {
     std::printf("%6d %12.3f %12.3f\n", w, stcomb_ms[w] / denom,
                 stlocal_ms[w] / denom);
+    perf.Add(StringPrintf("stcomb_week_%d", w), stcomb_ms[w] / denom * 1e6,
+             terms.size());
+    perf.Add(StringPrintf("stlocal_week_%d", w), stlocal_ms[w] / denom * 1e6,
+             terms.size());
   }
+  perf.Write("BENCH_fig7.json");
   std::printf("\nPaper shape check: STLocal flat (online, cost independent\n"
               "of the prefix); STComb growing with the prefix length. Note:\n"
               "our clique kernel is fast enough that STComb sits below\n"

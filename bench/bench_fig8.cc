@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
 
   std::printf("=== Figure 8: running time vs number of streams ===\n");
   std::printf("%10s %14s %14s\n", "#streams", "STComb (s)", "STLocal (s)");
+  PerfJson perf("bench_fig8");
 
   for (size_t n : ladder) {
     if (n > max_streams) break;
@@ -87,7 +88,12 @@ int main(int argc, char** argv) {
     std::printf("%10zu %14.3f %14.3f\n", n,
                 comb_s / static_cast<double>(terms.size()),
                 local_s / static_cast<double>(terms.size()));
+    perf.Add(StringPrintf("stcomb_streams_%zu", n),
+             comb_s / static_cast<double>(terms.size()) * 1e9, n);
+    perf.Add(StringPrintf("stlocal_streams_%zu", n),
+             local_s / static_cast<double>(terms.size()) * 1e9, n);
   }
+  perf.Write("BENCH_fig8.json");
   std::printf("\nPaper shape check: both curves near-linear in #streams,\n"
               "relative constants favor our clique kernel, so STComb sits\nbelow STLocal (see EXPERIMENTS.md). Pass a larger cap as\n"
               "argv[1] for the paper's full sweep.\n");

@@ -1,0 +1,147 @@
+#include "stburst/common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace stburst {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t n = ResolveThreadCount(num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+size_t ResolveThreadCount(size_t requested) {
+  if (requested > 0) return requested;
+  size_t hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+namespace {
+
+// Shared state of one ParallelFor call: the chunk cursor, a per-call
+// completion latch (so concurrent loops on a shared pool don't wait on each
+// other), and the first captured exception.
+struct LoopState {
+  std::atomic<size_t> next{0};
+  size_t end = 0;
+  size_t chunk = 1;
+  std::atomic<bool> failed{false};
+  std::mutex mu;
+  std::condition_variable done;
+  size_t outstanding = 0;
+  std::exception_ptr error;
+};
+
+void RunChunks(LoopState* state, size_t worker,
+               const std::function<void(size_t, size_t)>& body) {
+  for (;;) {
+    if (state->failed.load(std::memory_order_relaxed)) return;
+    size_t start = state->next.fetch_add(state->chunk, std::memory_order_relaxed);
+    if (start >= state->end) return;
+    size_t stop = std::min(state->end, start + state->chunk);
+    try {
+      for (size_t i = start; i < stop; ++i) body(worker, i);
+    } catch (...) {
+      std::unique_lock<std::mutex> lock(state->mu);
+      if (!state->error) state->error = std::current_exception();
+      state->failed.store(true, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                 const std::function<void(size_t, size_t)>& body) {
+  if (end <= begin) return;
+  const size_t n = end - begin;
+  const size_t helpers = pool == nullptr ? 0 : pool->num_threads();
+  if (helpers == 0 || n == 1) {
+    for (size_t i = begin; i < end; ++i) body(0, i);
+    return;
+  }
+
+  auto state = std::make_shared<LoopState>();
+  state->next.store(begin);
+  state->end = end;
+  // ~8 chunks per worker balances Zipf-skewed per-item costs against cursor
+  // contention.
+  state->chunk = std::max<size_t>(1, n / (8 * (helpers + 1)));
+  state->outstanding = helpers;
+
+  for (size_t w = 0; w < helpers; ++w) {
+    pool->Submit([state, w, &body] {
+      RunChunks(state.get(), w, body);
+      std::unique_lock<std::mutex> lock(state->mu);
+      if (--state->outstanding == 0) state->done.notify_all();
+    });
+  }
+  // The calling thread participates with the highest worker id.
+  RunChunks(state.get(), helpers, body);
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done.wait(lock, [&] { return state->outstanding == 0; });
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+void ParallelFor(size_t num_threads, size_t begin, size_t end,
+                 const std::function<void(size_t, size_t)>& body) {
+  size_t n = ResolveThreadCount(num_threads);
+  if (n <= 1) {
+    ParallelFor(nullptr, begin, end, body);
+    return;
+  }
+  // The calling thread works too, so one fewer pool thread suffices.
+  ThreadPool pool(n - 1);
+  ParallelFor(&pool, begin, end, body);
+}
+
+}  // namespace stburst

@@ -1,0 +1,82 @@
+// Minimal threading runtime for the batch mining engine.
+//
+// ThreadPool is a classic fixed-size worker pool over a task queue.
+// ParallelFor partitions an index range over the pool with dynamic
+// chunking (workers grab chunks from a shared atomic cursor, so uneven
+// per-item costs — rare heavy terms amid a Zipfian tail — still balance).
+// Exceptions thrown by the body are captured and rethrown on the calling
+// thread after all workers finish, so invariants outside the loop hold.
+//
+// Determinism contract: ParallelFor invokes the body exactly once per index
+// with a worker id in [0, num_workers); callers that write results into
+// index-addressed slots get schedule-independent output.
+
+#ifndef STBURST_COMMON_PARALLEL_H_
+#define STBURST_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace stburst {
+
+/// Fixed-size worker pool. Threads are created once and live until
+/// destruction; Submit() enqueues work, Wait() blocks until the queue drains
+/// and all in-flight tasks finish. Destruction waits for pending work.
+class ThreadPool {
+ public:
+  /// `num_threads` 0 means std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not throw; wrap user code that can.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + executing
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Resolves a thread-count knob: 0 -> hardware concurrency, floor 1.
+size_t ResolveThreadCount(size_t requested);
+
+/// Invokes `body(worker, i)` for every i in [begin, end) across `pool`'s
+/// workers with dynamic chunking. `worker` is a stable id in
+/// [0, pool->num_threads()] usable to index per-worker scratch — size such
+/// scratch pool->num_threads() + 1, since the calling thread participates
+/// with the highest id. With a null pool or a single-index range, runs
+/// serially on the calling thread with worker id 0.
+///
+/// The first exception thrown by any invocation is rethrown on the calling
+/// thread once the loop has quiesced; remaining chunks are abandoned.
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                 const std::function<void(size_t worker, size_t i)>& body);
+
+/// Convenience overload: creates a transient pool of `num_threads` (see
+/// ResolveThreadCount) for one loop. num_threads <= 1 runs serially without
+/// spawning anything.
+void ParallelFor(size_t num_threads, size_t begin, size_t end,
+                 const std::function<void(size_t worker, size_t i)>& body);
+
+}  // namespace stburst
+
+#endif  // STBURST_COMMON_PARALLEL_H_

@@ -1,0 +1,138 @@
+#include "stburst/core/batch_miner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "stburst/common/logging.h"
+#include "stburst/common/parallel.h"
+#include "stburst/core/temporal.h"
+
+namespace stburst {
+
+namespace {
+
+// Per-worker reusable state. One instance per worker id; ParallelFor
+// guarantees a worker id is never active on two threads at once.
+struct WorkerScratch {
+  std::vector<double> row;                  // one stream's timeline
+  std::vector<BurstyInterval> bursts;       // one stream's bursty intervals
+  std::vector<StreamInterval> intervals;    // pooled per-term intervals
+  std::unique_ptr<TermSeries> dense;        // regional mining only
+};
+
+// Combinatorial step (1) straight from sorted sparse postings: postings are
+// grouped by stream, so each group is scattered into the timeline scratch
+// and fed to interval extraction. Streams without postings have no mass and
+// thus no intervals — identical output to the dense ExtractStreamIntervals,
+// at O(nnz + active_streams * L) instead of O(n * L).
+void ExtractIntervalsFromPostings(const std::vector<TermPosting>& postings,
+                                  size_t timeline, double min_burstiness,
+                                  WorkerScratch* scratch) {
+  scratch->intervals.clear();
+  scratch->row.resize(timeline);
+  size_t i = 0;
+  while (i < postings.size()) {
+    const StreamId stream = postings[i].stream;
+    std::fill(scratch->row.begin(), scratch->row.end(), 0.0);
+    size_t j = i;
+    while (j < postings.size() && postings[j].stream == stream) {
+      scratch->row[static_cast<size_t>(postings[j].time)] += postings[j].count;
+      ++j;
+    }
+    scratch->bursts.clear();
+    AppendBurstyIntervals(scratch->row, min_burstiness, &scratch->bursts);
+    for (const BurstyInterval& bi : scratch->bursts) {
+      scratch->intervals.push_back(StreamInterval{stream, bi.interval,
+                                                  bi.burstiness});
+    }
+    i = j;
+  }
+}
+
+}  // namespace
+
+StatusOr<BatchMineResult> MineAllTerms(const FrequencyIndex& index,
+                                       const BatchMinerOptions& options) {
+  if (options.mine_regional) {
+    if (options.positions.size() != index.num_streams()) {
+      return Status::InvalidArgument(
+          "regional mining requires one position per stream");
+    }
+    if (!options.model_factory) {
+      return Status::InvalidArgument(
+          "regional mining requires an expected-model factory");
+    }
+  }
+
+  BatchMineResult result;
+  result.terms.resize(index.num_terms());
+  const size_t threads = ResolveThreadCount(options.num_threads);
+  result.threads_used = threads;
+  if (index.num_terms() == 0) return result;
+
+  const StComb stcomb(options.stcomb);
+  const size_t timeline = static_cast<size_t>(index.timeline_length());
+
+  std::vector<WorkerScratch> scratch(threads);
+  std::atomic<size_t> mined{0};
+  std::atomic<size_t> skipped{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  std::optional<Status> error;
+
+  auto mine_term = [&](size_t worker, size_t t) {
+    if (failed.load(std::memory_order_relaxed)) return;
+    const TermId term = static_cast<TermId>(t);
+    TermPatterns& slot = result.terms[t];
+    slot.term = term;
+
+    const std::vector<TermPosting>& postings = index.postings(term);
+    if (postings.empty()) {
+      skipped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (options.min_term_total > 0.0 &&
+        index.TotalCount(term) < options.min_term_total) {
+      skipped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    mined.fetch_add(1, std::memory_order_relaxed);
+    WorkerScratch& ws = scratch[worker];
+
+    if (options.mine_combinatorial) {
+      ExtractIntervalsFromPostings(postings, timeline,
+                                   options.stcomb.min_interval_burstiness, &ws);
+      slot.combinatorial = stcomb.MineFromIntervals(ws.intervals);
+    }
+
+    if (options.mine_regional) {
+      if (ws.dense == nullptr) {
+        ws.dense = std::make_unique<TermSeries>(index.num_streams(),
+                                                index.timeline_length());
+      }
+      index.FillSeries(term, ws.dense.get());
+      auto windows = MineRegionalPatterns(*ws.dense, options.positions,
+                                          options.model_factory, options.stlocal);
+      if (!windows.ok()) {
+        std::unique_lock<std::mutex> lock(error_mu);
+        if (!error.has_value()) error = windows.status();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+      slot.regional = std::move(*windows);
+    }
+  };
+
+  ParallelFor(threads, 0, index.num_terms(), mine_term);
+
+  if (error.has_value()) return *error;
+  result.terms_mined = mined.load();
+  result.terms_skipped = skipped.load();
+  return result;
+}
+
+}  // namespace stburst

@@ -1,0 +1,81 @@
+// Batch mining engine: whole-vocabulary spatiotemporal pattern mining.
+//
+// The paper evaluates its miners one term at a time; real deployments (and
+// the bench harnesses) sweep the entire vocabulary. MineAllTerms fans the
+// per-term STComb / STLocal pipelines across a thread pool and returns a
+// result slot per TermId, so the output is deterministic — independent of
+// thread count and scheduling — while the per-term hot paths run on
+// allocation-free per-worker scratch:
+//  - combinatorial mining streams each term's sparse postings directly into
+//    per-stream interval extraction (no dense n x L matrix is materialized);
+//  - regional mining reuses one dense scratch matrix per worker.
+
+#ifndef STBURST_CORE_BATCH_MINER_H_
+#define STBURST_CORE_BATCH_MINER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stburst/common/statusor.h"
+#include "stburst/core/expected.h"
+#include "stburst/core/pattern.h"
+#include "stburst/core/stcomb.h"
+#include "stburst/core/stlocal.h"
+#include "stburst/geo/point.h"
+#include "stburst/stream/frequency.h"
+
+namespace stburst {
+
+struct BatchMinerOptions {
+  /// Per-term combinatorial mining configuration (§3).
+  StCombOptions stcomb;
+  /// Per-term regional mining configuration (§4). Requires `positions` and
+  /// `model_factory` when mine_regional is set.
+  StLocalOptions stlocal;
+
+  bool mine_combinatorial = true;
+  bool mine_regional = false;
+
+  /// Worker threads; 0 means hardware concurrency. 1 runs fully serial on
+  /// the calling thread (the parity baseline).
+  size_t num_threads = 0;
+
+  /// Terms whose total corpus frequency is below this are skipped (their
+  /// result slot stays empty). Prunes the Zipfian singleton tail cheaply.
+  double min_term_total = 0.0;
+
+  /// Planar stream positions (indexed by StreamId); regional mining only.
+  std::vector<Point2D> positions;
+  /// Fresh expected-frequency model per (stream, term); regional mining
+  /// only. Must be safe to invoke concurrently from multiple threads.
+  ExpectedModelFactory model_factory;
+};
+
+/// Mining output of one term. Slots for skipped or patternless terms carry
+/// empty vectors.
+struct TermPatterns {
+  TermId term = kInvalidTerm;
+  std::vector<CombinatorialPattern> combinatorial;
+  std::vector<SpatiotemporalWindow> regional;
+};
+
+struct BatchMineResult {
+  /// One slot per vocabulary term, indexed by TermId.
+  std::vector<TermPatterns> terms;
+  /// Terms actually mined.
+  size_t terms_mined = 0;
+  /// Terms not mined: no postings in the corpus, or total frequency below
+  /// min_term_total.
+  size_t terms_skipped = 0;
+  /// Worker count the batch actually ran with.
+  size_t threads_used = 0;
+};
+
+/// Mines every vocabulary term of `index` and returns per-term patterns in
+/// TermId order. Output is identical for every thread count.
+StatusOr<BatchMineResult> MineAllTerms(const FrequencyIndex& index,
+                                       const BatchMinerOptions& options = {});
+
+}  // namespace stburst
+
+#endif  // STBURST_CORE_BATCH_MINER_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include "stburst/common/logging.h"
@@ -14,89 +15,117 @@ namespace {
 // A rows x cols matrix of aggregated weights, where column c spans
 // [col_lo[c], col_hi[c]] in x and row r spans [row_lo[r], row_hi[r]] in y.
 // In exact mode each row/column is a single coordinate (lo == hi); in grid
-// mode they are grid-cell extents.
+// mode they are grid-cell extents. point_row/point_col record the bin of
+// every input point so the solver can collect a rectangle's members straight
+// from the binning instead of rescanning the plane.
+//
+// Instances are reused as thread-local scratch across MaxWeightRectangle
+// calls: R-Bursty and STLocal call the solver once per snapshot per term,
+// and the buffers stabilize at the largest size seen by each thread.
 struct CellMatrix {
   size_t rows = 0;
   size_t cols = 0;
   std::vector<double> cells;  // row-major
   std::vector<double> col_lo, col_hi;
   std::vector<double> row_lo, row_hi;
-
-  double at(size_t r, size_t c) const { return cells[r * cols + c]; }
+  std::vector<uint32_t> point_row, point_col;  // bin of each input point
 };
 
-// Max-sum contiguous span of `sums`; returns {score, c1, c2}. If every
-// prefix is empty the single best element is returned (possibly negative).
-struct KadaneResult {
-  double score = -std::numeric_limits<double>::infinity();
-  size_t c1 = 0;
-  size_t c2 = 0;
+// Per-thread scratch of the band sweep.
+struct SolveScratch {
+  std::vector<double> col_sums;
+  std::vector<double> row_pos_mass;    // positive mass per row
+  std::vector<double> suffix_pos_mass; // positive mass in rows >= r
+  std::vector<size_t> positive_rows;
 };
 
-KadaneResult Kadane(const std::vector<double>& sums) {
-  KadaneResult best;
-  double run = 0.0;
-  size_t run_start = 0;
-  for (size_t c = 0; c < sums.size(); ++c) {
-    if (run <= 0.0) {
-      run = sums[c];
-      run_start = c;
-    } else {
-      run += sums[c];
-    }
-    if (run > best.score) {
-      best.score = run;
-      best.c1 = run_start;
-      best.c2 = c;
-    }
-  }
-  return best;
-}
-
-MaxRectResult SolveCells(const CellMatrix& m,
-                         const std::vector<Point2D>& points,
-                         const std::vector<double>& weights) {
+// Kadane sweep over row bands with two admissible-pruning levels:
+//  - anchor level: the positive mass in rows >= r1 bounds every rectangle
+//    anchored at r1; suffix mass is non-increasing in r1, so once it cannot
+//    beat the incumbent no later anchor can either and the sweep stops.
+//  - band level: the positive mass inside [r1, r2] bounds the band's Kadane
+//    score; bands that cannot beat the incumbent only accumulate column
+//    sums (one fused pass) and skip the max-subarray bookkeeping.
+// Tie-breaking (strict improvement only) matches the naive sweep, so the
+// pruned solver returns bit-identical rectangles.
+MaxRectResult SolveCells(const CellMatrix& m) {
   MaxRectResult result;
   if (m.rows == 0 || m.cols == 0) return result;
 
-  // Rows hosting at least one strictly positive cell: an optimal rectangle
-  // can be shrunk until its top and bottom edges touch positive mass.
-  std::vector<size_t> positive_rows;
+  thread_local SolveScratch scratch;
+  std::vector<double>& col_sums = scratch.col_sums;
+  std::vector<double>& row_pos_mass = scratch.row_pos_mass;
+  std::vector<double>& suffix_pos_mass = scratch.suffix_pos_mass;
+  std::vector<size_t>& positive_rows = scratch.positive_rows;
+
+  row_pos_mass.assign(m.rows, 0.0);
+  positive_rows.clear();
   for (size_t r = 0; r < m.rows; ++r) {
+    const double* row = m.cells.data() + r * m.cols;
+    double pos = 0.0;
     for (size_t c = 0; c < m.cols; ++c) {
-      if (m.at(r, c) > 0.0) {
-        positive_rows.push_back(r);
-        break;
-      }
+      if (row[c] > 0.0) pos += row[c];
     }
+    row_pos_mass[r] = pos;
+    // Rows hosting positive mass: an optimal rectangle can be shrunk until
+    // its top and bottom edges touch positive cells.
+    if (pos > 0.0) positive_rows.push_back(r);
   }
   if (positive_rows.empty()) return result;
   const size_t last_positive_row = positive_rows.back();
+
+  suffix_pos_mass.assign(m.rows + 1, 0.0);
+  for (size_t r = m.rows; r-- > 0;) {
+    suffix_pos_mass[r] = suffix_pos_mass[r + 1] + row_pos_mass[r];
+  }
 
   double best_score = 0.0;
   size_t best_r1 = 0, best_r2 = 0, best_c1 = 0, best_c2 = 0;
   bool found = false;
 
-  std::vector<double> col_sums(m.cols);
-  for (size_t r1 : positive_rows) {
+  col_sums.resize(m.cols);
+  for (size_t anchor = 0; anchor < positive_rows.size(); ++anchor) {
+    const size_t r1 = positive_rows[anchor];
+    if (suffix_pos_mass[r1] <= best_score) break;  // nor can any later anchor
+
     std::fill(col_sums.begin(), col_sums.end(), 0.0);
+    double band_pos_mass = 0.0;
+    size_t next_positive = anchor;
     // Extend the band downward through every row (non-positive rows inside
-    // the band still contribute their weight), evaluating Kadane only when
-    // the band's bottom edge also touches a positive row.
-    size_t next_positive = 0;
-    while (positive_rows[next_positive] < r1) ++next_positive;
+    // the band still contribute their weight), evaluating only when the
+    // band's bottom edge also touches a positive row.
     for (size_t r2 = r1; r2 <= last_positive_row; ++r2) {
-      for (size_t c = 0; c < m.cols; ++c) col_sums[c] += m.at(r2, c);
-      if (positive_rows[next_positive] != r2) continue;
-      ++next_positive;
-      KadaneResult k = Kadane(col_sums);
-      if (k.score > best_score) {
-        best_score = k.score;
-        best_r1 = r1;
-        best_r2 = r2;
-        best_c1 = k.c1;
-        best_c2 = k.c2;
-        found = true;
+      const double* row = m.cells.data() + r2 * m.cols;
+      band_pos_mass += row_pos_mass[r2];
+      const bool evaluate =
+          positive_rows[next_positive] == r2 && band_pos_mass > best_score;
+      if (positive_rows[next_positive] == r2) ++next_positive;
+
+      if (!evaluate) {
+        for (size_t c = 0; c < m.cols; ++c) col_sums[c] += row[c];
+      } else {
+        // Fused pass: accumulate the new row into the column sums and run
+        // the max-subarray recurrence on the updated values in one sweep.
+        double run = 0.0;
+        size_t run_start = 0;
+        for (size_t c = 0; c < m.cols; ++c) {
+          const double v = col_sums[c] + row[c];
+          col_sums[c] = v;
+          if (run <= 0.0) {
+            run = v;
+            run_start = c;
+          } else {
+            run += v;
+          }
+          if (run > best_score) {
+            best_score = run;
+            best_r1 = r1;
+            best_r2 = r2;
+            best_c1 = run_start;
+            best_c2 = c;
+            found = true;
+          }
+        }
       }
       if (next_positive >= positive_rows.size()) break;
     }
@@ -106,84 +135,101 @@ MaxRectResult SolveCells(const CellMatrix& m,
   result.score = best_score;
   result.rect = Rect(m.col_lo[best_c1], m.row_lo[best_r1], m.col_hi[best_c2],
                      m.row_hi[best_r2]);
-  for (size_t i = 0; i < points.size(); ++i) {
-    (void)weights;
-    if (result.rect.Contains(points[i])) result.points_inside.push_back(i);
+  // Members come from the binned indices: exactly the points whose mass the
+  // winning cells aggregated — no geometric rescan.
+  const size_t n = m.point_row.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (m.point_row[i] >= best_r1 && m.point_row[i] <= best_r2 &&
+        m.point_col[i] >= best_c1 && m.point_col[i] <= best_c2) {
+      result.points_inside.push_back(i);
+    }
   }
   return result;
 }
 
-CellMatrix BuildExactMatrix(const std::vector<Point2D>& points,
-                            const std::vector<double>& weights) {
-  CellMatrix m;
-  std::vector<double> xs, ys;
+void BuildExactMatrix(const std::vector<Point2D>& points,
+                      const std::vector<double>& weights, CellMatrix* m) {
+  std::vector<double>& xs = m->col_lo;
+  std::vector<double>& ys = m->row_lo;
+  xs.clear();
+  ys.clear();
   xs.reserve(points.size());
   ys.reserve(points.size());
-  for (size_t i = 0; i < points.size(); ++i) {
-    if (weights[i] == 0.0) continue;  // weightless points cannot matter
-    xs.push_back(points[i].x);
-    ys.push_back(points[i].y);
+  for (const Point2D& p : points) {
+    xs.push_back(p.x);
+    ys.push_back(p.y);
   }
   std::sort(xs.begin(), xs.end());
   xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
   std::sort(ys.begin(), ys.end());
   ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
-  if (xs.empty() || ys.empty()) return m;
 
-  m.cols = xs.size();
-  m.rows = ys.size();
-  m.col_lo = xs;
-  m.col_hi = xs;
-  m.row_lo = ys;
-  m.row_hi = ys;
-  m.cells.assign(m.rows * m.cols, 0.0);
+  m->cols = xs.size();
+  m->rows = ys.size();
+  m->col_hi = xs;
+  m->row_hi = ys;
+  m->cells.assign(m->rows * m->cols, 0.0);
+  m->point_col.resize(points.size());
+  m->point_row.resize(points.size());
 
   auto index_of = [](const std::vector<double>& v, double key) {
-    return static_cast<size_t>(
+    return static_cast<uint32_t>(
         std::lower_bound(v.begin(), v.end(), key) - v.begin());
   };
   for (size_t i = 0; i < points.size(); ++i) {
-    if (weights[i] == 0.0) continue;
-    size_t c = index_of(xs, points[i].x);
-    size_t r = index_of(ys, points[i].y);
-    m.cells[r * m.cols + c] += weights[i];
+    const uint32_t c = index_of(xs, points[i].x);
+    const uint32_t r = index_of(ys, points[i].y);
+    m->point_col[i] = c;
+    m->point_row[i] = r;
+    if (weights[i] != 0.0) m->cells[r * m->cols + c] += weights[i];
   }
-  return m;
 }
 
-StatusOr<CellMatrix> BuildGridMatrix(const std::vector<Point2D>& points,
-                                     const std::vector<double>& weights,
-                                     size_t grid_cols, size_t grid_rows) {
-  CellMatrix m;
+Status BuildGridMatrix(const std::vector<Point2D>& points,
+                       const std::vector<double>& weights, size_t grid_cols,
+                       size_t grid_rows, CellMatrix* m) {
   Rect bounds = Rect::BoundingBox(points);
-  if (bounds.empty()) return m;
+  if (bounds.empty()) {
+    m->rows = m->cols = 0;
+    return Status::OK();
+  }
   if (bounds.width() <= 0.0 || bounds.height() <= 0.0) {
     // Degenerate map (all points collinear): fall back to the exact sweep,
     // which handles 1-D layouts natively.
-    return BuildExactMatrix(points, weights);
+    BuildExactMatrix(points, weights, m);
+    return Status::OK();
   }
   STB_ASSIGN_OR_RETURN(UniformGrid grid,
                        UniformGrid::Create(bounds, grid_cols, grid_rows));
-  std::vector<double> cells = grid.AggregateWeights(points, weights);
 
-  m.rows = grid.rows();
-  m.cols = grid.cols();
-  m.cells = std::move(cells);
-  m.col_lo.resize(m.cols);
-  m.col_hi.resize(m.cols);
-  m.row_lo.resize(m.rows);
-  m.row_hi.resize(m.rows);
-  for (size_t c = 0; c < m.cols; ++c) {
+  m->rows = grid.rows();
+  m->cols = grid.cols();
+  m->cells.assign(m->rows * m->cols, 0.0);
+  m->point_col.resize(points.size());
+  m->point_row.resize(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    size_t col, row;
+    grid.CellCoords(points[i], &col, &row);
+    m->point_col[i] = static_cast<uint32_t>(col);
+    m->point_row[i] = static_cast<uint32_t>(row);
+    m->cells[row * m->cols + col] += weights[i];
+  }
+
+  m->col_lo.resize(m->cols);
+  m->col_hi.resize(m->cols);
+  m->row_lo.resize(m->rows);
+  m->row_hi.resize(m->rows);
+  for (size_t c = 0; c < m->cols; ++c) {
     Rect r = grid.CellRect(c, 0);
-    m.col_lo[c] = r.min_x();
-    m.col_hi[c] = r.max_x();
+    m->col_lo[c] = r.min_x();
+    m->col_hi[c] = r.max_x();
   }
-  for (size_t r = 0; r < m.rows; ++r) {
+  for (size_t r = 0; r < m->rows; ++r) {
     Rect rr = grid.CellRect(0, r);
-    m.row_lo[r] = rr.min_y();
-    m.row_hi[r] = rr.max_y();
+    m->row_lo[r] = rr.min_y();
+    m->row_hi[r] = rr.max_y();
   }
-  return m;
+  return Status::OK();
 }
 
 }  // namespace
@@ -196,16 +242,17 @@ StatusOr<MaxRectResult> MaxWeightRectangle(const std::vector<Point2D>& points,
   }
   if (points.empty()) return MaxRectResult{};
 
+  thread_local CellMatrix matrix;
   if (options.mode == MaxRectOptions::Mode::kGrid) {
     if (options.grid_cols == 0 || options.grid_rows == 0) {
       return Status::InvalidArgument("grid resolution must be positive");
     }
-    STB_ASSIGN_OR_RETURN(
-        CellMatrix m,
-        BuildGridMatrix(points, weights, options.grid_cols, options.grid_rows));
-    return SolveCells(m, points, weights);
+    STB_RETURN_NOT_OK(BuildGridMatrix(points, weights, options.grid_cols,
+                                      options.grid_rows, &matrix));
+    return SolveCells(matrix);
   }
-  return SolveCells(BuildExactMatrix(points, weights), points, weights);
+  BuildExactMatrix(points, weights, &matrix);
+  return SolveCells(matrix);
 }
 
 }  // namespace stburst

@@ -56,7 +56,7 @@ ExpectedModelFactory WithPriorFloor(ExpectedModelFactory inner, double floor) {
   };
 }
 
-std::vector<double> BurstinessSeries(const std::vector<double>& y,
+std::vector<double> BurstinessSeries(std::span<const double> y,
                                      ExpectedFrequencyModel* model) {
   std::vector<double> b(y.size());
   for (size_t i = 0; i < y.size(); ++i) {

@@ -15,6 +15,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "stburst/common/math_util.h"
@@ -139,7 +140,7 @@ ExpectedModelFactory WithPriorFloor(ExpectedModelFactory inner, double floor);
 /// advancing `model` causally. The first observation (no history) is scored
 /// 0 rather than y[0] so that the very first snapshot is not spuriously
 /// bursty for every term.
-std::vector<double> BurstinessSeries(const std::vector<double>& y,
+std::vector<double> BurstinessSeries(std::span<const double> y,
                                      ExpectedFrequencyModel* model);
 
 }  // namespace stburst

@@ -39,10 +39,14 @@ void OnlineMaxSegments::Add(double score) {
 std::vector<Segment> OnlineMaxSegments::CurrentSegments() const {
   std::vector<Segment> out;
   out.reserve(cands_.size());
-  for (const Candidate& c : cands_) {
-    out.push_back(Segment{c.start, c.end, c.r - c.l});
-  }
+  AppendCurrentSegments(&out);
   return out;
+}
+
+void OnlineMaxSegments::AppendCurrentSegments(std::vector<Segment>* out) const {
+  for (const Candidate& c : cands_) {
+    out->push_back(Segment{c.start, c.end, c.r - c.l});
+  }
 }
 
 void OnlineMaxSegments::Reset() {
@@ -51,7 +55,7 @@ void OnlineMaxSegments::Reset() {
   n_ = 0;
 }
 
-std::vector<Segment> MaximalSegments(const std::vector<double>& scores) {
+std::vector<Segment> MaximalSegments(std::span<const double> scores) {
   OnlineMaxSegments online;
   for (double s : scores) online.Add(s);
   return online.CurrentSegments();

@@ -12,6 +12,8 @@
 #define STBURST_CORE_GETMAX_H_
 
 #include <cstddef>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 namespace stburst {
@@ -47,6 +49,10 @@ class OnlineMaxSegments {
   /// Maximal segments of the consumed prefix, in left-to-right order.
   std::vector<Segment> CurrentSegments() const;
 
+  /// Appends the maximal segments to `out` without allocating a fresh
+  /// vector — the per-(term, stream) hot path of batch mining.
+  void AppendCurrentSegments(std::vector<Segment>* out) const;
+
   /// Number of maximal segments currently maintained, without materializing
   /// them (Figure 6 reports this count per timestamp).
   size_t num_candidates() const { return cands_.size(); }
@@ -70,7 +76,12 @@ class OnlineMaxSegments {
 };
 
 /// Batch variant: all maximal segments of `scores`, left to right.
-std::vector<Segment> MaximalSegments(const std::vector<double>& scores);
+std::vector<Segment> MaximalSegments(std::span<const double> scores);
+
+/// Braced-list convenience (spans cannot bind initializer lists directly).
+inline std::vector<Segment> MaximalSegments(std::initializer_list<double> scores) {
+  return MaximalSegments(std::span<const double>(scores.begin(), scores.size()));
+}
 
 }  // namespace stburst
 

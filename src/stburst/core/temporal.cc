@@ -4,7 +4,7 @@
 
 namespace stburst {
 
-double TemporalBurstiness(const std::vector<double>& y, const Interval& interval) {
+double TemporalBurstiness(std::span<const double> y, const Interval& interval) {
   if (y.empty() || !interval.valid()) return 0.0;
   if (interval.start < 0 ||
       static_cast<size_t>(interval.end) >= y.size()) {
@@ -22,25 +22,37 @@ double TemporalBurstiness(const std::vector<double>& y, const Interval& interval
          static_cast<double>(interval.length()) / static_cast<double>(y.size());
 }
 
-std::vector<BurstyInterval> ExtractBurstyIntervals(const std::vector<double>& y,
-                                                   double min_burstiness) {
-  std::vector<BurstyInterval> out;
-  if (y.empty()) return out;
+void AppendBurstyIntervals(std::span<const double> y, double min_burstiness,
+                           std::vector<BurstyInterval>* out) {
+  if (y.empty()) return;
   double total = 0.0;
   for (double v : y) total += v;
-  if (total <= 0.0) return out;
+  if (total <= 0.0) return;
 
+  // Hot path of per-term mining: the Ruzzo–Tompa state is per-thread
+  // scratch, so one (term, stream) extraction performs no allocations
+  // beyond the caller's output growth.
   const double baseline = 1.0 / static_cast<double>(y.size());
-  std::vector<double> scores(y.size());
-  for (size_t i = 0; i < y.size(); ++i) scores[i] = y[i] / total - baseline;
+  thread_local OnlineMaxSegments getmax;
+  getmax.Reset();
+  for (double v : y) getmax.Add(v / total - baseline);
 
-  for (const Segment& seg : MaximalSegments(scores)) {
+  thread_local std::vector<Segment> segments;
+  segments.clear();
+  getmax.AppendCurrentSegments(&segments);
+  for (const Segment& seg : segments) {
     if (seg.score <= min_burstiness) continue;
-    out.push_back(BurstyInterval{
+    out->push_back(BurstyInterval{
         Interval{static_cast<Timestamp>(seg.start),
                  static_cast<Timestamp>(seg.end)},
         seg.score});
   }
+}
+
+std::vector<BurstyInterval> ExtractBurstyIntervals(std::span<const double> y,
+                                                   double min_burstiness) {
+  std::vector<BurstyInterval> out;
+  AppendBurstyIntervals(y, min_burstiness, &out);
   return out;
 }
 

@@ -12,6 +12,7 @@
 #ifndef STBURST_CORE_TEMPORAL_H_
 #define STBURST_CORE_TEMPORAL_H_
 
+#include <span>
 #include <vector>
 
 #include "stburst/core/interval.h"
@@ -26,14 +27,21 @@ struct BurstyInterval {
 };
 
 /// B_T(I) of Eq. 1 for an arbitrary interval. Returns 0 when the sequence
-/// has no mass or the interval is invalid/out of range.
-double TemporalBurstiness(const std::vector<double>& y, const Interval& interval);
+/// has no mass or the interval is invalid/out of range. Takes a span so
+/// zero-copy TermSeries rows flow in without materializing a vector.
+double TemporalBurstiness(std::span<const double> y, const Interval& interval);
 
 /// The non-overlapping maximal bursty intervals of `y`, each with its B_T
 /// score, in timeline order. Intervals scoring <= min_burstiness are
 /// dropped. Linear time.
-std::vector<BurstyInterval> ExtractBurstyIntervals(const std::vector<double>& y,
+std::vector<BurstyInterval> ExtractBurstyIntervals(std::span<const double> y,
                                                    double min_burstiness = 0.0);
+
+/// Allocation-free variant: appends the extracted intervals to `out`
+/// (which is NOT cleared). Runs on per-thread scratch; the batch miner
+/// calls this once per (term, stream) pair.
+void AppendBurstyIntervals(std::span<const double> y, double min_burstiness,
+                           std::vector<BurstyInterval>* out);
 
 }  // namespace stburst
 

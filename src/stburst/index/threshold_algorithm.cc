@@ -1,9 +1,8 @@
 #include "stburst/index/threshold_algorithm.h"
 
 #include <algorithm>
-#include <set>
+#include <queue>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "stburst/common/logging.h"
 
@@ -48,14 +47,20 @@ TopKResult ThresholdTopK(const InvertedIndex& index,
 
   std::vector<size_t> pos(lists.size(), 0);
   std::unordered_map<DocId, double> candidates;
-  std::multiset<double> best_k;  // scores of the current top-k candidates
+  size_t expected = 0;
+  for (const auto* list : lists) expected += list->size();
+  candidates.reserve(std::min(expected, size_t{1} << 16));
+
+  // Bounded min-heap over the current top-k scores: O(log k) per offer with
+  // contiguous storage, versus the node-per-score multiset it replaces.
+  std::priority_queue<double, std::vector<double>, std::greater<double>> best_k;
 
   auto offer = [&](double score) {
     if (best_k.size() < k) {
-      best_k.insert(score);
-    } else if (score > *best_k.begin()) {
-      best_k.erase(best_k.begin());
-      best_k.insert(score);
+      best_k.push(score);
+    } else if (score > best_k.top()) {
+      best_k.pop();
+      best_k.push(score);
     }
   };
 
@@ -91,7 +96,7 @@ TopKResult ThresholdTopK(const InvertedIndex& index,
     for (size_t i = 0; i < lists.size(); ++i) {
       if (pos[i] < lists[i]->size()) threshold += (*lists[i])[pos[i]].score;
     }
-    if (best_k.size() == k && *best_k.begin() >= threshold) {
+    if (best_k.size() == k && best_k.top() >= threshold) {
       result.early_terminated = true;
       break;
     }
@@ -109,8 +114,12 @@ TopKResult ExhaustiveTopK(const InvertedIndex& index,
                           const std::vector<TermId>& query, size_t k) {
   TopKResult result;
   if (k == 0) return result;
+  std::vector<TermId> terms = DedupeQuery(query);
   std::unordered_map<DocId, double> scores;
-  for (TermId t : DedupeQuery(query)) {
+  size_t expected = 0;
+  for (TermId t : terms) expected += index.postings(t).size();
+  scores.reserve(std::min(expected, size_t{1} << 16));
+  for (TermId t : terms) {
     for (const Posting& p : index.postings(t)) {
       scores[p.doc] += p.score;
       ++result.sorted_accesses;

@@ -20,22 +20,22 @@ size_t TermSeries::Index(StreamId stream, Timestamp time) const {
          static_cast<size_t>(time);
 }
 
-std::vector<double> TermSeries::StreamRow(StreamId stream) const {
-  std::vector<double> row(static_cast<size_t>(timeline_length_));
-  for (Timestamp t = 0; t < timeline_length_; ++t) row[t] = at(stream, t);
-  return row;
-}
-
 std::vector<double> TermSeries::SnapshotColumn(Timestamp time) const {
   std::vector<double> col(num_streams_);
-  for (StreamId s = 0; s < num_streams_; ++s) col[s] = at(s, time);
+  const size_t L = static_cast<size_t>(timeline_length_);
+  const double* p = data_.data() + Index(0, time);
+  for (size_t s = 0; s < num_streams_; ++s, p += L) col[s] = *p;
   return col;
 }
 
 std::vector<double> TermSeries::AggregateOverStreams() const {
-  std::vector<double> agg(static_cast<size_t>(timeline_length_), 0.0);
-  for (StreamId s = 0; s < num_streams_; ++s) {
-    for (Timestamp t = 0; t < timeline_length_; ++t) agg[t] += at(s, t);
+  const size_t L = static_cast<size_t>(timeline_length_);
+  std::vector<double> agg(L, 0.0);
+  // Walk the row-major buffer contiguously: one streaming pass, rows added
+  // into the L-length accumulator.
+  const double* p = data_.data();
+  for (size_t s = 0; s < num_streams_; ++s, p += L) {
+    for (size_t t = 0; t < L; ++t) agg[t] += p[t];
   }
   return agg;
 }
@@ -46,51 +46,86 @@ double TermSeries::Total() const {
   return sum;
 }
 
+void TermSeries::Clear() { std::fill(data_.begin(), data_.end(), 0.0); }
+
 const std::vector<TermPosting> FrequencyIndex::kEmpty;
 
 FrequencyIndex FrequencyIndex::Build(const Collection& collection) {
   FrequencyIndex index;
   index.num_streams_ = collection.num_streams();
   index.timeline_length_ = collection.timeline_length();
-  index.postings_.resize(collection.vocabulary().size());
+  const size_t vocab = collection.vocabulary().size();
+  index.postings_.resize(vocab);
 
-  // Accumulate (term -> stream -> time -> count) by a single scan; documents
-  // repeat terms, so count duplicates within each token list first.
+  // Single scan with bucketed accumulation: per-document term counts are
+  // collected with an epoch-stamped scratch table (no per-doc sort), then
+  // appended to each term's bucket. Consecutive documents of the same
+  // (stream, time) cell merge into the bucket's tail, so when documents
+  // arrive grouped by cell — the common ingest order — buckets come out
+  // sorted and deduplicated with no comparison sort at all. Buckets that
+  // observe an out-of-order append are flagged and canonicalized afterwards.
+  std::vector<uint32_t> seen_epoch(vocab, 0);
+  std::vector<uint32_t> slot_of(vocab, 0);
+  std::vector<TermId> doc_terms;
+  std::vector<double> doc_counts;
+  std::vector<uint8_t> needs_sort(vocab, 0);
+  uint32_t epoch = 0;
+
   for (const Document& doc : collection.documents()) {
-    // Tokens within a doc are few; sort a local copy to group duplicates.
-    std::vector<TermId> toks = doc.tokens;
-    std::sort(toks.begin(), toks.end());
-    for (size_t i = 0; i < toks.size();) {
-      size_t j = i;
-      while (j < toks.size() && toks[j] == toks[i]) ++j;
-      TermId term = toks[i];
-      STB_CHECK(term < index.postings_.size()) << "token outside vocabulary";
-      index.postings_[term].push_back(TermPosting{
-          doc.stream, doc.time, static_cast<double>(j - i)});
-      i = j;
+    ++epoch;
+    doc_terms.clear();
+    doc_counts.clear();
+    for (TermId term : doc.tokens) {
+      STB_CHECK(term < vocab) << "token outside vocabulary";
+      if (seen_epoch[term] != epoch) {
+        seen_epoch[term] = epoch;
+        slot_of[term] = static_cast<uint32_t>(doc_terms.size());
+        doc_terms.push_back(term);
+        doc_counts.push_back(1.0);
+      } else {
+        doc_counts[slot_of[term]] += 1.0;
+      }
+    }
+    for (size_t k = 0; k < doc_terms.size(); ++k) {
+      std::vector<TermPosting>& bucket = index.postings_[doc_terms[k]];
+      if (!bucket.empty()) {
+        TermPosting& tail = bucket.back();
+        if (tail.stream == doc.stream && tail.time == doc.time) {
+          tail.count += doc_counts[k];
+          continue;
+        }
+        if (tail.stream > doc.stream ||
+            (tail.stream == doc.stream && tail.time > doc.time)) {
+          needs_sort[doc_terms[k]] = 1;
+        }
+      }
+      bucket.push_back(TermPosting{doc.stream, doc.time, doc_counts[k]});
     }
   }
 
-  // Merge duplicate (stream, time) pairs produced by multiple documents.
-  for (auto& plist : index.postings_) {
-    std::sort(plist.begin(), plist.end(),
+  // Canonicalize the stragglers: sort by (stream, time) and merge duplicate
+  // cells that were not adjacent during the scan.
+  for (TermId term = 0; term < vocab; ++term) {
+    if (!needs_sort[term]) continue;
+    std::vector<TermPosting>& bucket = index.postings_[term];
+    std::sort(bucket.begin(), bucket.end(),
               [](const TermPosting& a, const TermPosting& b) {
                 if (a.stream != b.stream) return a.stream < b.stream;
                 return a.time < b.time;
               });
     size_t out = 0;
-    for (size_t i = 0; i < plist.size();) {
+    for (size_t i = 0; i < bucket.size();) {
       size_t j = i;
       double count = 0.0;
-      while (j < plist.size() && plist[j].stream == plist[i].stream &&
-             plist[j].time == plist[i].time) {
-        count += plist[j].count;
+      while (j < bucket.size() && bucket[j].stream == bucket[i].stream &&
+             bucket[j].time == bucket[i].time) {
+        count += bucket[j].count;
         ++j;
       }
-      plist[out++] = TermPosting{plist[i].stream, plist[i].time, count};
+      bucket[out++] = TermPosting{bucket[i].stream, bucket[i].time, count};
       i = j;
     }
-    plist.resize(out);
+    bucket.resize(out);
   }
   return index;
 }
@@ -106,6 +141,16 @@ TermSeries FrequencyIndex::DenseSeries(TermId term) const {
     series.add(p.stream, p.time, p.count);
   }
   return series;
+}
+
+void FrequencyIndex::FillSeries(TermId term, TermSeries* series) const {
+  STB_CHECK(series->num_streams() == num_streams_ &&
+            series->timeline_length() == timeline_length_)
+      << "scratch series dimensions mismatch";
+  series->Clear();
+  for (const TermPosting& p : postings(term)) {
+    series->add(p.stream, p.time, p.count);
+  }
 }
 
 double FrequencyIndex::TotalCount(TermId term) const {

@@ -10,6 +10,7 @@
 #ifndef STBURST_STREAM_FREQUENCY_H_
 #define STBURST_STREAM_FREQUENCY_H_
 
+#include <span>
 #include <vector>
 
 #include "stburst/common/statusor.h"
@@ -39,11 +40,16 @@ class TermSeries {
     data_[Index(stream, time)] += delta;
   }
 
-  /// Frequency sequence of one stream over the whole timeline (length L).
-  std::vector<double> StreamRow(StreamId stream) const;
+  /// Frequency sequence of one stream over the whole timeline (length L):
+  /// a zero-copy view into the row-major buffer, valid until the series is
+  /// mutated or destroyed.
+  std::span<const double> StreamRow(StreamId stream) const {
+    return {data_.data() + Index(stream, 0), static_cast<size_t>(timeline_length_)};
+  }
 
   /// Frequencies of all streams at one timestamp (length n) — the snapshot
-  /// D[i] restricted to this term.
+  /// D[i] restricted to this term. Columns are strided in memory, so this
+  /// one copies.
   std::vector<double> SnapshotColumn(Timestamp time) const;
 
   /// Element-wise sum across streams (length L): the single merged stream
@@ -52,6 +58,10 @@ class TermSeries {
 
   /// Sum of all entries.
   double Total() const;
+
+  /// Resets every entry to zero without reallocating — lets the batch miner
+  /// reuse one scratch matrix across terms.
+  void Clear();
 
  private:
   size_t Index(StreamId stream, Timestamp time) const;
@@ -84,6 +94,11 @@ class FrequencyIndex {
 
   /// Materializes the dense matrix for one term.
   TermSeries DenseSeries(TermId term) const;
+
+  /// Fills a caller-owned scratch matrix (dimensions must match
+  /// num_streams() x timeline_length()) with the term's dense frequencies.
+  /// Allocation-free; the batch miner calls this once per term per worker.
+  void FillSeries(TermId term, TermSeries* series) const;
 
   /// Total corpus frequency of a term.
   double TotalCount(TermId term) const;

@@ -1,0 +1,179 @@
+// Tests for the batch mining engine (core/batch_miner): parallel runs must
+// be indistinguishable from the serial per-term pipeline.
+
+#include "stburst/core/batch_miner.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stburst/common/random.h"
+#include "stburst/core/stcomb.h"
+#include "stburst/core/stlocal.h"
+
+namespace stburst {
+namespace {
+
+Collection MakeRandomCollection(uint64_t seed, size_t num_streams,
+                                Timestamp timeline, size_t vocab,
+                                size_t num_docs) {
+  auto collection = Collection::Create(timeline);
+  EXPECT_TRUE(collection.ok());
+  Rng rng(seed);
+  for (size_t s = 0; s < num_streams; ++s) {
+    collection->AddStream("s" + std::to_string(s), {},
+                          Point2D{rng.Uniform(0, 10), rng.Uniform(0, 10)});
+  }
+  Vocabulary* v = collection->mutable_vocabulary();
+  for (size_t t = 0; t < vocab; ++t) v->Intern("term" + std::to_string(t));
+  for (size_t d = 0; d < num_docs; ++d) {
+    StreamId stream = static_cast<StreamId>(rng.NextUint64(num_streams));
+    Timestamp time = static_cast<Timestamp>(rng.NextUint64(
+        static_cast<uint64_t>(timeline)));
+    size_t len = 1 + rng.NextUint64(6);
+    std::vector<TermId> tokens;
+    for (size_t i = 0; i < len; ++i) {
+      // Zipf-ish skew: low ids are frequent, so some terms are dense and
+      // some stay in the singleton tail.
+      TermId tok = static_cast<TermId>(rng.NextUint64(vocab));
+      if (rng.Bernoulli(0.5)) tok = static_cast<TermId>(tok % (vocab / 4 + 1));
+      tokens.push_back(tok);
+    }
+    EXPECT_TRUE(collection->AddDocument(stream, time, std::move(tokens)).ok());
+  }
+  return std::move(*collection);
+}
+
+ExpectedModelFactory TestFactory() {
+  return WithPriorFloor([] { return std::make_unique<GlobalMeanModel>(); },
+                        0.2);
+}
+
+void ExpectSamePatterns(const std::vector<CombinatorialPattern>& a,
+                        const std::vector<CombinatorialPattern>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].streams, b[i].streams);
+    EXPECT_EQ(a[i].timeframe, b[i].timeframe);
+    EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+  }
+}
+
+void ExpectSameWindows(const std::vector<SpatiotemporalWindow>& a,
+                       const std::vector<SpatiotemporalWindow>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].region, b[i].region);
+    EXPECT_EQ(a[i].streams, b[i].streams);
+    EXPECT_EQ(a[i].timeframe, b[i].timeframe);
+    EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+  }
+}
+
+TEST(MineAllTerms, RejectsRegionalWithoutPositions) {
+  Collection c = MakeRandomCollection(1, 4, 10, 8, 30);
+  FrequencyIndex freq = FrequencyIndex::Build(c);
+  BatchMinerOptions opts;
+  opts.mine_regional = true;
+  EXPECT_TRUE(MineAllTerms(freq, opts).status().IsInvalidArgument());
+  opts.positions = c.StreamPositions();
+  EXPECT_TRUE(MineAllTerms(freq, opts).status().IsInvalidArgument());
+  opts.model_factory = TestFactory();
+  EXPECT_TRUE(MineAllTerms(freq, opts).ok());
+}
+
+TEST(MineAllTerms, EmptyVocabulary) {
+  auto collection = Collection::Create(5);
+  ASSERT_TRUE(collection.ok());
+  FrequencyIndex freq = FrequencyIndex::Build(*collection);
+  auto result = MineAllTerms(freq);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->terms.empty());
+}
+
+TEST(MineAllTerms, MatchesSerialPerTermPipeline) {
+  Collection c = MakeRandomCollection(7, 10, 30, 40, 400);
+  FrequencyIndex freq = FrequencyIndex::Build(c);
+  const std::vector<Point2D> positions = c.StreamPositions();
+
+  BatchMinerOptions opts;
+  opts.stcomb.min_interval_burstiness = 0.05;
+  opts.mine_regional = true;
+  opts.positions = positions;
+  opts.model_factory = TestFactory();
+  opts.num_threads = 4;
+  auto batch = MineAllTerms(freq, opts);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->terms.size(), freq.num_terms());
+  EXPECT_EQ(batch->threads_used, 4u);
+
+  // Reference: the seed's serial loop — dense per-term series through the
+  // standalone miners.
+  StComb stcomb(opts.stcomb);
+  for (TermId term = 0; term < freq.num_terms(); ++term) {
+    TermSeries series = freq.DenseSeries(term);
+    ExpectSamePatterns(batch->terms[term].combinatorial,
+                       stcomb.MinePatterns(series));
+    auto windows =
+        MineRegionalPatterns(series, positions, opts.model_factory, opts.stlocal);
+    ASSERT_TRUE(windows.ok());
+    ExpectSameWindows(batch->terms[term].regional, *windows);
+  }
+}
+
+class MineAllTermsParityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MineAllTermsParityTest, ThreadCountInvariant) {
+  Collection c = MakeRandomCollection(100 + GetParam(), 8, 25, 30, 250);
+  FrequencyIndex freq = FrequencyIndex::Build(c);
+
+  BatchMinerOptions serial;
+  serial.mine_regional = true;
+  serial.positions = c.StreamPositions();
+  serial.model_factory = TestFactory();
+  serial.num_threads = 1;
+  auto base = MineAllTerms(freq, serial);
+  ASSERT_TRUE(base.ok());
+
+  for (size_t threads : {2u, 3u, 8u}) {
+    BatchMinerOptions par = serial;
+    par.num_threads = threads;
+    auto run = MineAllTerms(freq, par);
+    ASSERT_TRUE(run.ok());
+    ASSERT_EQ(run->terms.size(), base->terms.size());
+    EXPECT_EQ(run->terms_mined, base->terms_mined);
+    EXPECT_EQ(run->terms_skipped, base->terms_skipped);
+    for (size_t t = 0; t < base->terms.size(); ++t) {
+      EXPECT_EQ(run->terms[t].term, base->terms[t].term);
+      ExpectSamePatterns(run->terms[t].combinatorial,
+                         base->terms[t].combinatorial);
+      ExpectSameWindows(run->terms[t].regional, base->terms[t].regional);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MineAllTermsParityTest, ::testing::Range(0, 5));
+
+TEST(MineAllTerms, FrequencyFloorSkipsRareTerms) {
+  Collection c = MakeRandomCollection(11, 6, 20, 25, 200);
+  FrequencyIndex freq = FrequencyIndex::Build(c);
+  BatchMinerOptions opts;
+  opts.min_term_total = 5.0;
+  auto result = MineAllTerms(freq, opts);
+  ASSERT_TRUE(result.ok());
+  size_t expected_mined = 0;
+  for (TermId t = 0; t < freq.num_terms(); ++t) {
+    if (!freq.postings(t).empty() && freq.TotalCount(t) >= 5.0) ++expected_mined;
+  }
+  EXPECT_EQ(result->terms_mined, expected_mined);
+  for (TermId t = 0; t < freq.num_terms(); ++t) {
+    if (freq.TotalCount(t) < 5.0) {
+      EXPECT_TRUE(result->terms[t].combinatorial.empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stburst

@@ -171,6 +171,45 @@ TEST(MaxWeightRectangleGrid, CollinearPointsFallBackToExact) {
   EXPECT_DOUBLE_EQ(r->score, 2.0);
 }
 
+// The grid can only merge points into coarser selectable sets: every set of
+// points a grid rectangle selects is also the point set of some geometric
+// rectangle, so the exact sweep dominates any grid resolution; and because a
+// 2x-finer grid's cell boundaries refine the coarser one's, doubling the
+// resolution can never lose score either.
+TEST(MaxWeightRectangleGrid, ScoreMonotoneInModeAndResolution) {
+  Rng rng(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t n = 40 + rng.NextUint64(60);
+    std::vector<Point2D> pts(n);
+    std::vector<double> w(n);
+    for (size_t i = 0; i < n; ++i) {
+      pts[i] = Point2D{rng.Uniform(0, 50), rng.Uniform(0, 50)};
+      w[i] = rng.Uniform(-1.5, 2.0);
+    }
+    auto exact = MaxWeightRectangle(pts, w);
+    ASSERT_TRUE(exact.ok());
+
+    double prev = 0.0;
+    for (size_t g : {4u, 8u, 16u, 32u}) {
+      MaxRectOptions opts;
+      opts.mode = MaxRectOptions::Mode::kGrid;
+      opts.grid_cols = g;
+      opts.grid_rows = g;
+      auto grid = MaxWeightRectangle(pts, w, opts);
+      ASSERT_TRUE(grid.ok());
+      EXPECT_LE(grid->score, exact->score + 1e-9)
+          << "trial " << trial << " grid " << g;
+      EXPECT_GE(grid->score, prev - 1e-9)
+          << "trial " << trial << " grid " << g;
+      // The reported score must match the members the binning selected.
+      double sum = 0.0;
+      for (size_t i : grid->points_inside) sum += w[i];
+      EXPECT_NEAR(sum, grid->score, 1e-9);
+      prev = grid->score;
+    }
+  }
+}
+
 TEST(MaxWeightRectangleGrid, RejectsZeroResolution) {
   MaxRectOptions opts;
   opts.mode = MaxRectOptions::Mode::kGrid;

@@ -72,7 +72,8 @@ TEST(SeasonalMeanModel, FallsBackToGlobalMeanBeforeFullPeriod) {
 
 TEST(BurstinessSeries, FirstTimestampNeutral) {
   GlobalMeanModel m;
-  auto b = BurstinessSeries({5.0, 5.0, 9.0}, &m);
+  std::vector<double> y = {5.0, 5.0, 9.0};
+  auto b = BurstinessSeries(y, &m);
   ASSERT_EQ(b.size(), 3u);
   EXPECT_DOUBLE_EQ(b[0], 0.0);       // no history: neutral
   EXPECT_DOUBLE_EQ(b[1], 0.0);       // 5 - mean(5)

@@ -27,7 +27,9 @@ TEST(TermSeries, RowColumnAndAggregateViews) {
   s.set(0, 2, 3);
   s.set(1, 0, 10);
   s.set(1, 2, 30);
-  EXPECT_EQ(s.StreamRow(0), (std::vector<double>{1, 2, 3}));
+  std::span<const double> row = s.StreamRow(0);
+  EXPECT_EQ(std::vector<double>(row.begin(), row.end()),
+            (std::vector<double>{1, 2, 3}));
   EXPECT_EQ(s.SnapshotColumn(0), (std::vector<double>{1, 10}));
   EXPECT_EQ(s.SnapshotColumn(1), (std::vector<double>{2, 0}));
   EXPECT_EQ(s.AggregateOverStreams(), (std::vector<double>{11, 2, 33}));

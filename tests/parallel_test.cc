@@ -1,0 +1,111 @@
+// Tests for the threading runtime (common/parallel).
+
+#include "stburst/common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace stburst {
+namespace {
+
+TEST(ThreadPool, ExecutesEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitOnIdlePoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // nothing queued: must not block
+}
+
+TEST(ThreadPool, DestructionDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 50; ++i) pool.Submit([&count] { count.fetch_add(1); });
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ResolveThreadCount, ZeroMeansHardwareConcurrency) {
+  EXPECT_GE(ResolveThreadCount(0), 1u);
+  EXPECT_EQ(ResolveThreadCount(7), 7u);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    std::vector<std::atomic<int>> visits(1000);
+    for (auto& v : visits) v.store(0);
+    ParallelFor(threads, 0, visits.size(),
+                [&](size_t /*worker*/, size_t i) { visits[i].fetch_add(1); });
+    for (size_t i = 0; i < visits.size(); ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelFor, WorkerIdsIndexBoundedScratch) {
+  const size_t threads = 4;
+  std::vector<std::atomic<long>> per_worker(threads);
+  for (auto& v : per_worker) v.store(0);
+  ParallelFor(threads, 0, 10000, [&](size_t worker, size_t i) {
+    ASSERT_LT(worker, threads);
+    per_worker[worker].fetch_add(static_cast<long>(i));
+  });
+  long total = 0;
+  for (auto& v : per_worker) total += v.load();
+  EXPECT_EQ(total, 10000L * 9999L / 2);
+}
+
+TEST(ParallelFor, EmptyAndSingletonRanges) {
+  int calls = 0;
+  ParallelFor(size_t{4}, 5, 5, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(size_t{4}, 7, 8, [&](size_t worker, size_t i) {
+    EXPECT_EQ(worker, 0u);
+    EXPECT_EQ(i, 7u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, NonZeroBegin) {
+  std::atomic<long> sum{0};
+  ParallelFor(size_t{3}, 100, 200,
+              [&](size_t, size_t i) { sum.fetch_add(static_cast<long>(i)); });
+  long expect = 0;
+  for (long i = 100; i < 200; ++i) expect += i;
+  EXPECT_EQ(sum.load(), expect);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  EXPECT_THROW(
+      ParallelFor(size_t{4}, 0, 1000,
+                  [&](size_t, size_t i) {
+                    if (i == 537) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, SharedPoolRunsMultipleLoops) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 5; ++round) {
+    ParallelFor(&pool, 0, 100,
+                [&](size_t, size_t i) { sum.fetch_add(static_cast<long>(i)); });
+  }
+  EXPECT_EQ(sum.load(), 5 * (99L * 100L / 2));
+}
+
+}  // namespace
+}  // namespace stburst

@@ -37,10 +37,13 @@ TEST(TemporalBurstiness, BoundedByOne) {
 }
 
 TEST(TemporalBurstiness, DegenerateInputs) {
-  EXPECT_DOUBLE_EQ(TemporalBurstiness({}, Interval{0, 0}), 0.0);
-  EXPECT_DOUBLE_EQ(TemporalBurstiness({1, 2}, Interval{}), 0.0);
-  EXPECT_DOUBLE_EQ(TemporalBurstiness({1, 2}, Interval{0, 5}), 0.0);  // OOR
-  EXPECT_DOUBLE_EQ(TemporalBurstiness({0, 0, 0}, Interval{0, 1}), 0.0);  // no mass
+  std::vector<double> empty;
+  std::vector<double> two = {1, 2};
+  std::vector<double> zeros = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(TemporalBurstiness(empty, Interval{0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(TemporalBurstiness(two, Interval{}), 0.0);
+  EXPECT_DOUBLE_EQ(TemporalBurstiness(two, Interval{0, 5}), 0.0);  // OOR
+  EXPECT_DOUBLE_EQ(TemporalBurstiness(zeros, Interval{0, 1}), 0.0);  // no mass
 }
 
 TEST(ExtractBurstyIntervals, FindsThePlantedBurst) {
