@@ -37,21 +37,32 @@ namespace {
 using bench::PerfJson;
 
 // Times `fn`, adaptively repeating until >= 0.2 s of wall clock (or 1 rep
-// for ops that already exceed it). Returns ns per call.
+// for ops that already exceed it), then keeps the fastest of three such
+// windows — the usual defense against scheduler noise on shared machines
+// (the minimum is the run least perturbed by other tenants). Returns ns per
+// call.
 double TimeNs(const std::function<void()>& fn) {
   fn();  // warm-up
   size_t reps = 1;
+  double best_s = 0.0;
   for (;;) {
     Timer timer;
     for (size_t i = 0; i < reps; ++i) fn();
     double s = timer.ElapsedSeconds();
     if (s >= 0.2 || reps >= (1u << 20)) {
-      return s * 1e9 / static_cast<double>(reps);
+      best_s = s;
+      break;
     }
     double target = s > 1e-9 ? 0.25 / s : 1e6;
     reps = std::max(reps + 1, static_cast<size_t>(
                                   static_cast<double>(reps) * target));
   }
+  for (int window = 0; window < 2; ++window) {
+    Timer timer;
+    for (size_t i = 0; i < reps; ++i) fn();
+    best_s = std::min(best_s, timer.ElapsedSeconds());
+  }
+  return best_s * 1e9 / static_cast<double>(reps);
 }
 
 // ---------------------------------------------------------------------------
@@ -478,9 +489,15 @@ int Run() {
   {
     double naive = TimeNs([&] { BuildFrequencyNaive(corpus); });
     double opt = TimeNs([&] { FrequencyIndex::Build(corpus); });
+    double t2 = TimeNs([&] { FrequencyIndex::Build(corpus, 2); });
+    double t4 = TimeNs([&] { FrequencyIndex::Build(corpus, 4); });
     report("frequency_build_naive", naive, corpus.num_documents());
     report("frequency_build", opt, corpus.num_documents());
-    std::printf("  -> index build speedup: %.2fx\n", naive / opt);
+    report("frequency_build_t2", t2, corpus.num_documents());
+    report("frequency_build_t4", t4, corpus.num_documents());
+    std::printf("  -> index build speedup vs seed: %.2fx serial, %.2fx t2, "
+                "%.2fx t4 (sharded)\n",
+                naive / opt, naive / t2, naive / t4);
   }
 
   FrequencyIndex freq = FrequencyIndex::Build(corpus);
@@ -525,6 +542,75 @@ int Run() {
   std::printf("  -> whole-vocab speedup vs seed serial loop: %.2fx (t1), "
               "%.2fx (t4); %zu patterns, parity OK\n",
               naive_s / batch1_s, naive_s / batch4_s, batch_patterns);
+
+  // Live-feed path: one appended snapshot (one extra week of the corpus,
+  // ~D/L documents) through Collection::Append + FrequencyIndex::
+  // AppendSnapshot, versus the full rebuild it replaces, plus the dirty-term
+  // incremental re-mine versus the whole-vocabulary sweep.
+  {
+    Collection live = corpus;
+    FrequencyIndex feed = FrequencyIndex::Build(live);
+    auto mined = bench::MineVocabulary(feed, 1);
+    if (!mined.ok()) return 1;
+    (void)feed.TakeDirtyTerms();
+
+    Rng rng(321);
+    const size_t docs_per_week =
+        live.num_documents() / static_cast<size_t>(live.timeline_length());
+    const size_t vocab_size = live.vocabulary().size();
+    auto make_snapshot = [&] {
+      Snapshot snap;
+      snap.reserve(docs_per_week);
+      for (size_t d = 0; d < docs_per_week; ++d) {
+        SnapshotDocument doc;
+        doc.stream = static_cast<StreamId>(rng.NextUint64(live.num_streams()));
+        size_t len = 1 + rng.NextUint64(6);
+        for (size_t i = 0; i < len; ++i) {
+          TermId tok = static_cast<TermId>(rng.NextUint64(vocab_size));
+          if (rng.Bernoulli(0.5)) {
+            tok = static_cast<TermId>(tok % (vocab_size / 4 + 1));
+          }
+          doc.tokens.push_back(tok);
+        }
+        snap.push_back(std::move(doc));
+      }
+      return snap;
+    };
+
+    const size_t kWeeks = 16;
+    // Snapshots are generated outside the timed region: document synthesis
+    // is harness work the library never performs.
+    std::vector<Snapshot> snapshots;
+    snapshots.reserve(kWeeks);
+    for (size_t w = 0; w < kWeeks; ++w) snapshots.push_back(make_snapshot());
+    Timer t_append;
+    for (Snapshot& snap : snapshots) {
+      if (!live.Append(std::move(snap)).ok()) return 1;
+      if (!feed.AppendSnapshot(live).ok()) return 1;
+    }
+    double append_s = t_append.ElapsedSeconds();
+    report("frequency_append_snapshot",
+           append_s * 1e9 / static_cast<double>(kWeeks), docs_per_week);
+
+    double rebuild = TimeNs([&] { FrequencyIndex::Build(live); });
+    report("frequency_rebuild_after_append", rebuild, live.num_documents());
+    std::printf("  -> append path: one snapshot in %.2f ms vs %.2f ms full "
+                "rebuild (%.1fx)\n",
+                append_s * 1e3 / static_cast<double>(kWeeks), rebuild / 1e6,
+                rebuild / (append_s * 1e9 / static_cast<double>(kWeeks)));
+
+    std::vector<TermId> dirty = feed.TakeDirtyTerms();
+    BatchMinerOptions remine_opts;
+    remine_opts.stcomb.min_interval_burstiness = 0.1;
+    remine_opts.num_threads = 1;
+    Timer t_remine;
+    if (!RemineTerms(feed, dirty, remine_opts, &*mined).ok()) return 1;
+    double remine_s = t_remine.ElapsedSeconds();
+    report("remine_dirty_terms", remine_s * 1e9, dirty.size());
+    std::printf("  -> re-mined %zu dirty terms in %.0f ms (vs %zu-term full "
+                "sweep)\n",
+                dirty.size(), remine_s * 1e3, vocab);
+  }
 
   // Regional mining over a vocabulary sample (full-vocab STLocal is a
   // several-minute run; the sample keeps the harness snappy while still

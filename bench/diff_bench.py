@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json perf logs and flag regressions.
+
+The stburst bench harnesses (bench_micro, bench_fig7, bench_fig8) write
+machine-readable perf JSON with the schema
+
+    {"benchmark": "bench_micro",
+     "corpus": {"documents": D, "streams": n, "terms": V, "timeline": L},
+     "results": [{"op": "frequency_build", "ns_per_op": 81.3e6, "items": N},
+                 ...]}
+
+This tool joins two such files on "op" and reports the candidate/baseline
+ratio per op. Ops slower than baseline by more than --threshold (default
+10%) are regressions; any regression makes the exit status nonzero so CI
+can gate on it. Ops ending in "_naive" are fixed seed re-implementations
+kept for speedup reporting — their drift is machine noise, so they are
+ignored unless --include-naive is given.
+
+Usage:
+    diff_bench.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+    diff_bench.py --self-test
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_results(path):
+    """Returns {op: ns_per_op} from one perf JSON file."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for entry in doc.get("results", []):
+        out[entry["op"]] = float(entry["ns_per_op"])
+    return out
+
+
+def diff(baseline, candidate, threshold, include_naive=False):
+    """Compares {op: ns} maps; returns (report_lines, regressions)."""
+    lines = []
+    regressions = []
+    common = [op for op in baseline if op in candidate]
+    for op in common:
+        if not include_naive and op.endswith("_naive"):
+            continue
+        base, cand = baseline[op], candidate[op]
+        if base <= 0:
+            continue
+        ratio = cand / base
+        verdict = "ok"
+        if ratio > 1.0 + threshold:
+            verdict = "REGRESSION"
+            regressions.append(op)
+        elif ratio < 1.0 - threshold:
+            verdict = "improved"
+        lines.append("%-36s %12.0f -> %12.0f ns/op  %6.2fx  %s"
+                     % (op, base, cand, ratio, verdict))
+    only_base = sorted(set(baseline) - set(candidate))
+    only_cand = sorted(set(candidate) - set(baseline))
+    if only_base:
+        lines.append("ops only in baseline (skipped): " + ", ".join(only_base))
+    if only_cand:
+        lines.append("ops only in candidate (skipped): " + ", ".join(only_cand))
+    return lines, regressions
+
+
+def self_test():
+    baseline = {"a": 100.0, "b": 200.0, "c_naive": 50.0, "gone": 1.0}
+    candidate = {"a": 105.0, "b": 400.0, "c_naive": 500.0, "new": 1.0}
+
+    lines, regressions = diff(baseline, candidate, threshold=0.10)
+    assert regressions == ["b"], regressions          # 2x slower: flagged
+    assert all("c_naive" not in r for r in regressions)  # naive ops ignored
+    assert any("only in baseline" in l for l in lines)
+    assert any("only in candidate" in l for l in lines)
+
+    _, none = diff(baseline, {"a": 109.0}, threshold=0.10)
+    assert none == [], none                           # within threshold: ok
+
+    _, incl = diff(baseline, candidate, threshold=0.10, include_naive=True)
+    assert "c_naive" in incl
+
+    _, loose = diff(baseline, candidate, threshold=2.0)
+    assert loose == [], loose                         # threshold respected
+
+    print("diff_bench.py self-test OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_*.json files; nonzero exit on regression.")
+    parser.add_argument("baseline", nargs="?", help="baseline BENCH_*.json")
+    parser.add_argument("candidate", nargs="?", help="candidate BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative slowdown tolerated per op "
+                             "(default 0.10 = 10%%)")
+    parser.add_argument("--include-naive", action="store_true",
+                        help="also gate the *_naive baseline ops")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in unit checks and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.candidate:
+        parser.error("baseline and candidate files are required "
+                     "(or use --self-test)")
+
+    baseline = load_results(args.baseline)
+    candidate = load_results(args.candidate)
+    lines, regressions = diff(baseline, candidate, args.threshold,
+                              args.include_naive)
+    print("diff_bench: %s -> %s (threshold %.0f%%)"
+          % (args.baseline, args.candidate, args.threshold * 100))
+    for line in lines:
+        print("  " + line)
+    if regressions:
+        print("FAIL: %d op(s) regressed >%.0f%%: %s"
+              % (len(regressions), args.threshold * 100,
+                 ", ".join(regressions)))
+        return 1
+    print("OK: no op regressed more than %.0f%%" % (args.threshold * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
-# One-step CI: configure, build, and run the test suite.
+# One-step CI: configure, build, run the test suite, and check the perf
+# tooling. With RUN_BENCH=1 also runs bench_micro and gates the result
+# against the committed baseline (>10% per-op regression fails).
 #
-# Usage: ./ci.sh [build-dir]   (default: build)
+# Usage: ./ci.sh [build-dir]             (default: build)
+#        RUN_BENCH=1 ./ci.sh             perf gate against bench/BENCH_micro.baseline.json
+#        BENCH_BASELINE=path ./ci.sh     override the baseline file
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -9,4 +13,18 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$JOBS"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error -j "$JOBS"
+
+# The perf differ always runs its self-test so CI catches tooling rot even
+# when the (slower) benchmark pass is skipped.
+python3 bench/diff_bench.py --self-test
+
+if [[ "${RUN_BENCH:-0}" == "1" ]]; then
+  BASELINE="${BENCH_BASELINE:-bench/BENCH_micro.baseline.json}"
+  (cd "$BUILD_DIR" && ./bench_micro)
+  if [[ -f "$BASELINE" ]]; then
+    python3 bench/diff_bench.py "$BASELINE" "$BUILD_DIR/BENCH_micro.json"
+  else
+    echo "no baseline at $BASELINE; skipping perf diff" >&2
+  fi
+fi

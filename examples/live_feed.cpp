@@ -1,0 +1,200 @@
+// Live-feed mining: the streaming ingest -> incremental mine cycle, end to
+// end, the way a monitoring deployment would run it (docs/ARCHITECTURE.md
+// describes the architecture this demonstrates).
+//
+//  1. Ingest a 30-week historical corpus and build the FrequencyIndex with
+//     the sharded multi-threaded build.
+//  2. Run the initial whole-vocabulary batch mine (MineAllTerms).
+//  3. Go live. Every week: Collection::Append files the snapshot,
+//     FrequencyIndex::AppendSnapshot extends the postings in place,
+//     RemineTerms refreshes only the dirty terms of the batch result, and
+//     two watchlist miners — OnlineStComb (combinatorial) and
+//     OnlineRegionalMiner (regional) — consume the very same index.
+//  4. Verify: the incrementally maintained index matches a from-scratch
+//     rebuild, and the online miner matches batch STComb on the final data.
+//
+// A burst of the watched term "storm" is injected into the clustered
+// streams during live weeks 36-40, so the weekly log shows the pattern
+// appear as the data arrives.
+//
+// Run: ./build/examples/live_feed
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stburst/common/random.h"
+#include "stburst/common/timer.h"
+#include "stburst/core/batch_miner.h"
+#include "stburst/core/online_stcomb.h"
+#include "stburst/core/stlocal.h"
+#include "stburst/stream/frequency.h"
+
+using namespace stburst;
+
+namespace {
+
+constexpr Timestamp kHistoryWeeks = 30;
+constexpr Timestamp kLiveWeeks = 18;
+constexpr size_t kBackgroundVocab = 400;
+
+// A background document: 3-8 Zipf-ish tokens.
+std::vector<TermId> BackgroundTokens(Rng& rng) {
+  std::vector<TermId> tokens;
+  size_t len = 3 + rng.NextUint64(6);
+  for (size_t i = 0; i < len; ++i) {
+    TermId tok = static_cast<TermId>(rng.NextUint64(kBackgroundVocab));
+    if (rng.Bernoulli(0.5)) {
+      tok = static_cast<TermId>(tok % (kBackgroundVocab / 8 + 1));
+    }
+    tokens.push_back(tok);
+  }
+  return tokens;
+}
+
+}  // namespace
+
+int main() {
+  // Twelve streams: a cluster of four cities (0-3) plus eight scattered.
+  auto collection = Collection::Create(kHistoryWeeks);
+  if (!collection.ok()) return 1;
+  Rng rng(2012);
+  for (int s = 0; s < 12; ++s) {
+    double x = s < 4 ? 1.0 + 0.5 * s : 10.0 + 3.0 * s;
+    double y = s < 4 ? 1.0 + 0.4 * s : 2.0 * (s % 5);
+    collection->AddStream("city" + std::to_string(s), {}, Point2D{x, y});
+  }
+  Vocabulary* vocab = collection->mutable_vocabulary();
+  for (size_t t = 0; t < kBackgroundVocab; ++t) {
+    vocab->Intern("bg" + std::to_string(t));
+  }
+  const TermId storm = vocab->Intern("storm");
+
+  // --- 1. Historical ingest + sharded index build -------------------------
+  for (Timestamp week = 0; week < kHistoryWeeks; ++week) {
+    for (StreamId s = 0; s < collection->num_streams(); ++s) {
+      size_t docs = 2 + rng.NextUint64(3);
+      for (size_t d = 0; d < docs; ++d) {
+        std::vector<TermId> tokens = BackgroundTokens(rng);
+        if (rng.Bernoulli(0.05)) tokens.push_back(storm);  // quiet mentions
+        if (!collection->AddDocument(s, week, std::move(tokens)).ok()) return 1;
+      }
+    }
+  }
+  Timer t_build;
+  FrequencyIndex index = FrequencyIndex::Build(*collection, /*num_threads=*/4);
+  std::printf("historical ingest: %zu documents, %zu terms, %d weeks; "
+              "sharded index build %.1f ms\n",
+              collection->num_documents(), index.num_terms(),
+              collection->timeline_length(), t_build.ElapsedSeconds() * 1e3);
+
+  // --- 2. Initial whole-vocabulary batch mine -----------------------------
+  BatchMinerOptions opts;
+  opts.stcomb.min_interval_burstiness = 0.1;
+  opts.num_threads = 4;
+  auto mined = MineAllTerms(index, opts);
+  if (!mined.ok()) {
+    std::fprintf(stderr, "MineAllTerms: %s\n",
+                 mined.status().ToString().c_str());
+    return 1;
+  }
+  BatchMineResult live = std::move(*mined);
+  std::printf("initial sweep: %zu terms mined, %zu skipped\n\n",
+              live.terms_mined, live.terms_skipped);
+
+  // --- 3. Go live ---------------------------------------------------------
+  auto factory = WithPriorFloor([] { return std::make_unique<GlobalMeanModel>(); },
+                                0.2);
+  OnlineStComb watch_comb(collection->num_streams(), opts.stcomb);
+  OnlineRegionalMiner watch_regional(collection->StreamPositions(), factory);
+  // The watchlist miners first replay the history already in the index.
+  while (watch_comb.current_time() < index.timeline_length()) {
+    if (!watch_comb.PushFromIndex(index, storm).ok()) return 1;
+    if (!watch_regional.PushFromIndex(index, storm).ok()) return 1;
+  }
+
+  std::printf("live feed (burst of \"storm\" in the cluster, weeks 36-40):\n");
+  std::printf("%6s %6s %8s %12s %22s\n", "week", "docs", "dirty",
+              "remine(ms)", "watched pattern");
+  for (Timestamp week = kHistoryWeeks; week < kHistoryWeeks + kLiveWeeks;
+       ++week) {
+    const bool bursting = week >= 36 && week <= 40;
+    Snapshot snap;
+    for (StreamId s = 0; s < collection->num_streams(); ++s) {
+      size_t docs = 2 + rng.NextUint64(3);
+      for (size_t d = 0; d < docs; ++d) {
+        SnapshotDocument doc;
+        doc.stream = s;
+        doc.tokens = BackgroundTokens(rng);
+        if (rng.Bernoulli(0.05)) doc.tokens.push_back(storm);
+        snap.push_back(std::move(doc));
+      }
+      if (bursting && s < 4) {
+        // The cluster reports the storm heavily.
+        SnapshotDocument doc;
+        doc.stream = s;
+        doc.tokens = {storm, storm, storm, storm};
+        snap.push_back(std::move(doc));
+      }
+    }
+    const size_t snap_docs = snap.size();
+
+    if (!collection->Append(std::move(snap)).ok()) return 1;
+    if (!index.AppendSnapshot(*collection).ok()) return 1;
+
+    std::vector<TermId> dirty = index.TakeDirtyTerms();
+    Timer t_remine;
+    if (!RemineTerms(index, dirty, opts, &live).ok()) return 1;
+    double remine_ms = t_remine.ElapsedSeconds() * 1e3;
+
+    if (!watch_comb.PushFromIndex(index, storm).ok()) return 1;
+    if (!watch_regional.PushFromIndex(index, storm).ok()) return 1;
+
+    auto patterns = watch_comb.CurrentPatterns();
+    std::string state = "-";
+    if (!patterns.empty()) {
+      state = "score " + std::to_string(patterns[0].score).substr(0, 5) +
+              ", " + std::to_string(patterns[0].streams.size()) + " streams" +
+              (bursting ? "  <- burst" : "");
+    }
+    std::printf("%6d %6zu %8zu %12.1f %22s\n", week, snap_docs, dirty.size(),
+                remine_ms, state.c_str());
+  }
+
+  // --- 4. Verify ----------------------------------------------------------
+  FrequencyIndex rebuilt = FrequencyIndex::Build(*collection, 4);
+  bool identical = rebuilt.num_terms() == index.num_terms() &&
+                   rebuilt.timeline_length() == index.timeline_length();
+  for (TermId t = 0; identical && t < index.num_terms(); ++t) {
+    const auto& a = index.postings(t);
+    const auto& b = rebuilt.postings(t);
+    identical = a.size() == b.size();
+    for (size_t i = 0; identical && i < a.size(); ++i) {
+      identical = a[i].stream == b[i].stream && a[i].time == b[i].time &&
+                  a[i].count == b[i].count;
+    }
+  }
+  std::printf("\nincremental index vs from-scratch rebuild: %s\n",
+              identical ? "bit-identical" : "MISMATCH");
+
+  StComb batch(opts.stcomb);
+  auto batch_patterns = batch.MinePatterns(index.DenseSeries(storm));
+  auto online_patterns = watch_comb.CurrentPatterns();
+  bool same = batch_patterns.size() == online_patterns.size();
+  for (size_t i = 0; same && i < batch_patterns.size(); ++i) {
+    same = batch_patterns[i].streams == online_patterns[i].streams &&
+           batch_patterns[i].timeframe == online_patterns[i].timeframe;
+  }
+  std::printf("online watchlist vs batch STComb on final data: %s\n",
+              same ? "identical patterns" : "MISMATCH");
+
+  auto windows = watch_regional.Finish();
+  if (!windows.empty()) {
+    std::printf("top regional window for \"storm\": weeks [%d, %d], "
+                "%zu streams, score %.2f\n",
+                windows[0].timeframe.start, windows[0].timeframe.end,
+                windows[0].streams.size(), windows[0].score);
+  }
+  return (identical && same) ? 0 : 1;
+}

@@ -27,6 +27,12 @@ namespace stburst {
 /// Fixed-size worker pool. Threads are created once and live until
 /// destruction; Submit() enqueues work, Wait() blocks until the queue drains
 /// and all in-flight tasks finish. Destruction waits for pending work.
+///
+/// Thread-safety: Submit() and Wait() may be called concurrently from any
+/// thread; tasks run concurrently with each other and with the submitter.
+/// Cost: one mutex acquisition per Submit and per task completion — batch
+/// work into chunky tasks (or use ParallelFor, which does) rather than
+/// submitting per tiny item.
 class ThreadPool {
  public:
   /// `num_threads` 0 means std::thread::hardware_concurrency() (min 1).
@@ -68,6 +74,12 @@ size_t ResolveThreadCount(size_t requested);
 ///
 /// The first exception thrown by any invocation is rethrown on the calling
 /// thread once the loop has quiesced; remaining chunks are abandoned.
+///
+/// Thread-safety: `body` runs concurrently on multiple threads and must be
+/// safe for that; per-worker scratch indexed by the worker id is the
+/// sanctioned way to keep it allocation- and lock-free. The loop itself
+/// costs O((end - begin) / chunk) atomic cursor bumps with chunk ≈
+/// range / (8 · workers), and blocks the caller until every index ran.
 void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
                  const std::function<void(size_t worker, size_t i)>& body);
 

@@ -53,60 +53,62 @@ void ExtractIntervalsFromPostings(const std::vector<TermPosting>& postings,
   }
 }
 
-}  // namespace
-
-StatusOr<BatchMineResult> MineAllTerms(const FrequencyIndex& index,
-                                       const BatchMinerOptions& options) {
-  if (options.mine_regional) {
-    if (options.positions.size() != index.num_streams()) {
-      return Status::InvalidArgument(
-          "regional mining requires one position per stream");
-    }
-    if (!options.model_factory) {
-      return Status::InvalidArgument(
-          "regional mining requires an expected-model factory");
-    }
+Status ValidateRegional(const FrequencyIndex& index,
+                        const BatchMinerOptions& options) {
+  if (!options.mine_regional) return Status::OK();
+  if (options.positions.size() != index.num_streams()) {
+    return Status::InvalidArgument(
+        "regional mining requires one position per stream");
   }
+  if (!options.model_factory) {
+    return Status::InvalidArgument(
+        "regional mining requires an expected-model factory");
+  }
+  return Status::OK();
+}
 
-  BatchMineResult result;
-  result.terms.resize(index.num_terms());
-  const size_t threads = ResolveThreadCount(options.num_threads);
-  result.threads_used = threads;
-  if (index.num_terms() == 0) return result;
-
-  const StComb stcomb(options.stcomb);
-  const size_t timeline = static_cast<size_t>(index.timeline_length());
-
-  std::vector<WorkerScratch> scratch(threads);
-  std::atomic<size_t> mined{0};
-  std::atomic<size_t> skipped{0};
+// State shared by one batch run (full sweep or dirty-term re-mine): the
+// per-worker scratch, the shared STComb instance, and first-error capture.
+// MineTerm is the single per-term pipeline both entry points fan out.
+struct MineShared {
+  const FrequencyIndex& index;
+  const BatchMinerOptions& options;
+  const StComb stcomb;
+  const size_t timeline;
+  std::vector<WorkerScratch> scratch;
   std::atomic<bool> failed{false};
   std::mutex error_mu;
   std::optional<Status> error;
 
-  auto mine_term = [&](size_t worker, size_t t) {
-    if (failed.load(std::memory_order_relaxed)) return;
-    const TermId term = static_cast<TermId>(t);
-    TermPatterns& slot = result.terms[t];
-    slot.term = term;
+  MineShared(const FrequencyIndex& idx, const BatchMinerOptions& opts,
+             size_t threads)
+      : index(idx),
+        options(opts),
+        stcomb(opts.stcomb),
+        timeline(static_cast<size_t>(idx.timeline_length())),
+        scratch(threads) {}
+
+  void MineTerm(size_t worker, TermId term, TermPatterns* slot) {
+    slot->term = term;
+    slot->mined = false;
+    slot->combinatorial.clear();
+    slot->regional.clear();
 
     const std::vector<TermPosting>& postings = index.postings(term);
-    if (postings.empty()) {
-      skipped.fetch_add(1, std::memory_order_relaxed);
-      return;
-    }
+    if (postings.empty()) return;
     if (options.min_term_total > 0.0 &&
         index.TotalCount(term) < options.min_term_total) {
-      skipped.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    mined.fetch_add(1, std::memory_order_relaxed);
+    slot->mined = true;
     WorkerScratch& ws = scratch[worker];
 
     if (options.mine_combinatorial) {
       ExtractIntervalsFromPostings(postings, timeline,
                                    options.stcomb.min_interval_burstiness, &ws);
-      slot.combinatorial = stcomb.MineFromIntervals(ws.intervals);
+      // MineFromIntervals consumes its pool by value; moving the scratch in
+      // avoids a per-term copy (the next term clears and refills it anyway).
+      slot->combinatorial = stcomb.MineFromIntervals(std::move(ws.intervals));
     }
 
     if (options.mine_regional) {
@@ -121,18 +123,89 @@ StatusOr<BatchMineResult> MineAllTerms(const FrequencyIndex& index,
         std::unique_lock<std::mutex> lock(error_mu);
         if (!error.has_value()) error = windows.status();
         failed.store(true, std::memory_order_relaxed);
+        // Keep the invariant that non-mined slots carry empty vectors even
+        // on the error path.
+        slot->mined = false;
+        slot->combinatorial.clear();
         return;
       }
-      slot.regional = std::move(*windows);
+      slot->regional = std::move(*windows);
     }
-  };
+  }
+};
 
-  ParallelFor(threads, 0, index.num_terms(), mine_term);
+// Restores the mined/skipped bookkeeping invariant (mined + skipped ==
+// num_terms) after slots changed.
+void RecountTerms(BatchMineResult* result) {
+  size_t mined = 0;
+  for (const TermPatterns& slot : result->terms) {
+    if (slot.mined) ++mined;
+  }
+  result->terms_mined = mined;
+  result->terms_skipped = result->terms.size() - mined;
+}
 
-  if (error.has_value()) return *error;
-  result.terms_mined = mined.load();
-  result.terms_skipped = skipped.load();
+}  // namespace
+
+StatusOr<BatchMineResult> MineAllTerms(const FrequencyIndex& index,
+                                       const BatchMinerOptions& options) {
+  STB_RETURN_NOT_OK(ValidateRegional(index, options));
+
+  BatchMineResult result;
+  result.terms.resize(index.num_terms());
+  const size_t threads = ResolveThreadCount(options.num_threads);
+  result.threads_used = threads;
+  if (index.num_terms() == 0) return result;
+
+  MineShared shared(index, options, threads);
+  ParallelFor(threads, 0, index.num_terms(), [&](size_t worker, size_t t) {
+    if (shared.failed.load(std::memory_order_relaxed)) return;
+    shared.MineTerm(worker, static_cast<TermId>(t), &result.terms[t]);
+  });
+
+  if (shared.error.has_value()) return *shared.error;
+  RecountTerms(&result);
   return result;
+}
+
+Status RemineTerms(const FrequencyIndex& index, const std::vector<TermId>& terms,
+                   const BatchMinerOptions& options, BatchMineResult* result) {
+  STB_RETURN_NOT_OK(ValidateRegional(index, options));
+  if (result->terms.size() > index.num_terms()) {
+    return Status::InvalidArgument("result holds more term slots than the index");
+  }
+
+  // Dedupe so no two workers share a slot, and validate before touching
+  // `result` so a rejected call leaves it exactly as it was.
+  std::vector<TermId> todo = terms;
+  std::sort(todo.begin(), todo.end());
+  todo.erase(std::unique(todo.begin(), todo.end()), todo.end());
+  for (TermId term : todo) {
+    if (term >= index.num_terms()) {
+      return Status::InvalidArgument("term id outside the index vocabulary");
+    }
+  }
+
+  // Absorb vocabulary growth: slots for new terms start out skipped and are
+  // mined below iff listed in `terms`.
+  const size_t old_size = result->terms.size();
+  result->terms.resize(index.num_terms());
+  for (size_t t = old_size; t < result->terms.size(); ++t) {
+    result->terms[t].term = static_cast<TermId>(t);
+  }
+
+  const size_t threads = ResolveThreadCount(options.num_threads);
+  result->threads_used = threads;
+  if (!todo.empty()) {
+    MineShared shared(index, options, threads);
+    ParallelFor(threads, 0, todo.size(), [&](size_t worker, size_t i) {
+      if (shared.failed.load(std::memory_order_relaxed)) return;
+      shared.MineTerm(worker, todo[i], &result->terms[todo[i]]);
+    });
+    if (shared.error.has_value()) return *shared.error;
+  }
+  RecountTerms(result);
+  return Status::OK();
 }
 
 }  // namespace stburst

@@ -9,6 +9,11 @@
 //  - combinatorial mining streams each term's sparse postings directly into
 //    per-stream interval extraction (no dense n x L matrix is materialized);
 //  - regional mining reuses one dense scratch matrix per worker.
+//
+// For a live feed, RemineTerms keeps a BatchMineResult current without a
+// full sweep: after FrequencyIndex::AppendSnapshot, pass the index's dirty
+// terms and only those slots are recomputed (docs/ARCHITECTURE.md walks the
+// full append → re-mine cycle; examples/live_feed.cpp demonstrates it).
 
 #ifndef STBURST_CORE_BATCH_MINER_H_
 #define STBURST_CORE_BATCH_MINER_H_
@@ -55,6 +60,9 @@ struct BatchMinerOptions {
 /// empty vectors.
 struct TermPatterns {
   TermId term = kInvalidTerm;
+  /// True when the term was actually mined; false means the term was
+  /// skipped (no postings, or total frequency below min_term_total).
+  bool mined = false;
   std::vector<CombinatorialPattern> combinatorial;
   std::vector<SpatiotemporalWindow> regional;
 };
@@ -62,19 +70,51 @@ struct TermPatterns {
 struct BatchMineResult {
   /// One slot per vocabulary term, indexed by TermId.
   std::vector<TermPatterns> terms;
-  /// Terms actually mined.
+  /// Terms actually mined (slots with mined == true).
   size_t terms_mined = 0;
   /// Terms not mined: no postings in the corpus, or total frequency below
-  /// min_term_total.
+  /// min_term_total. Invariant: terms_mined + terms_skipped == terms.size().
   size_t terms_skipped = 0;
-  /// Worker count the batch actually ran with.
+  /// Worker count the last (re-)mining call actually ran with.
   size_t threads_used = 0;
 };
 
 /// Mines every vocabulary term of `index` and returns per-term patterns in
-/// TermId order. Output is identical for every thread count.
+/// TermId order.
+///
+/// Determinism: output is identical for every thread count (slots are
+/// TermId-addressed; no cross-term state).
+/// Thread-safety: `index` and `options` are read concurrently by the
+/// workers and must not be mutated during the call.
+/// Complexity: O(Σ per-term mining) work over options.num_threads workers;
+/// per-worker scratch is O(L) (+ O(n·L) when mine_regional).
 StatusOr<BatchMineResult> MineAllTerms(const FrequencyIndex& index,
                                        const BatchMinerOptions& options = {});
+
+/// Recomputes only `terms` (typically FrequencyIndex::TakeDirtyTerms()
+/// after an append), updating their slots of `result` in place; all other
+/// slots are untouched. Grows `result` when the index's vocabulary grew and
+/// refreshes the mined/skipped counters. Every listed term's slot comes out
+/// identical to what a fresh MineAllTerms over the current index would
+/// produce (tested), at a cost proportional to the feed instead of the
+/// corpus.
+///
+/// Staleness contract: interval burstiness is normalized by timeline length,
+/// so a term with no new postings still drifts slightly as the timeline
+/// grows; unlisted slots deliberately keep the patterns of their last mine
+/// ("current as of the term's last activity" — the incremental-maintenance
+/// trade, discussed in docs/ARCHITECTURE.md). Use OnlineStComb for watched
+/// terms that need exact per-snapshot semantics.
+///
+/// `result` must come from MineAllTerms (or a prior RemineTerms) over an
+/// earlier state of the same index, with the same options. Duplicate ids in
+/// `terms` are ignored; unknown ids are InvalidArgument. `result` must not
+/// be read concurrently with the call. On a non-OK return the listed slots
+/// are an unspecified mix of old and new states (individually consistent,
+/// but not all refreshed): keep the `terms` list and re-run after fixing
+/// the configuration — the index's dirty set was already consumed.
+Status RemineTerms(const FrequencyIndex& index, const std::vector<TermId>& terms,
+                   const BatchMinerOptions& options, BatchMineResult* result);
 
 }  // namespace stburst
 

@@ -28,6 +28,17 @@ Status OnlineStComb::Push(const std::vector<double>& frequencies) {
   return Status::OK();
 }
 
+Status OnlineStComb::PushFromIndex(const FrequencyIndex& index, TermId term) {
+  if (index.num_streams() != streams_.size()) {
+    return Status::InvalidArgument("index stream count does not match miner");
+  }
+  if (time_ >= index.timeline_length()) {
+    return Status::FailedPrecondition(
+        "online miner is already caught up with the index");
+  }
+  return Push(index.SnapshotColumn(term, time_));
+}
+
 void OnlineStComb::RefreshStream(StreamId s) {
   StreamState& st = streams_[s];
   st.intervals.clear();

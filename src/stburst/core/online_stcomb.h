@@ -20,6 +20,7 @@
 
 #include "stburst/common/statusor.h"
 #include "stburst/core/stcomb.h"
+#include "stburst/stream/frequency.h"
 #include "stburst/stream/types.h"
 
 namespace stburst {
@@ -33,6 +34,13 @@ class OnlineStComb {
   /// Appends the next timestamp's per-stream frequencies. Must match the
   /// stream count.
   Status Push(const std::vector<double>& frequencies);
+
+  /// Pushes the snapshot at the miner's current time for `term` straight
+  /// from a shared FrequencyIndex — the glue that lets the online and batch
+  /// miners serve one live-fed index. The index must already hold that
+  /// timestamp (i.e. FrequencyIndex::AppendSnapshot ran first); call in a
+  /// loop to catch up after a batch of appends. O(n log postings(term)).
+  Status PushFromIndex(const FrequencyIndex& index, TermId term);
 
   /// Timestamps consumed so far.
   Timestamp current_time() const { return time_; }

@@ -67,6 +67,7 @@ std::vector<CombinatorialPattern> StComb::MineFromIntervals(
             [](const Event& a, const Event& b) { return a.at < b.at; });
 
   thread_local std::unordered_map<int64_t, size_t> best_by_tag;
+  thread_local std::vector<uint32_t> members;
 
   while (patterns.size() < options_.max_patterns && !alive.empty()) {
     // Round sweep: maximum active weight over the surviving intervals.
@@ -102,10 +103,20 @@ std::vector<CombinatorialPattern> StComb::MineFromIntervals(
       }
     }
 
+    // Fold members in ascending pool order: the map's iteration order
+    // depends on its (thread_local) bucket history, and the score is a
+    // float sum whose result must not — determinism across thread counts
+    // and scheduling requires a fixed fold order.
+    members.clear();
+    for (const auto& [tag, idx] : best_by_tag) {
+      members.push_back(static_cast<uint32_t>(idx));
+    }
+    std::sort(members.begin(), members.end());
+
     CombinatorialPattern p;
     Interval common;
     bool first = true;
-    for (const auto& [tag, idx] : best_by_tag) {
+    for (uint32_t idx : members) {
       const StreamInterval& si = intervals[idx];
       p.score += si.burstiness;
       p.streams.push_back(si.stream);

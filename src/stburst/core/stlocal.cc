@@ -80,26 +80,54 @@ size_t StLocal::num_open_windows() const {
   return total;
 }
 
+OnlineRegionalMiner::OnlineRegionalMiner(std::vector<Point2D> positions,
+                                         const ExpectedModelFactory& model_factory,
+                                         StLocalOptions options)
+    : miner_(std::move(positions), options) {
+  models_.reserve(miner_.num_streams());
+  for (size_t s = 0; s < miner_.num_streams(); ++s) {
+    models_.push_back(model_factory());
+  }
+  burstiness_.resize(models_.size());
+}
+
+Status OnlineRegionalMiner::Push(std::span<const double> frequencies) {
+  if (frequencies.size() != models_.size()) {
+    return Status::InvalidArgument("snapshot size does not match stream count");
+  }
+  for (size_t s = 0; s < models_.size(); ++s) {
+    const double y = frequencies[s];
+    burstiness_[s] = models_[s]->HasHistory() ? y - models_[s]->Expected() : 0.0;
+    models_[s]->Observe(y);
+  }
+  return miner_.ProcessSnapshot(burstiness_);
+}
+
+Status OnlineRegionalMiner::PushFromIndex(const FrequencyIndex& index,
+                                          TermId term) {
+  if (index.num_streams() != models_.size()) {
+    return Status::InvalidArgument("index stream count does not match miner");
+  }
+  if (current_time() >= index.timeline_length()) {
+    return Status::FailedPrecondition(
+        "online miner is already caught up with the index");
+  }
+  return Push(index.SnapshotColumn(term, current_time()));
+}
+
 StatusOr<std::vector<SpatiotemporalWindow>> MineRegionalPatterns(
     const TermSeries& series, const std::vector<Point2D>& positions,
     const ExpectedModelFactory& model_factory, const StLocalOptions& options) {
   if (series.num_streams() != positions.size()) {
     return Status::InvalidArgument("series/positions stream count mismatch");
   }
-
-  std::vector<std::unique_ptr<ExpectedFrequencyModel>> models;
-  models.reserve(positions.size());
-  for (size_t s = 0; s < positions.size(); ++s) models.push_back(model_factory());
-
-  StLocal miner(positions, options);
-  std::vector<double> burstiness(positions.size());
+  OnlineRegionalMiner miner(positions, model_factory, options);
+  std::vector<double> column(series.num_streams());
   for (Timestamp t = 0; t < series.timeline_length(); ++t) {
     for (StreamId s = 0; s < series.num_streams(); ++s) {
-      double y = series.at(s, t);
-      burstiness[s] = models[s]->HasHistory() ? y - models[s]->Expected() : 0.0;
-      models[s]->Observe(y);
+      column[s] = series.at(s, t);
     }
-    STB_RETURN_NOT_OK(miner.ProcessSnapshot(burstiness));
+    STB_RETURN_NOT_OK(miner.Push(column));
   }
   return miner.Finish();
 }

@@ -12,6 +12,8 @@
 #define STBURST_CORE_STLOCAL_H_
 
 #include <map>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "stburst/common/statusor.h"
@@ -49,6 +51,9 @@ class StLocal {
   /// Timestamps processed so far.
   Timestamp current_time() const { return time_; }
 
+  /// Streams this miner was constructed over.
+  size_t num_streams() const { return positions_.size(); }
+
   /// Live region sequences (bounded by n·L in theory, tiny in practice —
   /// Figure 6's subject).
   size_t num_live_sequences() const { return live_.size(); }
@@ -76,9 +81,44 @@ class StLocal {
   std::vector<SpatiotemporalWindow> finished_;
 };
 
+/// Streaming regional miner for one term: owns the per-stream expected-
+/// frequency models and an StLocal instance, converting raw frequency
+/// snapshots into burstiness values (Eq. 7) as they arrive. Push columns by
+/// hand or straight from a live-fed FrequencyIndex (PushFromIndex); the
+/// windows Finish() returns are identical to running MineRegionalPatterns
+/// over the same prefix. Single-threaded; one instance per (term, feed).
+class OnlineRegionalMiner {
+ public:
+  OnlineRegionalMiner(std::vector<Point2D> positions,
+                      const ExpectedModelFactory& model_factory,
+                      StLocalOptions options = {});
+
+  /// Consumes the per-stream raw frequencies of the next timestamp. Must
+  /// match the stream count. O(RBursty) per snapshot.
+  Status Push(std::span<const double> frequencies);
+
+  /// Pushes the snapshot at the miner's current time for `term` straight
+  /// from a shared index — the live-feed glue (the index must already hold
+  /// that timestamp, i.e. AppendSnapshot ran first).
+  /// O(n log postings(term)).
+  Status PushFromIndex(const FrequencyIndex& index, TermId term);
+
+  /// Timestamps consumed so far.
+  Timestamp current_time() const { return miner_.current_time(); }
+
+  /// See StLocal::Finish().
+  std::vector<SpatiotemporalWindow> Finish() { return miner_.Finish(); }
+
+ private:
+  std::vector<std::unique_ptr<ExpectedFrequencyModel>> models_;
+  StLocal miner_;
+  std::vector<double> burstiness_;
+};
+
 /// Convenience batch driver for one term: derives per-stream burstiness from
 /// the frequency matrix with a fresh expected-frequency model per stream,
-/// replays the timeline through StLocal, and returns the maximal windows.
+/// replays the timeline through StLocal (via OnlineRegionalMiner), and
+/// returns the maximal windows.
 StatusOr<std::vector<SpatiotemporalWindow>> MineRegionalPatterns(
     const TermSeries& series, const std::vector<Point2D>& positions,
     const ExpectedModelFactory& model_factory, const StLocalOptions& options = {});

@@ -8,28 +8,52 @@ namespace stburst {
 
 const std::vector<Posting> InvertedIndex::kEmpty;
 
+namespace {
+
+bool ScoreOrder(const Posting& a, const Posting& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.doc < b.doc;
+}
+
+}  // namespace
+
 void InvertedIndex::Add(TermId term, DocId doc, double score) {
-  STB_CHECK(!finalized_) << "Add after Finalize";
+  STB_CHECK(!finalized_) << "Add after Finalize (call Reopen first)";
   if (term >= postings_.size()) postings_.resize(term + 1);
   postings_[term].push_back(Posting{doc, score});
   ++total_postings_;
+  if (ever_finalized_) dirty_.push_back(term);
 }
 
 void InvertedIndex::Finalize() {
   if (finalized_) return;
   lookup_.resize(postings_.size());
-  for (size_t t = 0; t < postings_.size(); ++t) {
+  auto refreeze_term = [this](TermId t) {
     auto& plist = postings_[t];
-    std::sort(plist.begin(), plist.end(), [](const Posting& a, const Posting& b) {
-      if (a.score != b.score) return a.score > b.score;
-      return a.doc < b.doc;
-    });
+    std::sort(plist.begin(), plist.end(), ScoreOrder);
     auto& map = lookup_[t];
+    map.clear();  // no-op on a fresh map
     map.reserve(plist.size());
     for (const Posting& p : plist) map.emplace(p.doc, p.score);
+  };
+  if (!ever_finalized_) {
+    for (size_t t = 0; t < postings_.size(); ++t) {
+      refreeze_term(static_cast<TermId>(t));
+    }
+  } else {
+    // Incremental re-freeze: only terms with postings added since the last
+    // Finalize() need their order and random-access map rebuilt.
+    std::sort(dirty_.begin(), dirty_.end());
+    dirty_.erase(std::unique(dirty_.begin(), dirty_.end()), dirty_.end());
+    for (TermId t : dirty_) refreeze_term(t);
   }
+  dirty_.clear();
   finalized_ = true;
+  ever_finalized_ = true;
+  ++generation_;
 }
+
+void InvertedIndex::Reopen() { finalized_ = false; }
 
 const std::vector<Posting>& InvertedIndex::postings(TermId term) const {
   STB_CHECK(finalized_) << "postings before Finalize";

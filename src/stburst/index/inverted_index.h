@@ -19,15 +19,36 @@ struct Posting {
   double score = 0.0;
 };
 
-/// Append-then-freeze inverted index. Add() all postings, Finalize() once,
-/// then query. Per-term posting lists are sorted by descending score.
+/// Append-then-freeze inverted index with incremental re-freeze. Add() all
+/// postings, Finalize() once, then query; per-term posting lists are sorted
+/// by descending score. On a live feed, Reopen() lets new postings in after
+/// a freeze: the next Finalize() re-sorts only the terms touched since the
+/// last one, and generation() tells consumers holding cached query results
+/// (e.g. Threshold-Algorithm top-k lists) that they are stale.
+///
+/// Thread-safety: queries on a finalized index are const and safe from any
+/// number of threads; Add/Reopen/Finalize are writers and must be
+/// externally serialized against them.
 class InvertedIndex {
  public:
-  /// Records that `doc` scores `score` for `term`. Must precede Finalize().
+  /// Records that `doc` scores `score` for `term`. Must precede Finalize()
+  /// (or follow a Reopen()). Amortized O(1).
   void Add(TermId term, DocId doc, double score);
 
   /// Sorts posting lists and builds the random-access maps. Idempotent.
+  /// The first call sorts everything; after a Reopen() only terms with new
+  /// postings are re-sorted and re-mapped (O(Σ |postings| of dirty terms)).
+  /// Each state-changing call bumps generation().
   void Finalize();
+
+  /// Re-opens a finalized index so Add() is legal again. Queries are
+  /// rejected until the next Finalize(). No-op when already open.
+  void Reopen();
+
+  /// Monotone freeze counter, bumped by every completing Finalize().
+  /// Consumers cache it alongside derived results (top-k lists, pattern
+  /// joins) and recompute when it moved.
+  uint64_t generation() const { return generation_; }
 
   /// Sorted postings of a term (empty if none). Requires Finalize().
   const std::vector<Posting>& postings(TermId term) const;
@@ -42,9 +63,12 @@ class InvertedIndex {
 
  private:
   bool finalized_ = false;
+  bool ever_finalized_ = false;
+  uint64_t generation_ = 0;
   size_t total_postings_ = 0;
   std::vector<std::vector<Posting>> postings_;  // indexed by TermId
   std::vector<std::unordered_map<DocId, double>> lookup_;
+  std::vector<TermId> dirty_;  // terms Add()ed since the last Finalize()
   static const std::vector<Posting> kEmpty;
 };
 

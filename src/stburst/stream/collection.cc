@@ -54,6 +54,25 @@ StatusOr<DocId> Collection::AddDocument(StreamId stream, Timestamp time,
   return id;
 }
 
+StatusOr<Timestamp> Collection::Append(Snapshot snapshot) {
+  for (const SnapshotDocument& doc : snapshot) {
+    if (doc.stream >= streams_.size()) {
+      return Status::InvalidArgument(
+          StringPrintf("unknown stream id %u in snapshot", doc.stream));
+    }
+  }
+  const Timestamp time = timeline_length_;
+  ++timeline_length_;
+  for (auto& per_stream : docs_at_) per_stream.emplace_back();
+  for (SnapshotDocument& doc : snapshot) {
+    DocId id = static_cast<DocId>(documents_.size());
+    docs_at_[doc.stream].back().push_back(id);
+    documents_.push_back(
+        Document{id, doc.stream, time, std::move(doc.tokens), doc.event_id});
+  }
+  return time;
+}
+
 const StreamInfo& Collection::stream(StreamId id) const {
   STB_CHECK(id < streams_.size()) << "invalid StreamId " << id;
   return streams_[id];

@@ -25,9 +25,29 @@ struct StreamInfo {
   Point2D position;  // planar location (e.g. the MDS embedding)
 };
 
+/// One document of an incoming snapshot, before it has a timestamp: the
+/// stream that reported it and its interned tokens. Append() stamps it with
+/// the new timestamp and assigns its DocId.
+struct SnapshotDocument {
+  StreamId stream = kInvalidStream;
+  std::vector<TermId> tokens;
+  int32_t event_id = kNoEvent;
+};
+
+/// Everything one timeline tick delivers: the documents reported by all
+/// streams during the new timestamp. Streams absent from the snapshot simply
+/// reported nothing.
+using Snapshot = std::vector<SnapshotDocument>;
+
 /// A spatiotemporal collection: streams, an interned vocabulary, and the
-/// documents each stream reported per timestamp. Timestamps are 0-based and
-/// the timeline length is fixed at construction.
+/// documents each stream reported per timestamp. Timestamps are 0-based; the
+/// timeline starts at the length given to Create() and grows one timestamp
+/// per Append() — the live-feed ingest path (docs/ARCHITECTURE.md).
+///
+/// Thread-safety: none. All mutators (AddStream, AddDocument, Append,
+/// vocabulary interning) require external exclusion against readers; the
+/// sharded FrequencyIndex::Build reads concurrently from worker threads and
+/// relies on the collection being quiescent for the duration of the scan.
 class Collection {
  public:
   /// Creates a collection over `timeline_length` timestamps (must be > 0).
@@ -45,6 +65,14 @@ class Collection {
   StatusOr<DocId> AddDocument(StreamId stream, Timestamp time,
                               std::vector<TermId> tokens,
                               int32_t event_id = kNoEvent);
+
+  /// Extends the timeline by one timestamp and files the snapshot's
+  /// documents under it, in snapshot order. Validation is all-or-nothing:
+  /// if any document names an unknown stream, nothing is appended and
+  /// InvalidArgument is returned. Returns the new timestamp on success.
+  /// After a successful Append, FrequencyIndex::AppendSnapshot catches the
+  /// index up without a rebuild. O(snapshot tokens + num_streams).
+  StatusOr<Timestamp> Append(Snapshot snapshot);
 
   /// Mutable vocabulary for tokenization during ingest.
   Vocabulary* mutable_vocabulary() { return &vocabulary_; }

@@ -6,6 +6,18 @@
 // of those values for one term; FrequencyIndex materializes it from a
 // document Collection. The synthetic generators construct TermSeries
 // directly, bypassing documents.
+//
+// FrequencyIndex supports two ingest modes that share one canonical
+// representation (per-term postings sorted by (stream, time), one entry per
+// nonzero cell):
+//  - Build(collection, num_threads): full scan, optionally sharded across
+//    worker threads. The sharded build is bit-identical to the serial one
+//    for every thread count (see the determinism note on Build).
+//  - AppendSnapshot(collection): incremental catch-up after
+//    Collection::Append extended the timeline, touching only the terms that
+//    actually appear in the new snapshots. Terms touched since the last
+//    TakeDirtyTerms() call are tracked so downstream consumers (the batch
+//    miner, search indexes) can re-derive only what changed.
 
 #ifndef STBURST_STREAM_FREQUENCY_H_
 #define STBURST_STREAM_FREQUENCY_H_
@@ -78,12 +90,59 @@ struct TermPosting {
   double count;
 };
 
-/// Sparse per-term frequency postings over a document collection, built once
-/// and then queried per term. Postings are sorted by (stream, time).
+/// Sparse per-term frequency postings over a document collection.
+///
+/// Thread-safety: Build is internally parallel but externally exclusive (the
+/// collection, including its vocabulary, must not be mutated during the
+/// scan). After Build / AppendSnapshot return, all const accessors are safe
+/// to call concurrently from any number of threads; AppendSnapshot and
+/// TakeDirtyTerms are writers and must be externally serialized against the
+/// readers (quiesce mining, append, re-mine — see docs/ARCHITECTURE.md).
 class FrequencyIndex {
  public:
-  /// Scans every document in `collection` once.
-  static FrequencyIndex Build(const Collection& collection);
+  /// Scans every document in `collection` once and builds canonical per-term
+  /// postings (sorted by (stream, time), duplicate cells merged).
+  ///
+  /// `num_threads`: 1 (default) runs serially on the calling thread; 0 means
+  /// hardware concurrency. With T > 1 the document scan is sharded into T
+  /// contiguous document ranges accumulated independently, then the per-term
+  /// shard buckets are merged with a parallel loop over the vocabulary.
+  /// The count is a ceiling: the build never runs more workers than the
+  /// hardware offers (oversubscribing a CPU-bound scan only thrashes), but
+  /// the shard structure follows the request, so behavior is host-invariant.
+  ///
+  /// Determinism: output is bit-identical for every thread count. Shards
+  /// are contiguous document ranges concatenated in document order and
+  /// canonicalization is stable, so a cell's count folds over its documents
+  /// in document order; shard boundaries can group that fold into partial
+  /// sums, which is exact because counts are per-document term frequencies
+  /// (small integer doubles). If fractional counts are ever introduced, the
+  /// cross-thread guarantee weakens to "equal up to float associativity"
+  /// at cells straddling a shard boundary.
+  /// Complexity: O(tokens + nnz) work, O(nnz + T·V) transient space.
+  static FrequencyIndex Build(const Collection& collection,
+                              size_t num_threads = 1);
+
+  /// Incrementally extends the index with every timestamp `collection`
+  /// gained since this index was built or last caught up (the result of one
+  /// or more Collection::Append calls). Postings are extended in place; only
+  /// terms occurring in the new snapshots are touched, and those terms are
+  /// recorded for TakeDirtyTerms().
+  ///
+  /// Contract: `collection` must be the same logical collection the index
+  /// was built from, with documents added only at appended timestamps —
+  /// late additions to pre-existing timestamps are not picked up (rebuild
+  /// instead). New streams and new vocabulary terms are absorbed. Returns
+  /// InvalidArgument if the collection's timeline or vocabulary is behind
+  /// the index. Equivalence: after any sequence of appends the index is
+  /// bit-identical to Build(collection) from scratch (tested).
+  /// Complexity: O(V + new tokens + Σ postings(t) over touched terms t).
+  Status AppendSnapshot(const Collection& collection);
+
+  /// Terms whose postings changed since the last call (sorted, unique), and
+  /// resets the dirty set. Feed to RemineTerms / index rebuilds so
+  /// downstream work is proportional to the feed, not the corpus.
+  std::vector<TermId> TakeDirtyTerms();
 
   size_t num_terms() const { return postings_.size(); }
   size_t num_streams() const { return num_streams_; }
@@ -100,7 +159,13 @@ class FrequencyIndex {
   /// Allocation-free; the batch miner calls this once per term per worker.
   void FillSeries(TermId term, TermSeries* series) const;
 
-  /// Total corpus frequency of a term.
+  /// Per-stream frequencies of `term` at one timestamp (length
+  /// num_streams()): the snapshot column the online miners consume
+  /// (OnlineStComb::PushFromIndex). O(n log postings(term)) — per-stream
+  /// binary search, so per-tick pulls stay cheap as the feed grows.
+  std::vector<double> SnapshotColumn(TermId term, Timestamp time) const;
+
+  /// Total corpus frequency of a term. O(postings(term)).
   double TotalCount(TermId term) const;
 
  private:
@@ -109,6 +174,7 @@ class FrequencyIndex {
   size_t num_streams_ = 0;
   Timestamp timeline_length_ = 0;
   std::vector<std::vector<TermPosting>> postings_;  // indexed by TermId
+  std::vector<TermId> dirty_terms_;  // touched by appends; may hold dupes
   static const std::vector<TermPosting> kEmpty;
 };
 

@@ -156,6 +156,98 @@ TEST_P(MineAllTermsParityTest, ThreadCountInvariant) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MineAllTermsParityTest, ::testing::Range(0, 5));
 
+TEST(RemineTerms, DirtyTermsMatchFreshSweepAndQuietSlotsKeepTheirPatterns) {
+  Collection c = MakeRandomCollection(31, 8, 20, 30, 300);
+  FrequencyIndex freq = FrequencyIndex::Build(c);
+
+  BatchMinerOptions opts;
+  opts.stcomb.min_interval_burstiness = 0.05;
+  opts.mine_regional = true;
+  opts.positions = c.StreamPositions();
+  opts.model_factory = TestFactory();
+  opts.num_threads = 3;
+
+  auto mined = MineAllTerms(freq, opts);
+  ASSERT_TRUE(mined.ok());
+  BatchMineResult live = std::move(*mined);
+  const BatchMineResult before = live;
+
+  // Feed: a few appended snapshots, some interning new vocabulary.
+  Rng rng(55);
+  for (int round = 0; round < 4; ++round) {
+    Snapshot snap;
+    for (size_t d = 0; d < 12; ++d) {
+      SnapshotDocument doc;
+      doc.stream = static_cast<StreamId>(rng.NextUint64(c.num_streams()));
+      size_t len = 1 + rng.NextUint64(4);
+      for (size_t i = 0; i < len; ++i) {
+        if (rng.Bernoulli(0.1)) {
+          doc.tokens.push_back(c.mutable_vocabulary()->Intern(
+              "fresh" + std::to_string(rng.NextUint64(8))));
+        } else {
+          doc.tokens.push_back(static_cast<TermId>(rng.NextUint64(30)));
+        }
+      }
+      snap.push_back(std::move(doc));
+    }
+    ASSERT_TRUE(c.Append(std::move(snap)).ok());
+  }
+  ASSERT_TRUE(freq.AppendSnapshot(c).ok());
+  const std::vector<TermId> dirty = freq.TakeDirtyTerms();
+  ASSERT_FALSE(dirty.empty());
+
+  ASSERT_TRUE(RemineTerms(freq, dirty, opts, &live).ok());
+  ASSERT_EQ(live.terms.size(), freq.num_terms());
+
+  auto fresh = MineAllTerms(freq, opts);
+  ASSERT_TRUE(fresh.ok());
+
+  std::vector<bool> is_dirty(freq.num_terms(), false);
+  for (TermId t : dirty) is_dirty[t] = true;
+  for (TermId t = 0; t < freq.num_terms(); ++t) {
+    if (is_dirty[t]) {
+      // Re-mined slots are exactly what a fresh sweep produces.
+      EXPECT_EQ(live.terms[t].mined, fresh->terms[t].mined) << "term " << t;
+      ExpectSamePatterns(live.terms[t].combinatorial,
+                         fresh->terms[t].combinatorial);
+      ExpectSameWindows(live.terms[t].regional, fresh->terms[t].regional);
+    } else if (t < before.terms.size()) {
+      // Quiet slots keep the patterns of their last mine.
+      ExpectSamePatterns(live.terms[t].combinatorial,
+                         before.terms[t].combinatorial);
+      ExpectSameWindows(live.terms[t].regional, before.terms[t].regional);
+    } else {
+      // New vocabulary that never got postings stays skipped.
+      EXPECT_FALSE(live.terms[t].mined);
+      EXPECT_EQ(live.terms[t].term, t);
+    }
+  }
+
+  // Counters keep their invariant after incremental updates.
+  size_t mined_slots = 0;
+  for (const TermPatterns& slot : live.terms) {
+    if (slot.mined) ++mined_slots;
+  }
+  EXPECT_EQ(live.terms_mined, mined_slots);
+  EXPECT_EQ(live.terms_mined + live.terms_skipped, live.terms.size());
+}
+
+TEST(RemineTerms, ValidatesInput) {
+  Collection c = MakeRandomCollection(3, 4, 10, 10, 60);
+  FrequencyIndex freq = FrequencyIndex::Build(c);
+  BatchMinerOptions opts;
+  auto result = MineAllTerms(freq, opts);
+  ASSERT_TRUE(result.ok());
+
+  EXPECT_TRUE(RemineTerms(freq, {static_cast<TermId>(freq.num_terms())}, opts,
+                          &*result)
+                  .IsInvalidArgument());
+  // Empty dirty set is a no-op success.
+  EXPECT_TRUE(RemineTerms(freq, {}, opts, &*result).ok());
+  // Duplicates are tolerated.
+  EXPECT_TRUE(RemineTerms(freq, {0, 0, 1}, opts, &*result).ok());
+}
+
 TEST(MineAllTerms, FrequencyFloorSkipsRareTerms) {
   Collection c = MakeRandomCollection(11, 6, 20, 25, 200);
   FrequencyIndex freq = FrequencyIndex::Build(c);

@@ -67,6 +67,71 @@ TEST(Collection, EventLabelDefaultsToNoEvent) {
   EXPECT_EQ(c->document(*labeled).event_id, 7);
 }
 
+TEST(Collection, AppendExtendsTimelineAndFilesDocuments) {
+  auto c = Collection::Create(2);
+  ASSERT_TRUE(c.ok());
+  StreamId s0 = c->AddStream("A", {}, {});
+  StreamId s1 = c->AddStream("B", {}, {});
+  TermId w = c->mutable_vocabulary()->Intern("w");
+
+  Snapshot snap;
+  snap.push_back(SnapshotDocument{s0, {w, w}, 5});
+  snap.push_back(SnapshotDocument{s1, {w}});
+  auto t = c->Append(std::move(snap));
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, 2);
+  EXPECT_EQ(c->timeline_length(), 3);
+  EXPECT_EQ(c->num_documents(), 2u);
+  ASSERT_EQ(c->DocumentsAt(s0, 2).size(), 1u);
+  ASSERT_EQ(c->DocumentsAt(s1, 2).size(), 1u);
+
+  const Document& doc = c->document(c->DocumentsAt(s0, 2)[0]);
+  EXPECT_EQ(doc.stream, s0);
+  EXPECT_EQ(doc.time, 2);
+  EXPECT_EQ(doc.event_id, 5);
+  EXPECT_EQ(doc.TermFrequency(w), 2);
+  EXPECT_EQ(c->document(c->DocumentsAt(s1, 2)[0]).event_id, kNoEvent);
+}
+
+TEST(Collection, AppendRejectsUnknownStreamAtomically) {
+  auto c = Collection::Create(1);
+  ASSERT_TRUE(c.ok());
+  StreamId s = c->AddStream("A", {}, {});
+  Snapshot snap;
+  snap.push_back(SnapshotDocument{s, {0}});
+  snap.push_back(SnapshotDocument{77, {0}});  // unknown stream
+  EXPECT_TRUE(c->Append(std::move(snap)).status().IsInvalidArgument());
+  // All-or-nothing: the valid document was not filed either.
+  EXPECT_EQ(c->timeline_length(), 1);
+  EXPECT_EQ(c->num_documents(), 0u);
+}
+
+TEST(Collection, AppendEmptySnapshotStillTicksTheTimeline) {
+  auto c = Collection::Create(1);
+  ASSERT_TRUE(c.ok());
+  StreamId s = c->AddStream("A", {}, {});
+  auto t = c->Append({});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, 1);
+  EXPECT_EQ(c->timeline_length(), 2);
+  EXPECT_TRUE(c->DocumentsAt(s, 1).empty());
+}
+
+TEST(Collection, AppendThenAddStreamCoversTheWholeTimeline) {
+  auto c = Collection::Create(1);
+  ASSERT_TRUE(c.ok());
+  c->AddStream("A", {}, {});
+  ASSERT_TRUE(c->Append({}).ok());
+  StreamId late = c->AddStream("B", {}, {});
+  // The late stream can still be addressed at every timestamp.
+  EXPECT_TRUE(c->DocumentsAt(late, 0).empty());
+  EXPECT_TRUE(c->DocumentsAt(late, 1).empty());
+  Snapshot snap;
+  snap.push_back(SnapshotDocument{late, {}});
+  ASSERT_TRUE(c->Append(std::move(snap)).ok());
+  EXPECT_EQ(c->DocumentsAt(late, 2).size(), 1u);
+}
+
 TEST(Collection, MdsProjectionRequiresStreams) {
   auto c = Collection::Create(2);
   ASSERT_TRUE(c.ok());

@@ -1,8 +1,15 @@
-// Tests for stream/frequency: TermSeries and FrequencyIndex.
+// Tests for stream/frequency: TermSeries and FrequencyIndex, including the
+// sharded build's bit-for-bit parity with the serial build and the
+// append-path parity with a from-scratch rebuild.
 
 #include "stburst/stream/frequency.h"
 
 #include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "stburst/common/random.h"
 
 namespace stburst {
 namespace {
@@ -84,6 +91,165 @@ TEST(FrequencyIndex, UnknownTermIsEmpty) {
   FrequencyIndex idx = FrequencyIndex::Build(c);
   EXPECT_TRUE(idx.postings(9999).empty());
   EXPECT_DOUBLE_EQ(idx.TotalCount(9999), 0.0);
+}
+
+// Randomized corpus with a Zipf-ish token skew, optionally ingested in a
+// shuffled document order so buckets exercise the out-of-order sort path.
+Collection MakeRandomCorpus(uint64_t seed, size_t num_streams,
+                            Timestamp timeline, size_t vocab, size_t num_docs) {
+  auto c = Collection::Create(timeline);
+  EXPECT_TRUE(c.ok());
+  Rng rng(seed);
+  for (size_t s = 0; s < num_streams; ++s) {
+    c->AddStream("s" + std::to_string(s), {}, {});
+  }
+  Vocabulary* v = c->mutable_vocabulary();
+  for (size_t t = 0; t < vocab; ++t) v->Intern("term" + std::to_string(t));
+  for (size_t d = 0; d < num_docs; ++d) {
+    StreamId stream = static_cast<StreamId>(rng.NextUint64(num_streams));
+    Timestamp time =
+        static_cast<Timestamp>(rng.NextUint64(static_cast<uint64_t>(timeline)));
+    size_t len = 1 + rng.NextUint64(5);
+    std::vector<TermId> tokens;
+    for (size_t i = 0; i < len; ++i) {
+      TermId tok = static_cast<TermId>(rng.NextUint64(vocab));
+      if (rng.Bernoulli(0.5)) tok = static_cast<TermId>(tok % (vocab / 4 + 1));
+      tokens.push_back(tok);
+    }
+    EXPECT_TRUE(c->AddDocument(stream, time, std::move(tokens)).ok());
+  }
+  return std::move(*c);
+}
+
+// Exact (bit-for-bit) posting equality, including float counts.
+void ExpectIdenticalIndexes(const FrequencyIndex& a, const FrequencyIndex& b) {
+  ASSERT_EQ(a.num_terms(), b.num_terms());
+  ASSERT_EQ(a.num_streams(), b.num_streams());
+  ASSERT_EQ(a.timeline_length(), b.timeline_length());
+  for (TermId t = 0; t < a.num_terms(); ++t) {
+    const auto& pa = a.postings(t);
+    const auto& pb = b.postings(t);
+    ASSERT_EQ(pa.size(), pb.size()) << "term " << t;
+    for (size_t i = 0; i < pa.size(); ++i) {
+      EXPECT_EQ(pa[i].stream, pb[i].stream) << "term " << t << " entry " << i;
+      EXPECT_EQ(pa[i].time, pb[i].time) << "term " << t << " entry " << i;
+      EXPECT_EQ(pa[i].count, pb[i].count) << "term " << t << " entry " << i;
+    }
+  }
+}
+
+TEST(FrequencyIndexSharded, BitIdenticalToSerialAt1248Threads) {
+  // Large enough that the build actually shards (the serial fallback guards
+  // tiny corpora).
+  Collection c = MakeRandomCorpus(17, 14, 40, 500, 17000);
+  FrequencyIndex serial = FrequencyIndex::Build(c, 1);
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    FrequencyIndex sharded = FrequencyIndex::Build(c, threads);
+    ExpectIdenticalIndexes(serial, sharded);
+  }
+}
+
+TEST(FrequencyIndexSharded, BitIdenticalAcrossRandomizedThreadCounts) {
+  Rng rng(23);
+  for (int trial = 0; trial < 4; ++trial) {
+    Collection c = MakeRandomCorpus(100 + static_cast<uint64_t>(trial), 9, 25,
+                                    200, 9000);
+    FrequencyIndex serial = FrequencyIndex::Build(c, 1);
+    for (int i = 0; i < 3; ++i) {
+      size_t threads = 2 + rng.NextUint64(9);  // 2..10
+      FrequencyIndex sharded = FrequencyIndex::Build(c, threads);
+      ExpectIdenticalIndexes(serial, sharded);
+    }
+  }
+}
+
+TEST(FrequencyIndexAppend, BuildOnceEqualsRebuildAfterNAppends) {
+  Collection c = MakeRandomCorpus(41, 10, 20, 120, 600);
+  FrequencyIndex incremental = FrequencyIndex::Build(c);
+
+  Rng rng(42);
+  for (int round = 0; round < 12; ++round) {
+    Snapshot snap;
+    size_t docs = rng.NextUint64(20);  // occasionally an empty snapshot
+    for (size_t d = 0; d < docs; ++d) {
+      SnapshotDocument doc;
+      doc.stream = static_cast<StreamId>(rng.NextUint64(c.num_streams()));
+      size_t len = 1 + rng.NextUint64(4);
+      for (size_t i = 0; i < len; ++i) {
+        if (rng.Bernoulli(0.05)) {
+          // Live feeds intern new vocabulary mid-flight.
+          doc.tokens.push_back(c.mutable_vocabulary()->Intern(
+              "new" + std::to_string(rng.NextUint64(50))));
+        } else {
+          doc.tokens.push_back(static_cast<TermId>(rng.NextUint64(120)));
+        }
+      }
+      snap.push_back(std::move(doc));
+    }
+    ASSERT_TRUE(c.Append(std::move(snap)).ok());
+    // Sometimes let several snapshots accumulate before catching up.
+    if (round % 3 == 2 || round == 11) {
+      ASSERT_TRUE(incremental.AppendSnapshot(c).ok());
+    }
+  }
+  ASSERT_TRUE(incremental.AppendSnapshot(c).ok());
+  EXPECT_EQ(incremental.timeline_length(), c.timeline_length());
+
+  ExpectIdenticalIndexes(incremental, FrequencyIndex::Build(c));
+  ExpectIdenticalIndexes(incremental, FrequencyIndex::Build(c, 4));
+}
+
+TEST(FrequencyIndexAppend, TracksDirtyTerms) {
+  auto c = Collection::Create(2);
+  ASSERT_TRUE(c.ok());
+  StreamId s = c->AddStream("A", {}, {});
+  Vocabulary* v = c->mutable_vocabulary();
+  TermId cat = v->Intern("cat");
+  TermId dog = v->Intern("dog");
+  (void)c->AddDocument(s, 0, {cat, dog});
+  FrequencyIndex idx = FrequencyIndex::Build(*c);
+  EXPECT_TRUE(idx.TakeDirtyTerms().empty());  // a fresh build is clean
+
+  Snapshot snap;
+  snap.push_back(SnapshotDocument{s, {dog, dog}});
+  ASSERT_TRUE(c->Append(std::move(snap)).ok());
+  ASSERT_TRUE(idx.AppendSnapshot(*c).ok());
+
+  EXPECT_EQ(idx.TakeDirtyTerms(), (std::vector<TermId>{dog}));
+  EXPECT_TRUE(idx.TakeDirtyTerms().empty());  // taking resets the set
+  EXPECT_DOUBLE_EQ(idx.TotalCount(dog), 3.0);
+  EXPECT_DOUBLE_EQ(idx.TotalCount(cat), 1.0);
+}
+
+TEST(FrequencyIndexAppend, RejectsForeignCollections) {
+  auto a = Collection::Create(5);
+  ASSERT_TRUE(a.ok());
+  a->AddStream("A", {}, {});
+  a->mutable_vocabulary()->Intern("x");
+  FrequencyIndex idx = FrequencyIndex::Build(*a);
+
+  auto shorter = Collection::Create(3);
+  ASSERT_TRUE(shorter.ok());
+  shorter->AddStream("A", {}, {});
+  shorter->mutable_vocabulary()->Intern("x");
+  EXPECT_TRUE(idx.AppendSnapshot(*shorter).IsInvalidArgument());
+
+  auto no_vocab = Collection::Create(6);
+  ASSERT_TRUE(no_vocab.ok());
+  no_vocab->AddStream("A", {}, {});
+  EXPECT_TRUE(idx.AppendSnapshot(*no_vocab).IsInvalidArgument());
+}
+
+TEST(FrequencyIndex, SnapshotColumnMatchesDenseSeries) {
+  Collection c = MakeRandomCorpus(61, 6, 12, 40, 300);
+  FrequencyIndex idx = FrequencyIndex::Build(c);
+  for (TermId t : {TermId{0}, TermId{3}, TermId{17}}) {
+    TermSeries dense = idx.DenseSeries(t);
+    for (Timestamp i = 0; i < idx.timeline_length(); ++i) {
+      EXPECT_EQ(idx.SnapshotColumn(t, i), dense.SnapshotColumn(i))
+          << "term " << t << " time " << i;
+    }
+  }
 }
 
 TEST(FrequencyIndex, PostingsSortedByStreamThenTime) {

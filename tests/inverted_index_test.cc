@@ -59,6 +59,69 @@ TEST(InvertedIndex, CountsAndFinalizeIdempotent) {
   EXPECT_TRUE(idx.finalized());
 }
 
+TEST(InvertedIndex, ReopenIncrementalRefreezeMatchesFromScratch) {
+  // Live-feed shape: freeze, reopen, feed more postings, refreeze. The
+  // incremental refreeze (only dirty terms re-sorted) must be
+  // indistinguishable from an index built in one shot.
+  InvertedIndex incremental;
+  InvertedIndex reference;
+  incremental.Add(0, 1, 1.0);
+  incremental.Add(0, 2, 5.0);
+  incremental.Add(1, 1, 2.0);
+  incremental.Finalize();
+
+  incremental.Reopen();
+  incremental.Add(0, 3, 3.0);   // dirty term: existing list
+  incremental.Add(2, 9, 0.5);   // dirty term: brand new
+  incremental.Finalize();
+
+  reference.Add(0, 1, 1.0);
+  reference.Add(0, 2, 5.0);
+  reference.Add(1, 1, 2.0);
+  reference.Add(0, 3, 3.0);
+  reference.Add(2, 9, 0.5);
+  reference.Finalize();
+
+  ASSERT_EQ(incremental.num_terms(), reference.num_terms());
+  EXPECT_EQ(incremental.total_postings(), reference.total_postings());
+  for (TermId t = 0; t < reference.num_terms(); ++t) {
+    const auto& a = incremental.postings(t);
+    const auto& b = reference.postings(t);
+    ASSERT_EQ(a.size(), b.size()) << "term " << t;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].doc, b[i].doc);
+      EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+    }
+  }
+  double score = 0.0;
+  EXPECT_TRUE(incremental.Score(0, 3, &score));
+  EXPECT_DOUBLE_EQ(score, 3.0);
+}
+
+TEST(InvertedIndex, GenerationBumpsOnEveryFreeze) {
+  InvertedIndex idx;
+  EXPECT_EQ(idx.generation(), 0u);
+  idx.Add(0, 1, 1.0);
+  idx.Finalize();
+  EXPECT_EQ(idx.generation(), 1u);
+  idx.Finalize();  // idempotent: no state change, no bump
+  EXPECT_EQ(idx.generation(), 1u);
+  idx.Reopen();
+  EXPECT_EQ(idx.generation(), 1u);  // reopening alone is not a new freeze
+  idx.Add(0, 2, 2.0);
+  idx.Finalize();
+  EXPECT_EQ(idx.generation(), 2u);
+  EXPECT_EQ(idx.postings(0).size(), 2u);
+}
+
+TEST(InvertedIndex, ReopenWhileOpenIsANoOp) {
+  InvertedIndex idx;
+  idx.Reopen();
+  idx.Add(0, 1, 1.0);
+  idx.Finalize();
+  EXPECT_TRUE(idx.finalized());
+}
+
 TEST(PatternIndex, OverlapSemantics) {
   PatternIndex pidx;
   pidx.Add(7, TermPattern{{2, 5, 9}, Interval{10, 20}, 1.5});

@@ -85,6 +85,69 @@ TEST(OnlineStComb, PatternsAppearWhenBurstArrives) {
   EXPECT_EQ(patterns[0].streams, (std::vector<StreamId>{0, 1}));
 }
 
+TEST(OnlineStComb, PushFromIndexTracksALiveFedIndex) {
+  // End-to-end online/batch equivalence on a live feed: the online miner
+  // consumes snapshots straight from the shared FrequencyIndex as appends
+  // land, and must agree with batch STComb over the final data.
+  auto c = Collection::Create(6);
+  ASSERT_TRUE(c.ok());
+  const size_t kStreams = 4;
+  for (size_t s = 0; s < kStreams; ++s) c->AddStream("s", {}, {});
+  TermId storm = c->mutable_vocabulary()->Intern("storm");
+  TermId other = c->mutable_vocabulary()->Intern("other");
+
+  Rng rng(5);
+  for (Timestamp t = 0; t < 6; ++t) {
+    for (StreamId s = 0; s < kStreams; ++s) {
+      if (rng.Bernoulli(0.6)) {
+        (void)c->AddDocument(s, t, {storm, other});
+      }
+    }
+  }
+  FrequencyIndex freq = FrequencyIndex::Build(*c);
+
+  StCombOptions opts;
+  opts.min_interval_burstiness = 0.05;
+  OnlineStComb online(kStreams, opts);
+  while (online.current_time() < freq.timeline_length()) {
+    ASSERT_TRUE(online.PushFromIndex(freq, storm).ok());
+  }
+  // Caught up: another index-pull must be refused.
+  EXPECT_TRUE(online.PushFromIndex(freq, storm).IsFailedPrecondition());
+
+  // Live phase: appends, index catch-up, online catch-up.
+  for (int round = 0; round < 8; ++round) {
+    Snapshot snap;
+    for (StreamId s = 0; s < 2; ++s) {
+      snap.push_back(SnapshotDocument{s, {storm, storm, storm}});
+    }
+    ASSERT_TRUE(c->Append(std::move(snap)).ok());
+    ASSERT_TRUE(freq.AppendSnapshot(*c).ok());
+    ASSERT_TRUE(online.PushFromIndex(freq, storm).ok());
+  }
+  EXPECT_EQ(online.current_time(), freq.timeline_length());
+
+  StComb batch(opts);
+  auto expected = batch.MinePatterns(freq.DenseSeries(storm));
+  auto got = online.CurrentPatterns();
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].streams, expected[i].streams);
+    EXPECT_EQ(got[i].timeframe, expected[i].timeframe);
+    EXPECT_NEAR(got[i].score, expected[i].score, 1e-9);
+  }
+}
+
+TEST(OnlineStComb, PushFromIndexRejectsMismatchedStreamCount) {
+  auto c = Collection::Create(3);
+  ASSERT_TRUE(c.ok());
+  c->AddStream("only", {}, {});
+  c->mutable_vocabulary()->Intern("x");
+  FrequencyIndex freq = FrequencyIndex::Build(*c);
+  OnlineStComb online(2);  // two streams, index has one
+  EXPECT_TRUE(online.PushFromIndex(freq, 0).IsInvalidArgument());
+}
+
 // ---- EnumerateMaximalCliques --------------------------------------------
 
 WeightedInterval WI(Timestamp a, Timestamp b, double w, int64_t tag) {

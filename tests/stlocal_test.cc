@@ -157,6 +157,80 @@ TEST(MineRegionalPatterns, EndToEndWithExpectedModel) {
   EXPECT_TRUE(top.timeframe.Intersects(Interval{30, 39}));
 }
 
+TEST(OnlineRegionalMiner, PushParityWithBatchDriver) {
+  // Pushing the columns one at a time must reproduce MineRegionalPatterns
+  // exactly (the batch driver is now a replay through the online miner, but
+  // this pins the equivalence down as a contract).
+  Rng rng(13);
+  TermSeries series(6, 50);
+  for (StreamId s = 0; s < 6; ++s) {
+    for (Timestamp t = 0; t < 50; ++t) {
+      series.set(s, t, rng.Exponential(1.5));
+    }
+  }
+  for (StreamId s = 2; s <= 3; ++s) {
+    for (Timestamp t = 20; t < 28; ++t) series.add(s, t, 6.0);
+  }
+  auto positions = LinePositions(6, 1.0);
+  auto factory = [] { return std::make_unique<GlobalMeanModel>(); };
+
+  auto batch = MineRegionalPatterns(series, positions, factory);
+  ASSERT_TRUE(batch.ok());
+
+  OnlineRegionalMiner online(positions, factory);
+  for (Timestamp t = 0; t < series.timeline_length(); ++t) {
+    ASSERT_TRUE(online.Push(series.SnapshotColumn(t)).ok());
+  }
+  EXPECT_EQ(online.current_time(), series.timeline_length());
+  auto windows = online.Finish();
+
+  ASSERT_EQ(windows.size(), batch->size());
+  for (size_t i = 0; i < windows.size(); ++i) {
+    EXPECT_EQ(windows[i].region, (*batch)[i].region);
+    EXPECT_EQ(windows[i].streams, (*batch)[i].streams);
+    EXPECT_EQ(windows[i].timeframe, (*batch)[i].timeframe);
+    EXPECT_DOUBLE_EQ(windows[i].score, (*batch)[i].score);
+  }
+}
+
+TEST(OnlineRegionalMiner, PushFromIndexFollowsAppends) {
+  auto c = Collection::Create(4);
+  ASSERT_TRUE(c.ok());
+  for (int s = 0; s < 3; ++s) c->AddStream("s", {}, {});
+  TermId quake = c->mutable_vocabulary()->Intern("quake");
+  for (Timestamp t = 0; t < 4; ++t) {
+    (void)c->AddDocument(0, t, {quake});
+  }
+  FrequencyIndex freq = FrequencyIndex::Build(*c);
+
+  auto factory = [] { return std::make_unique<GlobalMeanModel>(); };
+  OnlineRegionalMiner online(c->StreamPositions(), factory);
+  while (online.current_time() < freq.timeline_length()) {
+    ASSERT_TRUE(online.PushFromIndex(freq, quake).ok());
+  }
+  EXPECT_TRUE(online.PushFromIndex(freq, quake).IsFailedPrecondition());
+
+  for (int round = 0; round < 6; ++round) {
+    Snapshot snap;
+    snap.push_back(SnapshotDocument{0, {quake, quake}});
+    snap.push_back(SnapshotDocument{1, {quake, quake}});
+    ASSERT_TRUE(c->Append(std::move(snap)).ok());
+    ASSERT_TRUE(freq.AppendSnapshot(*c).ok());
+    ASSERT_TRUE(online.PushFromIndex(freq, quake).ok());
+  }
+
+  auto streamed = online.Finish();
+  auto batch = MineRegionalPatterns(freq.DenseSeries(quake),
+                                    c->StreamPositions(), factory);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(streamed.size(), batch->size());
+  for (size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_EQ(streamed[i].streams, (*batch)[i].streams);
+    EXPECT_EQ(streamed[i].timeframe, (*batch)[i].timeframe);
+    EXPECT_DOUBLE_EQ(streamed[i].score, (*batch)[i].score);
+  }
+}
+
 TEST(MineRegionalPatterns, MismatchedPositionsRejected) {
   TermSeries series(3, 10);
   auto result = MineRegionalPatterns(
