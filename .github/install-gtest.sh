@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# CI helper: install GoogleTest from the Ubuntu source package. One script
+# shared by every job in ci.yml so the matrix cannot silently diverge.
+set -euo pipefail
+sudo apt-get update
+sudo apt-get install -y libgtest-dev cmake
+cmake -S /usr/src/googletest -B /tmp/gtest-build
+cmake --build /tmp/gtest-build -j "$(nproc)"
+sudo cmake --install /tmp/gtest-build

@@ -20,9 +20,11 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "stburst/common/parallel.h"
 #include "stburst/common/random.h"
 #include "stburst/common/timer.h"
 #include "stburst/core/batch_miner.h"
+#include "stburst/stream/feed_runtime.h"
 #include "stburst/core/discrepancy.h"
 #include "stburst/core/getmax.h"
 #include "stburst/core/max_clique.h"
@@ -545,25 +547,21 @@ int Run() {
 
   // Live-feed path: one appended snapshot (one extra week of the corpus,
   // ~D/L documents) through Collection::Append + FrequencyIndex::
-  // AppendSnapshot, versus the full rebuild it replaces, plus the dirty-term
-  // incremental re-mine versus the whole-vocabulary sweep.
+  // AppendSnapshot — serial and pool-spliced — versus the full rebuild it
+  // replaces, plus the dirty-term incremental re-mine versus the
+  // whole-vocabulary sweep, plus one full FeedRuntime tick.
   {
-    Collection live = corpus;
-    FrequencyIndex feed = FrequencyIndex::Build(live);
-    auto mined = bench::MineVocabulary(feed, 1);
-    if (!mined.ok()) return 1;
-    (void)feed.TakeDirtyTerms();
-
     Rng rng(321);
     const size_t docs_per_week =
-        live.num_documents() / static_cast<size_t>(live.timeline_length());
-    const size_t vocab_size = live.vocabulary().size();
+        corpus.num_documents() / static_cast<size_t>(corpus.timeline_length());
+    const size_t vocab_size = corpus.vocabulary().size();
     auto make_snapshot = [&] {
       Snapshot snap;
       snap.reserve(docs_per_week);
       for (size_t d = 0; d < docs_per_week; ++d) {
         SnapshotDocument doc;
-        doc.stream = static_cast<StreamId>(rng.NextUint64(live.num_streams()));
+        doc.stream =
+            static_cast<StreamId>(rng.NextUint64(corpus.num_streams()));
         size_t len = 1 + rng.NextUint64(6);
         for (size_t i = 0; i < len; ++i) {
           TermId tok = static_cast<TermId>(rng.NextUint64(vocab_size));
@@ -578,11 +576,20 @@ int Run() {
     };
 
     const size_t kWeeks = 16;
-    // Snapshots are generated outside the timed region: document synthesis
-    // is harness work the library never performs.
-    std::vector<Snapshot> snapshots;
-    snapshots.reserve(kWeeks);
-    for (size_t w = 0; w < kWeeks; ++w) snapshots.push_back(make_snapshot());
+    // Snapshots are generated outside the timed regions: document synthesis
+    // is harness work the library never performs. One master set feeds
+    // every variant, so they splice identical data.
+    std::vector<Snapshot> master;
+    master.reserve(kWeeks);
+    for (size_t w = 0; w < kWeeks; ++w) master.push_back(make_snapshot());
+
+    Collection live = corpus;
+    FrequencyIndex feed = FrequencyIndex::Build(live);
+    auto mined = bench::MineVocabulary(feed, 1);
+    if (!mined.ok()) return 1;
+    (void)feed.TakeDirtyTerms();
+
+    std::vector<Snapshot> snapshots = master;
     Timer t_append;
     for (Snapshot& snap : snapshots) {
       if (!live.Append(std::move(snap)).ok()) return 1;
@@ -591,6 +598,24 @@ int Run() {
     double append_s = t_append.ElapsedSeconds();
     report("frequency_append_snapshot",
            append_s * 1e9 / static_cast<double>(kWeeks), docs_per_week);
+
+    // The same appends with the per-term splice fanned across a 4-worker
+    // pool (3 pool threads + the caller).
+    {
+      Collection live4 = corpus;
+      FrequencyIndex feed4 = FrequencyIndex::Build(live4);
+      (void)feed4.TakeDirtyTerms();
+      std::vector<Snapshot> snapshots4 = master;
+      ThreadPool splice_pool(3);
+      Timer t_splice;
+      for (Snapshot& snap : snapshots4) {
+        if (!live4.Append(std::move(snap)).ok()) return 1;
+        if (!feed4.AppendSnapshot(live4, &splice_pool).ok()) return 1;
+      }
+      double splice_s = t_splice.ElapsedSeconds();
+      report("append_splice_t4",
+             splice_s * 1e9 / static_cast<double>(kWeeks), docs_per_week);
+    }
 
     double rebuild = TimeNs([&] { FrequencyIndex::Build(live); });
     report("frequency_rebuild_after_append", rebuild, live.num_documents());
@@ -610,6 +635,31 @@ int Run() {
     std::printf("  -> re-mined %zu dirty terms in %.0f ms (vs %zu-term full "
                 "sweep)\n",
                 dirty.size(), remine_s * 1e3, vocab);
+
+    // One full FeedRuntime tick over the corpus: pooled append splice,
+    // retention eviction (window = the corpus timeline, so every tick
+    // evicts one timestamp), dirty re-mine, and a budget-64 refresh sweep.
+    {
+      FeedRuntimeOptions fr_opts;
+      fr_opts.miner.stcomb.min_interval_burstiness = 0.1;
+      fr_opts.num_threads = 4;
+      fr_opts.retention_window = corpus.timeline_length();
+      fr_opts.refresh_budget = 64;
+      auto runtime = FeedRuntime::Create(corpus, fr_opts);
+      if (!runtime.ok()) return 1;
+      std::vector<Snapshot> ticks = master;
+      Timer t_tick;
+      for (Snapshot& snap : ticks) {
+        if (!runtime->Tick(std::move(snap)).ok()) return 1;
+      }
+      double tick_s = t_tick.ElapsedSeconds();
+      report("feed_runtime_tick",
+             tick_s * 1e9 / static_cast<double>(kWeeks), docs_per_week);
+      std::printf("  -> runtime tick: %.1f ms/snapshot (splice + evict + "
+                  "re-mine + refresh), window %d weeks\n",
+                  tick_s * 1e3 / static_cast<double>(kWeeks),
+                  runtime->index().window_length());
+    }
   }
 
   // Regional mining over a vocabulary sample (full-vocab STLocal is a

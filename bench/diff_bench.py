@@ -59,7 +59,13 @@ def diff(baseline, candidate, threshold, include_naive=False):
     only_base = sorted(set(baseline) - set(candidate))
     only_cand = sorted(set(candidate) - set(baseline))
     if only_base:
-        lines.append("ops only in baseline (skipped): " + ", ".join(only_base))
+        # Non-fatal by design (renames and retirements are legitimate), but
+        # loud: a benchmark that silently disappears from the new run would
+        # otherwise let baseline drift hide a deleted op forever.
+        lines.append("WARNING: %d op(s) in the baseline are missing from the "
+                     "candidate run: %s — deleted benchmark or renamed op? "
+                     "(not gated; refresh the baseline if intentional)"
+                     % (len(only_base), ", ".join(only_base)))
     if only_cand:
         lines.append("ops only in candidate (skipped): " + ", ".join(only_cand))
     return lines, regressions
@@ -72,11 +78,17 @@ def self_test():
     lines, regressions = diff(baseline, candidate, threshold=0.10)
     assert regressions == ["b"], regressions          # 2x slower: flagged
     assert all("c_naive" not in r for r in regressions)  # naive ops ignored
-    assert any("only in baseline" in l for l in lines)
+    # A vanished op warns loudly (names the op) but never gates: the warning
+    # is how baseline drift surfaces a deleted benchmark.
+    vanished = [l for l in lines if l.startswith("WARNING")]
+    assert len(vanished) == 1, lines
+    assert "gone" in vanished[0] and "missing from the candidate" in vanished[0]
+    assert "gone" not in regressions
     assert any("only in candidate" in l for l in lines)
 
-    _, none = diff(baseline, {"a": 109.0}, threshold=0.10)
+    warn_all, none = diff(baseline, {"a": 109.0}, threshold=0.10)
     assert none == [], none                           # within threshold: ok
+    assert any(l.startswith("WARNING") and "b" in l for l in warn_all)
 
     _, incl = diff(baseline, candidate, threshold=0.10, include_naive=True)
     assert "c_naive" in incl
@@ -98,6 +110,11 @@ def main():
                              "(default 0.10 = 10%%)")
     parser.add_argument("--include-naive", action="store_true",
                         help="also gate the *_naive baseline ops")
+    parser.add_argument("--soft", action="store_true",
+                        help="report regressions as warnings and exit 0; "
+                             "tooling errors (unreadable/malformed files) "
+                             "still exit nonzero — for CI smoke jobs on "
+                             "shared runners")
     parser.add_argument("--self-test", action="store_true",
                         help="run the built-in unit checks and exit")
     args = parser.parse_args()
@@ -117,6 +134,11 @@ def main():
     for line in lines:
         print("  " + line)
     if regressions:
+        if args.soft:
+            print("WARNING: %d op(s) regressed >%.0f%%: %s (non-gating: --soft)"
+                  % (len(regressions), args.threshold * 100,
+                     ", ".join(regressions)))
+            return 0
         print("FAIL: %d op(s) regressed >%.0f%%: %s"
               % (len(regressions), args.threshold * 100,
                  ", ".join(regressions)))

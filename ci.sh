@@ -3,15 +3,34 @@
 # tooling. With RUN_BENCH=1 also runs bench_micro and gates the result
 # against the committed baseline (>10% per-op regression fails).
 #
-# Usage: ./ci.sh [build-dir]             (default: build)
+# Usage: ./ci.sh [build-dir]             (default: build; build-sanitize when SANITIZE=1)
+#        BUILD_TYPE=Debug ./ci.sh        set CMAKE_BUILD_TYPE (default: RelWithDebInfo)
+#        SANITIZE=1 ./ci.sh              ASan+UBSan build (-DSTBURST_SANITIZE=ON)
 #        RUN_BENCH=1 ./ci.sh             perf gate against bench/BENCH_micro.baseline.json
+#        BENCH_SOFT=1 RUN_BENCH=1 ./ci.sh  bench smoke: tooling errors gate,
+#                                          perf regressions only warn
 #        BENCH_BASELINE=path ./ci.sh     override the baseline file
+#
+# CC/CXX are honored as usual (the CI matrix sets gcc/clang through them).
 set -euo pipefail
 
-BUILD_DIR="${1:-build}"
+if [[ "${SANITIZE:-0}" == "1" ]]; then
+  DEFAULT_DIR="build-sanitize"
+else
+  DEFAULT_DIR="build"
+fi
+BUILD_DIR="${1:-$DEFAULT_DIR}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-cmake -B "$BUILD_DIR" -S .
+CMAKE_ARGS=()
+if [[ -n "${BUILD_TYPE:-}" ]]; then
+  CMAKE_ARGS+=("-DCMAKE_BUILD_TYPE=${BUILD_TYPE}")
+fi
+if [[ "${SANITIZE:-0}" == "1" ]]; then
+  CMAKE_ARGS+=("-DSTBURST_SANITIZE=ON")
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error -j "$JOBS"
 
@@ -21,9 +40,18 @@ python3 bench/diff_bench.py --self-test
 
 if [[ "${RUN_BENCH:-0}" == "1" ]]; then
   BASELINE="${BENCH_BASELINE:-bench/BENCH_micro.baseline.json}"
+  # A bench binary that fails to run is a tooling error and always gates,
+  # even in soft mode.
   (cd "$BUILD_DIR" && ./bench_micro)
   if [[ -f "$BASELINE" ]]; then
-    python3 bench/diff_bench.py "$BASELINE" "$BUILD_DIR/BENCH_micro.json"
+    if [[ "${BENCH_SOFT:-0}" == "1" ]]; then
+      # Smoke mode (shared CI runners time ops unreliably): the differ
+      # downgrades perf regressions to warnings but still exits nonzero on
+      # tooling errors (missing/malformed JSON), which gate as usual.
+      python3 bench/diff_bench.py --soft "$BASELINE" "$BUILD_DIR/BENCH_micro.json"
+    else
+      python3 bench/diff_bench.py "$BASELINE" "$BUILD_DIR/BENCH_micro.json"
+    fi
   else
     echo "no baseline at $BASELINE; skipping perf diff" >&2
   fi

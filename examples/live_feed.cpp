@@ -1,35 +1,33 @@
-// Live-feed mining: the streaming ingest -> incremental mine cycle, end to
-// end, the way a monitoring deployment would run it (docs/ARCHITECTURE.md
-// describes the architecture this demonstrates).
+// Live-feed mining with the long-running FeedRuntime: the service-shaped
+// version of the streaming ingest -> incremental mine cycle
+// (docs/ARCHITECTURE.md describes the runtime and its retention contract).
 //
-//  1. Ingest a 30-week historical corpus and build the FrequencyIndex with
-//     the sharded multi-threaded build.
-//  2. Run the initial whole-vocabulary batch mine (MineAllTerms).
-//  3. Go live. Every week: Collection::Append files the snapshot,
-//     FrequencyIndex::AppendSnapshot extends the postings in place,
-//     RemineTerms refreshes only the dirty terms of the batch result, and
-//     two watchlist miners — OnlineStComb (combinatorial) and
-//     OnlineRegionalMiner (regional) — consume the very same index.
-//  4. Verify: the incrementally maintained index matches a from-scratch
-//     rebuild, and the online miner matches batch STComb on the final data.
+//  1. Ingest a 30-week historical corpus.
+//  2. FeedRuntime::Create owns the stack: sharded index build, initial
+//     whole-vocabulary sweep, persistent thread pool.
+//  3. Go live for 18 weeks. Every Tick: parallel append splice, retention
+//     eviction beyond the 36-week window, dirty-term re-mining, and a
+//     background refresh sweep that re-mines the stalest quiet terms
+//     (mass x staleness, 16 terms/tick). A watchlist OnlineStComb follows
+//     the same index, evicted in lockstep.
+//  4. Verify: the runtime's windowed index matches a from-scratch rebuild
+//     of the evicted collection, and the watchlist miner matches batch
+//     STComb over the retained window.
 //
 // A burst of the watched term "storm" is injected into the clustered
 // streams during live weeks 36-40, so the weekly log shows the pattern
-// appear as the data arrives.
+// appear as the data arrives — and survive the window sliding past its
+// start.
 //
 // Run: ./build/examples/live_feed
 
 #include <cstdio>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "stburst/common/random.h"
-#include "stburst/common/timer.h"
-#include "stburst/core/batch_miner.h"
 #include "stburst/core/online_stcomb.h"
-#include "stburst/core/stlocal.h"
-#include "stburst/stream/frequency.h"
+#include "stburst/stream/feed_runtime.h"
 
 using namespace stburst;
 
@@ -37,6 +35,7 @@ namespace {
 
 constexpr Timestamp kHistoryWeeks = 30;
 constexpr Timestamp kLiveWeeks = 18;
+constexpr Timestamp kRetentionWeeks = 36;
 constexpr size_t kBackgroundVocab = 400;
 
 // A background document: 3-8 Zipf-ish tokens.
@@ -71,7 +70,7 @@ int main() {
   }
   const TermId storm = vocab->Intern("storm");
 
-  // --- 1. Historical ingest + sharded index build -------------------------
+  // --- 1. Historical ingest ----------------------------------------------
   for (Timestamp week = 0; week < kHistoryWeeks; ++week) {
     for (StreamId s = 0; s < collection->num_streams(); ++s) {
       size_t docs = 2 + rng.NextUint64(3);
@@ -82,46 +81,42 @@ int main() {
       }
     }
   }
-  Timer t_build;
-  FrequencyIndex index = FrequencyIndex::Build(*collection, /*num_threads=*/4);
-  std::printf("historical ingest: %zu documents, %zu terms, %d weeks; "
-              "sharded index build %.1f ms\n",
-              collection->num_documents(), index.num_terms(),
-              collection->timeline_length(), t_build.ElapsedSeconds() * 1e3);
 
-  // --- 2. Initial whole-vocabulary batch mine -----------------------------
-  BatchMinerOptions opts;
-  opts.stcomb.min_interval_burstiness = 0.1;
-  opts.num_threads = 4;
-  auto mined = MineAllTerms(index, opts);
-  if (!mined.ok()) {
-    std::fprintf(stderr, "MineAllTerms: %s\n",
-                 mined.status().ToString().c_str());
+  // --- 2. Bring up the runtime -------------------------------------------
+  FeedRuntimeOptions opts;
+  opts.miner.stcomb.min_interval_burstiness = 0.1;
+  opts.num_threads = 4;              // one standing pool for everything
+  opts.retention_window = kRetentionWeeks;
+  opts.refresh_budget = 16;          // stalest quiet terms re-mined per tick
+  auto runtime = FeedRuntime::Create(std::move(*collection), opts);
+  if (!runtime.ok()) {
+    std::fprintf(stderr, "FeedRuntime::Create: %s\n",
+                 runtime.status().ToString().c_str());
     return 1;
   }
-  BatchMineResult live = std::move(*mined);
-  std::printf("initial sweep: %zu terms mined, %zu skipped\n\n",
-              live.terms_mined, live.terms_skipped);
+  std::printf("runtime up: %zu documents, %zu terms, %d weeks history; "
+              "%zu terms mined, %zu skipped\n\n",
+              runtime->collection().num_documents(),
+              runtime->index().num_terms(),
+              runtime->collection().timeline_length(),
+              runtime->result().terms_mined, runtime->result().terms_skipped);
 
-  // --- 3. Go live ---------------------------------------------------------
-  auto factory = WithPriorFloor([] { return std::make_unique<GlobalMeanModel>(); },
-                                0.2);
-  OnlineStComb watch_comb(collection->num_streams(), opts.stcomb);
-  OnlineRegionalMiner watch_regional(collection->StreamPositions(), factory);
-  // The watchlist miners first replay the history already in the index.
-  while (watch_comb.current_time() < index.timeline_length()) {
-    if (!watch_comb.PushFromIndex(index, storm).ok()) return 1;
-    if (!watch_regional.PushFromIndex(index, storm).ok()) return 1;
+  // Watchlist miner on the same index, replaying the retained history.
+  OnlineStComb watch(runtime->collection().num_streams(), opts.miner.stcomb);
+  while (watch.current_time() < runtime->index().timeline_length()) {
+    if (!watch.PushFromIndex(runtime->index(), storm).ok()) return 1;
   }
 
-  std::printf("live feed (burst of \"storm\" in the cluster, weeks 36-40):\n");
-  std::printf("%6s %6s %8s %12s %22s\n", "week", "docs", "dirty",
-              "remine(ms)", "watched pattern");
+  // --- 3. Go live ---------------------------------------------------------
+  std::printf("live feed (burst of \"storm\" in the cluster, weeks 36-40; "
+              "window %d weeks):\n", kRetentionWeeks);
+  std::printf("%6s %6s %7s %9s %8s %10s %22s\n", "week", "docs", "dirty",
+              "refreshed", "window", "tick(ms)", "watched pattern");
   for (Timestamp week = kHistoryWeeks; week < kHistoryWeeks + kLiveWeeks;
        ++week) {
     const bool bursting = week >= 36 && week <= 40;
     Snapshot snap;
-    for (StreamId s = 0; s < collection->num_streams(); ++s) {
+    for (StreamId s = 0; s < runtime->collection().num_streams(); ++s) {
       size_t docs = 2 + rng.NextUint64(3);
       for (size_t d = 0; d < docs; ++d) {
         SnapshotDocument doc;
@@ -138,36 +133,36 @@ int main() {
         snap.push_back(std::move(doc));
       }
     }
-    const size_t snap_docs = snap.size();
 
-    if (!collection->Append(std::move(snap)).ok()) return 1;
-    if (!index.AppendSnapshot(*collection).ok()) return 1;
+    auto stats = runtime->Tick(std::move(snap));
+    if (!stats.ok()) {
+      std::fprintf(stderr, "Tick: %s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    // The watchlist follows the index and its sliding window in lockstep.
+    if (!watch.PushFromIndex(runtime->index(), storm).ok()) return 1;
+    if (!watch.EvictBefore(runtime->window_start()).ok()) return 1;
 
-    std::vector<TermId> dirty = index.TakeDirtyTerms();
-    Timer t_remine;
-    if (!RemineTerms(index, dirty, opts, &live).ok()) return 1;
-    double remine_ms = t_remine.ElapsedSeconds() * 1e3;
-
-    if (!watch_comb.PushFromIndex(index, storm).ok()) return 1;
-    if (!watch_regional.PushFromIndex(index, storm).ok()) return 1;
-
-    auto patterns = watch_comb.CurrentPatterns();
+    auto patterns = watch.CurrentPatterns();
     std::string state = "-";
     if (!patterns.empty()) {
       state = "score " + std::to_string(patterns[0].score).substr(0, 5) +
               ", " + std::to_string(patterns[0].streams.size()) + " streams" +
               (bursting ? "  <- burst" : "");
     }
-    std::printf("%6d %6zu %8zu %12.1f %22s\n", week, snap_docs, dirty.size(),
-                remine_ms, state.c_str());
+    std::printf("%6d %6zu %7zu %9zu %8d %10.1f %22s\n", stats->time,
+                stats->documents, stats->dirty_terms, stats->refreshed_terms,
+                runtime->window_start(), stats->seconds * 1e3, state.c_str());
   }
 
   // --- 4. Verify ----------------------------------------------------------
-  FrequencyIndex rebuilt = FrequencyIndex::Build(*collection, 4);
-  bool identical = rebuilt.num_terms() == index.num_terms() &&
-                   rebuilt.timeline_length() == index.timeline_length();
-  for (TermId t = 0; identical && t < index.num_terms(); ++t) {
-    const auto& a = index.postings(t);
+  FrequencyIndex rebuilt = FrequencyIndex::Build(runtime->collection(), 4);
+  const FrequencyIndex& live_index = runtime->index();
+  bool identical = rebuilt.num_terms() == live_index.num_terms() &&
+                   rebuilt.timeline_length() == live_index.timeline_length() &&
+                   rebuilt.window_start() == live_index.window_start();
+  for (TermId t = 0; identical && t < live_index.num_terms(); ++t) {
+    const auto& a = live_index.postings(t);
     const auto& b = rebuilt.postings(t);
     identical = a.size() == b.size();
     for (size_t i = 0; identical && i < a.size(); ++i) {
@@ -175,26 +170,36 @@ int main() {
                   a[i].count == b[i].count;
     }
   }
-  std::printf("\nincremental index vs from-scratch rebuild: %s\n",
+  std::printf("\nwindowed live index vs rebuild of evicted collection: %s\n",
               identical ? "bit-identical" : "MISMATCH");
 
-  StComb batch(opts.stcomb);
-  auto batch_patterns = batch.MinePatterns(index.DenseSeries(storm));
-  auto online_patterns = watch_comb.CurrentPatterns();
+  // The watchlist miner over the window vs batch STComb over the windowed
+  // dense series (batch timeframes are window-relative; shift to absolute).
+  StComb batch(opts.miner.stcomb);
+  auto batch_patterns = batch.MinePatterns(live_index.DenseSeries(storm));
+  const Timestamp origin = live_index.window_start();
+  auto online_patterns = watch.CurrentPatterns();
   bool same = batch_patterns.size() == online_patterns.size();
   for (size_t i = 0; same && i < batch_patterns.size(); ++i) {
     same = batch_patterns[i].streams == online_patterns[i].streams &&
-           batch_patterns[i].timeframe == online_patterns[i].timeframe;
+           batch_patterns[i].timeframe.start + origin ==
+               online_patterns[i].timeframe.start &&
+           batch_patterns[i].timeframe.end + origin ==
+               online_patterns[i].timeframe.end;
   }
-  std::printf("online watchlist vs batch STComb on final data: %s\n",
+  std::printf("online watchlist vs batch STComb over the window: %s\n",
               same ? "identical patterns" : "MISMATCH");
 
-  auto windows = watch_regional.Finish();
-  if (!windows.empty()) {
-    std::printf("top regional window for \"storm\": weeks [%d, %d], "
-                "%zu streams, score %.2f\n",
-                windows[0].timeframe.start, windows[0].timeframe.end,
-                windows[0].streams.size(), windows[0].score);
+  // The standing result keeps absolute timestamps: the storm slot should
+  // still report the burst even after the window slid past its start.
+  const TermPatterns& slot = runtime->patterns(storm);
+  if (slot.mined && !slot.combinatorial.empty()) {
+    std::printf("standing slot for \"storm\": timeframe [%d, %d], "
+                "%zu streams, staleness %d ticks\n",
+                slot.combinatorial[0].timeframe.start,
+                slot.combinatorial[0].timeframe.end,
+                slot.combinatorial[0].streams.size(),
+                runtime->staleness(storm));
   }
   return (identical && same) ? 0 : 1;
 }

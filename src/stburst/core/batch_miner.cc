@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -25,12 +26,15 @@ struct WorkerScratch {
 };
 
 // Combinatorial step (1) straight from sorted sparse postings: postings are
-// grouped by stream, so each group is scattered into the timeline scratch
-// and fed to interval extraction. Streams without postings have no mass and
-// thus no intervals — identical output to the dense ExtractStreamIntervals,
-// at O(nnz + active_streams * L) instead of O(n * L).
+// grouped by stream, so each group is scattered into the window scratch
+// (absolute time minus `origin`) and fed to interval extraction; the
+// extracted intervals are mapped back to absolute timestamps. Streams
+// without postings have no mass and thus no intervals — identical output to
+// the dense ExtractStreamIntervals, at O(nnz + active_streams * L) instead
+// of O(n * L).
 void ExtractIntervalsFromPostings(const std::vector<TermPosting>& postings,
-                                  size_t timeline, double min_burstiness,
+                                  size_t timeline, Timestamp origin,
+                                  double min_burstiness,
                                   WorkerScratch* scratch) {
   scratch->intervals.clear();
   scratch->row.resize(timeline);
@@ -40,14 +44,17 @@ void ExtractIntervalsFromPostings(const std::vector<TermPosting>& postings,
     std::fill(scratch->row.begin(), scratch->row.end(), 0.0);
     size_t j = i;
     while (j < postings.size() && postings[j].stream == stream) {
-      scratch->row[static_cast<size_t>(postings[j].time)] += postings[j].count;
+      scratch->row[static_cast<size_t>(postings[j].time - origin)] +=
+          postings[j].count;
       ++j;
     }
     scratch->bursts.clear();
     AppendBurstyIntervals(scratch->row, min_burstiness, &scratch->bursts);
     for (const BurstyInterval& bi : scratch->bursts) {
-      scratch->intervals.push_back(StreamInterval{stream, bi.interval,
-                                                  bi.burstiness});
+      scratch->intervals.push_back(StreamInterval{
+          stream,
+          Interval{bi.interval.start + origin, bi.interval.end + origin},
+          bi.burstiness});
     }
     i = j;
   }
@@ -74,7 +81,8 @@ struct MineShared {
   const FrequencyIndex& index;
   const BatchMinerOptions& options;
   const StComb stcomb;
-  const size_t timeline;
+  const size_t timeline;   // retained window width
+  const Timestamp origin;  // absolute timestamp of window column 0
   std::vector<WorkerScratch> scratch;
   std::atomic<bool> failed{false};
   std::mutex error_mu;
@@ -85,7 +93,8 @@ struct MineShared {
       : index(idx),
         options(opts),
         stcomb(opts.stcomb),
-        timeline(static_cast<size_t>(idx.timeline_length())),
+        timeline(static_cast<size_t>(idx.window_length())),
+        origin(idx.window_start()),
         scratch(threads) {}
 
   void MineTerm(size_t worker, TermId term, TermPatterns* slot) {
@@ -104,7 +113,7 @@ struct MineShared {
     WorkerScratch& ws = scratch[worker];
 
     if (options.mine_combinatorial) {
-      ExtractIntervalsFromPostings(postings, timeline,
+      ExtractIntervalsFromPostings(postings, timeline, origin,
                                    options.stcomb.min_interval_burstiness, &ws);
       // MineFromIntervals consumes its pool by value; moving the scratch in
       // avoids a per-term copy (the next term clears and refills it anyway).
@@ -114,7 +123,7 @@ struct MineShared {
     if (options.mine_regional) {
       if (ws.dense == nullptr) {
         ws.dense = std::make_unique<TermSeries>(index.num_streams(),
-                                                index.timeline_length());
+                                                index.window_length());
       }
       index.FillSeries(term, ws.dense.get());
       auto windows = MineRegionalPatterns(*ws.dense, options.positions,
@@ -130,9 +139,33 @@ struct MineShared {
         return;
       }
       slot->regional = std::move(*windows);
+      // StLocal mines the window-relative series; report absolute times.
+      for (SpatiotemporalWindow& w : slot->regional) {
+        w.timeframe.start += origin;
+        w.timeframe.end += origin;
+      }
     }
   }
 };
+
+// Worker-id slots of one batch run: a borrowed pool contributes its workers
+// plus the calling thread (ParallelFor gives the caller the highest id);
+// otherwise the transient-pool path sizes scratch by the requested count.
+size_t RunWorkerSlots(const BatchMinerOptions& options) {
+  return options.pool != nullptr ? options.pool->num_threads() + 1
+                                 : ResolveThreadCount(options.num_threads);
+}
+
+// Fans `body` over [0, n) — across the borrowed standing pool when the
+// options carry one (no per-call thread spawn/join), else a transient pool.
+void RunParallel(const BatchMinerOptions& options, size_t n,
+                 const std::function<void(size_t, size_t)>& body) {
+  if (options.pool != nullptr) {
+    ParallelFor(options.pool, 0, n, body);
+  } else {
+    ParallelFor(ResolveThreadCount(options.num_threads), 0, n, body);
+  }
+}
 
 // Restores the mined/skipped bookkeeping invariant (mined + skipped ==
 // num_terms) after slots changed.
@@ -153,12 +186,12 @@ StatusOr<BatchMineResult> MineAllTerms(const FrequencyIndex& index,
 
   BatchMineResult result;
   result.terms.resize(index.num_terms());
-  const size_t threads = ResolveThreadCount(options.num_threads);
+  const size_t threads = RunWorkerSlots(options);
   result.threads_used = threads;
   if (index.num_terms() == 0) return result;
 
   MineShared shared(index, options, threads);
-  ParallelFor(threads, 0, index.num_terms(), [&](size_t worker, size_t t) {
+  RunParallel(options, index.num_terms(), [&](size_t worker, size_t t) {
     if (shared.failed.load(std::memory_order_relaxed)) return;
     shared.MineTerm(worker, static_cast<TermId>(t), &result.terms[t]);
   });
@@ -194,11 +227,11 @@ Status RemineTerms(const FrequencyIndex& index, const std::vector<TermId>& terms
     result->terms[t].term = static_cast<TermId>(t);
   }
 
-  const size_t threads = ResolveThreadCount(options.num_threads);
+  const size_t threads = RunWorkerSlots(options);
   result->threads_used = threads;
   if (!todo.empty()) {
     MineShared shared(index, options, threads);
-    ParallelFor(threads, 0, todo.size(), [&](size_t worker, size_t i) {
+    RunParallel(options, todo.size(), [&](size_t worker, size_t i) {
       if (shared.failed.load(std::memory_order_relaxed)) return;
       shared.MineTerm(worker, todo[i], &result->terms[todo[i]]);
     });

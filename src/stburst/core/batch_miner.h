@@ -31,6 +31,8 @@
 
 namespace stburst {
 
+class ThreadPool;
+
 struct BatchMinerOptions {
   /// Per-term combinatorial mining configuration (§3).
   StCombOptions stcomb;
@@ -42,8 +44,17 @@ struct BatchMinerOptions {
   bool mine_regional = false;
 
   /// Worker threads; 0 means hardware concurrency. 1 runs fully serial on
-  /// the calling thread (the parity baseline).
+  /// the calling thread (the parity baseline). Ignored when `pool` is set.
   size_t num_threads = 0;
+
+  /// Persistent thread pool to fan the per-term work across. When null
+  /// (default), each call builds and joins a transient pool of
+  /// `num_threads` workers — fine for one-shot sweeps, but a per-tick
+  /// RemineTerms pays thread spawn/join every snapshot; a long-running
+  /// feed (FeedRuntime) supplies its standing pool here instead. The pool
+  /// is only borrowed for the duration of the call; output is identical
+  /// either way and at any pool size. Not owned.
+  ThreadPool* pool = nullptr;
 
   /// Terms whose total corpus frequency is below this are skipped (their
   /// result slot stays empty). Prunes the Zipfian singleton tail cheaply.
@@ -81,6 +92,12 @@ struct BatchMineResult {
 
 /// Mines every vocabulary term of `index` and returns per-term patterns in
 /// TermId order.
+///
+/// Windowed indexes: mining operates over the index's retained window
+/// (burstiness normalized by window mass and window length), and every
+/// pattern timeframe is reported in absolute timestamps — so results from
+/// an evicting feed compare directly across ticks even as the window
+/// slides (the retention contract in docs/ARCHITECTURE.md).
 ///
 /// Determinism: output is identical for every thread count (slots are
 /// TermId-addressed; no cross-term state).

@@ -36,7 +36,35 @@ Status OnlineStComb::PushFromIndex(const FrequencyIndex& index, TermId term) {
     return Status::FailedPrecondition(
         "online miner is already caught up with the index");
   }
+  if (time_ < index.window_start()) {
+    // SnapshotColumn would silently return zeros for an evicted timestamp,
+    // corrupting the miner's mass/N normalization. Attach watchlists before
+    // the index evicts past them (or evict the miner in lockstep).
+    return Status::FailedPrecondition(
+        "index evicted the timestamp the miner needs next");
+  }
   return Push(index.SnapshotColumn(term, time_));
+}
+
+Status OnlineStComb::EvictBefore(Timestamp cutoff) {
+  if (cutoff <= origin_) return Status::OK();
+  if (cutoff > time_) {
+    return Status::OutOfRange("eviction cutoff beyond consumed history");
+  }
+  const size_t drop = static_cast<size_t>(cutoff - origin_);
+  for (StreamState& st : streams_) {
+    st.raw.erase(st.raw.begin(), st.raw.begin() + static_cast<ptrdiff_t>(drop));
+    // Re-sum instead of subtracting the evicted prefix: the mass must be
+    // exactly the fold batch STComb computes over the windowed series, or
+    // the online/batch parity decays to float drift over long feeds.
+    double mass = 0.0;
+    for (double v : st.raw) mass += v;
+    st.mass = mass;
+    st.dirty = true;
+  }
+  origin_ = cutoff;
+  pooled_dirty_ = true;
+  return Status::OK();
 }
 
 void OnlineStComb::RefreshStream(StreamId s) {
@@ -45,7 +73,9 @@ void OnlineStComb::RefreshStream(StreamId s) {
   if (st.mass > 0.0) {
     for (const BurstyInterval& bi :
          ExtractBurstyIntervals(st.raw, options_.min_interval_burstiness)) {
-      st.intervals.push_back(StreamInterval{s, bi.interval, bi.burstiness});
+      st.intervals.push_back(StreamInterval{
+          s, Interval{bi.interval.start + origin_, bi.interval.end + origin_},
+          bi.burstiness});
     }
   }
   st.dirty = false;

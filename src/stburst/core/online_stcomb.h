@@ -38,28 +38,45 @@ class OnlineStComb {
   /// Pushes the snapshot at the miner's current time for `term` straight
   /// from a shared FrequencyIndex — the glue that lets the online and batch
   /// miners serve one live-fed index. The index must already hold that
-  /// timestamp (i.e. FrequencyIndex::AppendSnapshot ran first); call in a
-  /// loop to catch up after a batch of appends. O(n log postings(term)).
+  /// timestamp (i.e. FrequencyIndex::AppendSnapshot ran first) and must not
+  /// have evicted it (FailedPrecondition otherwise — attach watchlists
+  /// before the index's window slides past them, then EvictBefore in
+  /// lockstep); call in a loop to catch up after a batch of appends.
+  /// O(n log postings(term)).
   Status PushFromIndex(const FrequencyIndex& index, TermId term);
 
   /// Timestamps consumed so far.
   Timestamp current_time() const { return time_; }
   size_t num_streams() const { return streams_.size(); }
 
+  /// Drops the retained history older than `cutoff`: every stream's raw
+  /// prefix is evicted and its mass re-summed over the remaining window, so
+  /// the burstiness transformation (W and N) is re-normalized to the window
+  /// — exactly what batch STComb over the windowed dense series computes.
+  /// Interval/pattern timestamps stay absolute. A long-running watchlist
+  /// miner evicted in lockstep with its FrequencyIndex holds O(window)
+  /// memory per stream instead of the full feed history. cutoff <=
+  /// window_start() is a no-op; cutoff beyond current_time() is OutOfRange.
+  Status EvictBefore(Timestamp cutoff);
+
+  /// First retained timestamp (0 until EvictBefore advances it).
+  Timestamp window_start() const { return origin_; }
+
   /// Current per-stream bursty intervals (recomputing only streams whose
-  /// mass changed since the last call).
+  /// mass changed since the last call), in absolute timestamps.
   const std::vector<StreamInterval>& CurrentIntervals();
 
-  /// Current combinatorial patterns over the consumed prefix, descending
-  /// score — identical to running batch STComb on the prefix.
+  /// Current combinatorial patterns over the retained window, descending
+  /// score — identical to running batch STComb on the windowed prefix
+  /// (timeframes reported in absolute timestamps).
   std::vector<CombinatorialPattern> CurrentPatterns();
 
  private:
   struct StreamState {
-    std::vector<double> raw;        // frequency history
+    std::vector<double> raw;        // frequency history of the window
     double mass = 0.0;              // running sum of raw
     bool dirty = true;              // intervals stale?
-    std::vector<StreamInterval> intervals;
+    std::vector<StreamInterval> intervals;  // absolute timestamps
   };
 
   void RefreshStream(StreamId s);
@@ -67,6 +84,7 @@ class OnlineStComb {
   StCombOptions options_;
   StComb miner_;
   Timestamp time_ = 0;
+  Timestamp origin_ = 0;  // absolute timestamp of raw[0]
   std::vector<StreamState> streams_;
   std::vector<StreamInterval> pooled_;
   bool pooled_dirty_ = true;

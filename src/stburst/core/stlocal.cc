@@ -112,6 +112,12 @@ Status OnlineRegionalMiner::PushFromIndex(const FrequencyIndex& index,
     return Status::FailedPrecondition(
         "online miner is already caught up with the index");
   }
+  if (current_time() < index.window_start()) {
+    // SnapshotColumn would silently return zeros for an evicted timestamp;
+    // attach watchlists before the index evicts past them.
+    return Status::FailedPrecondition(
+        "index evicted the timestamp the miner needs next");
+  }
   return Push(index.SnapshotColumn(term, current_time()));
 }
 

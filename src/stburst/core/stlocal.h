@@ -87,6 +87,14 @@ class StLocal {
 /// hand or straight from a live-fed FrequencyIndex (PushFromIndex); the
 /// windows Finish() returns are identical to running MineRegionalPatterns
 /// over the same prefix. Single-threaded; one instance per (term, feed).
+///
+/// Retention: unlike OnlineStComb, this miner has no EvictBefore — the
+/// per-region Ruzzo–Tompa sequences and expected-frequency models
+/// accumulate over the full pushed history, so its state is NOT bounded by
+/// a FrequencyIndex retention window and its normalization covers the full
+/// prefix, not the window. For a windowed feed, bound a regional watchlist
+/// by lifetime instead: Finish() it periodically and start a fresh miner
+/// from the current window (ROADMAP: windowed regional watchlists).
 class OnlineRegionalMiner {
  public:
   OnlineRegionalMiner(std::vector<Point2D> positions,
@@ -99,8 +107,8 @@ class OnlineRegionalMiner {
 
   /// Pushes the snapshot at the miner's current time for `term` straight
   /// from a shared index — the live-feed glue (the index must already hold
-  /// that timestamp, i.e. AppendSnapshot ran first).
-  /// O(n log postings(term)).
+  /// that timestamp, i.e. AppendSnapshot ran first, and must not have
+  /// evicted it — FailedPrecondition otherwise). O(n log postings(term)).
   Status PushFromIndex(const FrequencyIndex& index, TermId term);
 
   /// Timestamps consumed so far.

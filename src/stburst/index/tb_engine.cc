@@ -18,16 +18,24 @@ PatternIndex BuildTbPatternIndex(const FrequencyIndex& frequencies,
   std::vector<StreamId> all_streams(frequencies.num_streams());
   std::iota(all_streams.begin(), all_streams.end(), 0);
 
+  // Operate over the retained window (origin-relative scatter, absolute
+  // intervals out) so a windowed index costs O(window) per term and the
+  // burstiness baseline is the window's — same mapping as the batch miner.
+  const Timestamp origin = frequencies.window_start();
   PatternIndex index;
   for (TermId term : targets) {
-    // The merged single stream: total frequency per timestamp.
+    // The merged single stream: total frequency per retained timestamp.
     std::vector<double> merged(
-        static_cast<size_t>(frequencies.timeline_length()), 0.0);
+        static_cast<size_t>(frequencies.window_length()), 0.0);
     for (const TermPosting& p : frequencies.postings(term)) {
-      merged[static_cast<size_t>(p.time)] += p.count;
+      merged[static_cast<size_t>(p.time - origin)] += p.count;
     }
     for (const BurstyInterval& bi : ExtractBurstyIntervals(merged)) {
-      index.Add(term, TermPattern{all_streams, bi.interval, bi.burstiness});
+      index.Add(term,
+                TermPattern{all_streams,
+                            Interval{bi.interval.start + origin,
+                                     bi.interval.end + origin},
+                            bi.burstiness});
     }
   }
   return index;

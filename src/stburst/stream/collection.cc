@@ -1,5 +1,7 @@
 #include "stburst/stream/collection.h"
 
+#include <algorithm>
+
 #include "stburst/common/logging.h"
 #include "stburst/common/string_util.h"
 #include "stburst/geo/mds.h"
@@ -19,7 +21,7 @@ Collection::Collection(Timestamp timeline_length)
 StreamId Collection::AddStream(std::string name, GeoPoint geo, Point2D position) {
   StreamId id = static_cast<StreamId>(streams_.size());
   streams_.push_back(StreamInfo{id, std::move(name), geo, position});
-  docs_at_.emplace_back(static_cast<size_t>(timeline_length_));
+  docs_at_.emplace_back(static_cast<size_t>(timeline_length_ - window_start_));
   return id;
 }
 
@@ -44,13 +46,17 @@ StatusOr<DocId> Collection::AddDocument(StreamId stream, Timestamp time,
     return Status::InvalidArgument(
         StringPrintf("unknown stream id %u", stream));
   }
-  if (time < 0 || time >= timeline_length_) {
+  if (time < window_start_ || time >= timeline_length_) {
     return Status::OutOfRange(
-        StringPrintf("timestamp %d outside [0, %d)", time, timeline_length_));
+        StringPrintf("timestamp %d outside retained window [%d, %d)", time,
+                     window_start_, timeline_length_));
   }
-  DocId id = static_cast<DocId>(documents_.size());
+  DocId id = doc_id_base_ + static_cast<DocId>(documents_.size());
+  if (!documents_.empty() && time < documents_.back().time) {
+    docs_time_ordered_ = false;
+  }
   documents_.push_back(Document{id, stream, time, std::move(tokens), event_id});
-  docs_at_[stream][static_cast<size_t>(time)].push_back(id);
+  docs_at_[stream][static_cast<size_t>(time - window_start_)].push_back(id);
   return id;
 }
 
@@ -65,12 +71,69 @@ StatusOr<Timestamp> Collection::Append(Snapshot snapshot) {
   ++timeline_length_;
   for (auto& per_stream : docs_at_) per_stream.emplace_back();
   for (SnapshotDocument& doc : snapshot) {
-    DocId id = static_cast<DocId>(documents_.size());
+    DocId id = doc_id_base_ + static_cast<DocId>(documents_.size());
     docs_at_[doc.stream].back().push_back(id);
     documents_.push_back(
         Document{id, doc.stream, time, std::move(doc.tokens), doc.event_id});
   }
   return time;
+}
+
+Status Collection::EvictBefore(Timestamp cutoff) {
+  if (cutoff <= window_start_) return Status::OK();
+  if (cutoff > timeline_length_) {
+    return Status::OutOfRange(
+        StringPrintf("eviction cutoff %d beyond timeline %d", cutoff,
+                     timeline_length_));
+  }
+
+  const size_t drop = static_cast<size_t>(cutoff - window_start_);
+  const bool prefix_evictable = docs_time_ordered_;
+  if (prefix_evictable) {
+    // Fast path for the steady-state feed (documents filed in nondecreasing
+    // time order): the evicted documents are exactly a prefix, so a prefix
+    // erase keeps every surviving id satisfying id == doc_id_base_ +
+    // position with no renumbering and no docs_at_ re-filing —
+    // O(evicted + log docs) document work per tick instead of O(retained).
+    const auto split = std::partition_point(
+        documents_.begin(), documents_.end(),
+        [cutoff](const Document& d) { return d.time < cutoff; });
+    doc_id_base_ += static_cast<DocId>(split - documents_.begin());
+    documents_.erase(documents_.begin(), split);
+  } else {
+    // General path (historical AddDocument calls out of time order): keep
+    // survivors in their original relative order and renumber them densely
+    // from the advanced base. Iterating documents_ in order during the
+    // re-file below preserves each cell's original filing order, which is
+    // what keeps FrequencyIndex::Build over an evicted collection
+    // deterministic.
+    std::vector<Document> kept;
+    kept.reserve(documents_.size());
+    for (Document& doc : documents_) {
+      if (doc.time >= cutoff) kept.push_back(std::move(doc));
+    }
+    doc_id_base_ += static_cast<DocId>(documents_.size() - kept.size());
+    documents_ = std::move(kept);
+    for (size_t i = 0; i < documents_.size(); ++i) {
+      documents_[i].id = doc_id_base_ + static_cast<DocId>(i);
+    }
+  }
+
+  for (auto& per_stream : docs_at_) {
+    per_stream.erase(per_stream.begin(),
+                     per_stream.begin() + static_cast<ptrdiff_t>(drop));
+    if (!prefix_evictable) {
+      for (auto& cell : per_stream) cell.clear();
+    }
+  }
+  window_start_ = cutoff;
+  if (!prefix_evictable) {
+    for (const Document& doc : documents_) {
+      docs_at_[doc.stream][static_cast<size_t>(doc.time - window_start_)]
+          .push_back(doc.id);
+    }
+  }
+  return Status::OK();
 }
 
 const StreamInfo& Collection::stream(StreamId id) const {
@@ -79,8 +142,10 @@ const StreamInfo& Collection::stream(StreamId id) const {
 }
 
 const Document& Collection::document(DocId id) const {
-  STB_CHECK(id < documents_.size()) << "invalid DocId " << id;
-  return documents_[id];
+  STB_CHECK(id >= doc_id_base_ &&
+            id - doc_id_base_ < documents_.size())
+      << "invalid or evicted DocId " << id;
+  return documents_[id - doc_id_base_];
 }
 
 std::vector<Point2D> Collection::StreamPositions() const {
@@ -93,8 +158,9 @@ std::vector<Point2D> Collection::StreamPositions() const {
 const std::vector<DocId>& Collection::DocumentsAt(StreamId stream,
                                                   Timestamp time) const {
   STB_CHECK(stream < streams_.size()) << "invalid StreamId " << stream;
-  STB_CHECK(time >= 0 && time < timeline_length_) << "invalid time " << time;
-  return docs_at_[stream][static_cast<size_t>(time)];
+  STB_CHECK(time >= window_start_ && time < timeline_length_)
+      << "time " << time << " outside retained window";
+  return docs_at_[stream][static_cast<size_t>(time - window_start_)];
 }
 
 }  // namespace stburst

@@ -44,10 +44,18 @@ using Snapshot = std::vector<SnapshotDocument>;
 /// timeline starts at the length given to Create() and grows one timestamp
 /// per Append() — the live-feed ingest path (docs/ARCHITECTURE.md).
 ///
+/// Retention: a long-running feed bounds its memory by evicting timestamps
+/// older than a retention window (EvictBefore). The retained range is
+/// [window_start(), timeline_length()); timestamps stay absolute, so
+/// evicting never renumbers the timeline, but DocIds of evicted documents
+/// become invalid and surviving documents are renumbered densely — eviction
+/// invalidates any external DocId-keyed state (see docs/ARCHITECTURE.md,
+/// retention/eviction contract).
+///
 /// Thread-safety: none. All mutators (AddStream, AddDocument, Append,
-/// vocabulary interning) require external exclusion against readers; the
-/// sharded FrequencyIndex::Build reads concurrently from worker threads and
-/// relies on the collection being quiescent for the duration of the scan.
+/// EvictBefore, vocabulary interning) require external exclusion against
+/// readers; the sharded FrequencyIndex::Build reads concurrently from worker
+/// threads and relies on the collection being quiescent during the scan.
 class Collection {
  public:
   /// Creates a collection over `timeline_length` timestamps (must be > 0).
@@ -74,6 +82,24 @@ class Collection {
   /// index up without a rebuild. O(snapshot tokens + num_streams).
   StatusOr<Timestamp> Append(Snapshot snapshot);
 
+  /// Drops every document (and per-stream slot) of timestamps before
+  /// `cutoff`, advancing window_start(). Surviving documents are renumbered
+  /// densely starting at doc_id_base() — their relative order is preserved,
+  /// but previously handed-out DocIds are invalidated (rebuild DocId-keyed
+  /// indexes, or key them by generation). The vocabulary and streams are
+  /// never evicted. cutoff <= window_start() is a no-op; cutoff beyond the
+  /// timeline is OutOfRange. O(retained documents + streams · window).
+  Status EvictBefore(Timestamp cutoff);
+
+  /// First retained timestamp: 0 until EvictBefore advances it. Documents
+  /// and DocumentsAt() exist only for times in
+  /// [window_start(), timeline_length()).
+  Timestamp window_start() const { return window_start_; }
+
+  /// Ids of live documents are [doc_id_base(), doc_id_base() +
+  /// num_documents()); eviction advances the base.
+  DocId doc_id_base() const { return doc_id_base_; }
+
   /// Mutable vocabulary for tokenization during ingest.
   Vocabulary* mutable_vocabulary() { return &vocabulary_; }
   const Vocabulary& vocabulary() const { return vocabulary_; }
@@ -84,7 +110,10 @@ class Collection {
 
   const StreamInfo& stream(StreamId id) const;
   const std::vector<StreamInfo>& streams() const { return streams_; }
+  /// Requires id in [doc_id_base(), doc_id_base() + num_documents()).
   const Document& document(DocId id) const;
+  /// The retained documents, positionally indexed (documents()[i] has
+  /// DocId doc_id_base() + i).
   const std::vector<Document>& documents() const { return documents_; }
 
   /// Planar positions of all streams, indexed by StreamId.
@@ -97,10 +126,17 @@ class Collection {
   explicit Collection(Timestamp timeline_length);
 
   Timestamp timeline_length_;
+  Timestamp window_start_ = 0;  // first retained timestamp
+  DocId doc_id_base_ = 0;       // id of documents_[0]
+  // documents_ is in nondecreasing time order (true for Append-driven feeds
+  // and in-order historical ingest) — enables the O(evicted) prefix-erase
+  // eviction fast path; cleared by an out-of-order AddDocument.
+  bool docs_time_ordered_ = true;
   Vocabulary vocabulary_;
   std::vector<StreamInfo> streams_;
-  std::vector<Document> documents_;
-  // per-stream, per-timestamp document id lists; indexed [stream][time]
+  std::vector<Document> documents_;  // retained docs; id = doc_id_base_ + pos
+  // per-stream, per-retained-timestamp document id lists; indexed
+  // [stream][time - window_start_]
   std::vector<std::vector<std::vector<DocId>>> docs_at_;
 };
 

@@ -1,0 +1,165 @@
+#include "stburst/stream/feed_runtime.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "stburst/common/timer.h"
+
+namespace stburst {
+
+namespace {
+const TermPatterns kEmptyPatterns;
+}  // namespace
+
+FeedRuntime::FeedRuntime(Collection collection, FeedRuntimeOptions options)
+    : options_(std::move(options)), collection_(std::move(collection)) {
+  const size_t threads = ResolveThreadCount(options_.num_threads);
+  // The calling thread participates in every ParallelFor, so threads - 1
+  // pool workers give the requested parallelism; serial runtimes hold no
+  // pool at all (ParallelFor(nullptr, ...) runs inline).
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads - 1);
+  // The miner always runs on the standing pool (or inline when serial);
+  // a caller-supplied transient-pool configuration would reintroduce the
+  // per-tick spawn/join this runtime exists to remove.
+  options_.miner.pool = pool_.get();
+  options_.miner.num_threads = 1;
+}
+
+StatusOr<FeedRuntime> FeedRuntime::Create(Collection collection,
+                                          FeedRuntimeOptions options) {
+  if (options.retention_window < 0) {
+    return Status::InvalidArgument("retention window must be non-negative");
+  }
+  FeedRuntime runtime(std::move(collection), std::move(options));
+
+  // Apply retention to the history before the initial sweep, so the sweep
+  // mines exactly the retained window (and pays only for it).
+  const Timestamp window = runtime.options_.retention_window;
+  if (window > 0 && runtime.collection_.timeline_length() > window) {
+    STB_RETURN_NOT_OK(runtime.collection_.EvictBefore(
+        runtime.collection_.timeline_length() - window));
+  }
+
+  runtime.index_ = FrequencyIndex::BuildWithPool(runtime.collection_,
+                                                 runtime.pool_.get());
+  STB_ASSIGN_OR_RETURN(runtime.result_,
+                       MineAllTerms(runtime.index_, runtime.options_.miner));
+
+  const Timestamp now = runtime.collection_.timeline_length();
+  runtime.last_mined_.assign(runtime.index_.num_terms(), now);
+  runtime.last_window_.assign(runtime.index_.num_terms(),
+                              runtime.index_.window_length());
+  runtime.mass_.resize(runtime.index_.num_terms());
+  for (TermId t = 0; t < runtime.index_.num_terms(); ++t) {
+    runtime.mass_[t] = runtime.index_.TotalCount(t);
+  }
+  return runtime;
+}
+
+StatusOr<FeedTickStats> FeedRuntime::Tick(Snapshot snapshot) {
+  Timer timer;
+  FeedTickStats stats;
+  stats.documents = snapshot.size();
+
+  STB_ASSIGN_OR_RETURN(stats.time, collection_.Append(std::move(snapshot)));
+  STB_RETURN_NOT_OK(index_.AppendSnapshot(collection_, pool_.get()));
+
+  const Timestamp window = options_.retention_window;
+  if (window > 0 && collection_.timeline_length() > window) {
+    const Timestamp cutoff = collection_.timeline_length() - window;
+    if (cutoff > index_.window_start()) {
+      STB_RETURN_NOT_OK(collection_.EvictBefore(cutoff));
+      STB_RETURN_NOT_OK(index_.EvictBefore(cutoff, pool_.get()));
+      stats.evicted = true;
+    }
+  }
+
+  // Terms with appended or evicted postings: their slots are wrong until
+  // re-mined. Quiet terms' slots stay exact under the sliding window —
+  // their windowed series content is unchanged and timeframes are absolute
+  // (the retention contract).
+  std::vector<TermId> dirty = index_.TakeDirtyTerms();
+  stats.dirty_terms = dirty.size();
+  STB_RETURN_NOT_OK(Remine(dirty));
+
+  if (options_.refresh_budget > 0) {
+    std::vector<TermId> targets = PickRefreshTargets();
+    stats.refreshed_terms = targets.size();
+    STB_RETURN_NOT_OK(Remine(targets));
+  }
+
+  stats.seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+Status FeedRuntime::Remine(const std::vector<TermId>& terms) {
+  STB_RETURN_NOT_OK(RemineTerms(index_, terms, options_.miner, &result_));
+  const Timestamp now = collection_.timeline_length();
+  if (last_mined_.size() < index_.num_terms()) {
+    // Vocabulary grew this tick. New terms with postings are in `terms`
+    // (AppendSnapshot marked them dirty) and get stamped below; interned-
+    // but-unseen terms carry no mass, so their stamp never matters.
+    last_mined_.resize(index_.num_terms(), now);
+    last_window_.resize(index_.num_terms(), index_.window_length());
+    mass_.resize(index_.num_terms(), 0.0);
+  }
+  for (TermId t : terms) {
+    last_mined_[t] = now;
+    last_window_[t] = index_.window_length();
+    mass_[t] = index_.TotalCount(t);
+  }
+  return Status::OK();
+}
+
+std::vector<TermId> FeedRuntime::PickRefreshTargets() const {
+  // Priority = windowed mass × ticks since last mine: a heavy term drifting
+  // for two ticks outranks a light one drifting for ten. mass_ is exact for
+  // every quiet term (anything whose postings changed was re-mined and
+  // re-stamped this tick), so the scan is O(V) with no posting walks.
+  //
+  // A quiet term only qualifies while its burstiness normalization actually
+  // drifted — the window length changed since its last mine. On a
+  // length-preserving steady-state slide its windowed series content and
+  // absolute timeframes are unchanged (retention contract), so a re-mine
+  // would be a bit-identical no-op; skipping it drains the sweep to zero
+  // once the window is full. Sub-threshold terms never qualify either: the
+  // miner would skip them anyway, and cycling them through the budget
+  // would starve real work.
+  const Timestamp now = collection_.timeline_length();
+  const Timestamp window = index_.window_length();
+  std::vector<std::pair<double, TermId>> candidates;
+  for (TermId t = 0; t < last_mined_.size(); ++t) {
+    const Timestamp stale = now - last_mined_[t];
+    if (stale <= 0 || mass_[t] <= 0.0) continue;
+    if (last_window_[t] == window) continue;
+    if (mass_[t] < options_.miner.min_term_total) continue;
+    candidates.emplace_back(mass_[t] * static_cast<double>(stale), t);
+  }
+  const size_t budget = std::min(options_.refresh_budget, candidates.size());
+  // Deterministic order: priority descending, TermId ascending on ties —
+  // the sweep must pick the same terms at any thread count.
+  std::partial_sort(candidates.begin(),
+                    candidates.begin() + static_cast<ptrdiff_t>(budget),
+                    candidates.end(),
+                    [](const std::pair<double, TermId>& a,
+                       const std::pair<double, TermId>& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
+  std::vector<TermId> targets;
+  targets.reserve(budget);
+  for (size_t i = 0; i < budget; ++i) targets.push_back(candidates[i].second);
+  return targets;
+}
+
+const TermPatterns& FeedRuntime::patterns(TermId term) const {
+  if (term >= result_.terms.size()) return kEmptyPatterns;
+  return result_.terms[term];
+}
+
+Timestamp FeedRuntime::staleness(TermId term) const {
+  if (term >= last_mined_.size()) return 0;
+  return collection_.timeline_length() - last_mined_[term];
+}
+
+}  // namespace stburst

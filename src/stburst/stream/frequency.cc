@@ -172,13 +172,25 @@ void AccumulateDocumentRange(const Collection& collection, size_t begin,
 
 FrequencyIndex FrequencyIndex::Build(const Collection& collection,
                                      size_t num_threads) {
+  return BuildImpl(collection, ResolveThreadCount(num_threads), nullptr);
+}
+
+FrequencyIndex FrequencyIndex::BuildWithPool(const Collection& collection,
+                                             ThreadPool* pool) {
+  return BuildImpl(collection, pool == nullptr ? 1 : pool->num_threads() + 1,
+                   pool);
+}
+
+FrequencyIndex FrequencyIndex::BuildImpl(const Collection& collection,
+                                         size_t threads,
+                                         ThreadPool* borrowed) {
   FrequencyIndex index;
   index.num_streams_ = collection.num_streams();
   index.timeline_length_ = collection.timeline_length();
+  index.window_start_ = collection.window_start();
   const size_t vocab = collection.vocabulary().size();
   const size_t num_docs = collection.documents().size();
 
-  const size_t threads = ResolveThreadCount(num_threads);
   // Sharding a tiny corpus costs more in per-shard vocab tables than the
   // scan itself; stay serial below a few thousand documents per shard.
   constexpr size_t kMinDocsPerShard = 2048;
@@ -195,15 +207,6 @@ FrequencyIndex FrequencyIndex::Build(const Collection& collection,
     return index;
   }
 
-  // Never oversubscribe the machine: running more workers than hardware
-  // threads only adds context-switch and cache thrash to a CPU-bound scan.
-  // The shard structure still follows the requested thread count, so the
-  // merge path exercised — and the (bit-identical) output — do not depend
-  // on the host.
-  size_t hw = std::thread::hardware_concurrency();
-  if (hw == 0) hw = 1;
-  const size_t workers = std::min(threads, hw);
-
   // Stage 1: accumulate T contiguous document ranges independently. Ranges
   // are contiguous so each shard inherits the collection's ingest order and
   // the tail-merge fast path keeps working per shard.
@@ -211,12 +214,27 @@ FrequencyIndex FrequencyIndex::Build(const Collection& collection,
   shard_buckets.reserve(shards);
   for (size_t sh = 0; sh < shards; ++sh) shard_buckets.emplace_back(vocab);
 
-  // The calling thread participates, so workers - 1 pool threads suffice (a
-  // null pool runs both stages on the calling thread alone).
-  std::unique_ptr<ThreadPool> pool;
-  if (workers > 1) pool = std::make_unique<ThreadPool>(workers - 1);
+  // A borrowed standing pool is used as-is. Otherwise spawn a transient one
+  // — but never oversubscribe the machine: running more workers than
+  // hardware threads only adds context-switch and cache thrash to a
+  // CPU-bound scan. The shard structure still follows the requested thread
+  // count either way, so the merge path exercised — and the (bit-identical)
+  // output — do not depend on the host.
+  ThreadPool* pool = borrowed;
+  std::unique_ptr<ThreadPool> transient;
+  if (pool == nullptr) {
+    size_t hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 1;
+    const size_t workers = std::min(threads, hw);
+    // The calling thread participates, so workers - 1 pool threads suffice
+    // (a null pool runs both stages on the calling thread alone).
+    if (workers > 1) {
+      transient = std::make_unique<ThreadPool>(workers - 1);
+      pool = transient.get();
+    }
+  }
 
-  ParallelFor(pool.get(), 0, shards, [&](size_t /*worker*/, size_t sh) {
+  ParallelFor(pool, 0, shards, [&](size_t /*worker*/, size_t sh) {
     AccumulateDocumentRange(collection, num_docs * sh / shards,
                             num_docs * (sh + 1) / shards, &shard_buckets[sh]);
   });
@@ -225,7 +243,7 @@ FrequencyIndex FrequencyIndex::Build(const Collection& collection,
   // concatenated in shard order — i.e. document order — then canonicalized,
   // so cell counts fold in exactly the order the serial scan folds them.
   index.postings_.resize(vocab);
-  ParallelFor(pool.get(), 0, vocab, [&](size_t /*worker*/, size_t t) {
+  ParallelFor(pool, 0, vocab, [&](size_t /*worker*/, size_t t) {
     const TermId term = static_cast<TermId>(t);
     std::vector<TermPosting>& out = index.postings_[term];
     size_t total = 0;
@@ -259,9 +277,14 @@ FrequencyIndex FrequencyIndex::Build(const Collection& collection,
   return index;
 }
 
-Status FrequencyIndex::AppendSnapshot(const Collection& collection) {
+Status FrequencyIndex::AppendSnapshot(const Collection& collection,
+                                      ThreadPool* pool) {
   if (collection.timeline_length() < timeline_length_) {
     return Status::InvalidArgument("collection timeline is behind the index");
+  }
+  if (collection.window_start() > timeline_length_) {
+    return Status::InvalidArgument(
+        "collection evicted timestamps the index has not ingested");
   }
   if (collection.num_streams() < num_streams_) {
     return Status::InvalidArgument("collection lost streams");
@@ -320,8 +343,11 @@ Status FrequencyIndex::AppendSnapshot(const Collection& collection) {
   // Splice each touched term's pending entries into its bucket. Pending is
   // in (time, stream) order; a stable sort by stream alone yields (stream,
   // time) order. All new times exceed every pre-existing time, so the two
-  // sorted halves merge without duplicate cells.
-  for (TermId term : touched) {
+  // sorted halves merge without duplicate cells. Terms are independent, so
+  // the splice fans across the pool when one is supplied — same output,
+  // spliced concurrently.
+  ParallelFor(pool, 0, touched.size(), [&](size_t /*worker*/, size_t k) {
+    const TermId term = touched[k];
     std::vector<TermPosting>& add = pending[term];
     std::stable_sort(add.begin(), add.end(),
                      [](const TermPosting& a, const TermPosting& b) {
@@ -333,11 +359,51 @@ Status FrequencyIndex::AppendSnapshot(const Collection& collection) {
     std::inplace_merge(bucket.begin(),
                        bucket.begin() + static_cast<ptrdiff_t>(old_size),
                        bucket.end(), PostingLess);
-    dirty_terms_.push_back(term);
-  }
+  });
+  dirty_terms_.insert(dirty_terms_.end(), touched.begin(), touched.end());
 
   timeline_length_ = collection.timeline_length();
   return Status::OK();
+}
+
+Status FrequencyIndex::EvictBefore(Timestamp cutoff, ThreadPool* pool) {
+  if (cutoff <= window_start_) return Status::OK();
+  if (cutoff > timeline_length_) {
+    return Status::OutOfRange("eviction cutoff beyond the timeline");
+  }
+
+  // Per-term drop of the evicted entries, fanned across the pool. Buckets
+  // are (stream, time)-sorted, so evicted entries are interleaved per
+  // stream run — a remove_if compaction, not a prefix erase. Shrink the
+  // bucket whenever the slack passes ~25% so a steadily evicting feed's
+  // capacity tracks its size instead of its high-water mark.
+  std::vector<uint8_t> changed(postings_.size(), 0);
+  ParallelFor(pool, 0, postings_.size(), [&](size_t /*worker*/, size_t t) {
+    std::vector<TermPosting>& bucket = postings_[t];
+    auto keep_end = std::remove_if(
+        bucket.begin(), bucket.end(),
+        [cutoff](const TermPosting& p) { return p.time < cutoff; });
+    if (keep_end == bucket.end()) return;
+    bucket.erase(keep_end, bucket.end());
+    if (bucket.capacity() > bucket.size() + bucket.size() / 4 + 8) {
+      bucket.shrink_to_fit();
+    }
+    changed[t] = 1;
+  });
+
+  for (TermId t = 0; t < changed.size(); ++t) {
+    if (changed[t]) dirty_terms_.push_back(t);
+  }
+  window_start_ = cutoff;
+  return Status::OK();
+}
+
+size_t FrequencyIndex::PostingsMemoryBytes() const {
+  size_t bytes = postings_.capacity() * sizeof(postings_[0]);
+  for (const std::vector<TermPosting>& bucket : postings_) {
+    bytes += bucket.capacity() * sizeof(TermPosting);
+  }
+  return bytes;
 }
 
 std::vector<TermId> FrequencyIndex::TakeDirtyTerms() {
@@ -353,20 +419,20 @@ const std::vector<TermPosting>& FrequencyIndex::postings(TermId term) const {
 }
 
 TermSeries FrequencyIndex::DenseSeries(TermId term) const {
-  TermSeries series(num_streams_, timeline_length_);
+  TermSeries series(num_streams_, window_length());
   for (const TermPosting& p : postings(term)) {
-    series.add(p.stream, p.time, p.count);
+    series.add(p.stream, p.time - window_start_, p.count);
   }
   return series;
 }
 
 void FrequencyIndex::FillSeries(TermId term, TermSeries* series) const {
   STB_CHECK(series->num_streams() == num_streams_ &&
-            series->timeline_length() == timeline_length_)
+            series->timeline_length() == window_length())
       << "scratch series dimensions mismatch";
   series->Clear();
   for (const TermPosting& p : postings(term)) {
-    series->add(p.stream, p.time, p.count);
+    series->add(p.stream, p.time - window_start_, p.count);
   }
 }
 

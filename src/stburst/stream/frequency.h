@@ -31,6 +31,8 @@
 
 namespace stburst {
 
+class ThreadPool;
+
 /// Dense frequency matrix for a single term: rows are streams, columns are
 /// timestamps. Values are real (generators inject fractional frequencies).
 class TermSeries {
@@ -100,6 +102,10 @@ struct TermPosting {
 /// readers (quiesce mining, append, re-mine — see docs/ARCHITECTURE.md).
 class FrequencyIndex {
  public:
+  /// An empty index: no terms, no streams, zero-length timeline. Exists so
+  /// owners (FeedRuntime) can hold an index member and assign from Build().
+  FrequencyIndex() = default;
+
   /// Scans every document in `collection` once and builds canonical per-term
   /// postings (sorted by (stream, time), duplicate cells merged).
   ///
@@ -123,6 +129,15 @@ class FrequencyIndex {
   static FrequencyIndex Build(const Collection& collection,
                               size_t num_threads = 1);
 
+  /// Borrowing variant: shards the scan across `pool` (its workers plus
+  /// the calling thread) instead of spawning a transient pool — the path a
+  /// long-running owner with a standing pool (FeedRuntime) uses. A null
+  /// pool builds serially. Output is bit-identical to every Build. A named
+  /// function, not a Build overload: a literal `Build(c, 0)` must keep
+  /// meaning "hardware concurrency", not a null pool.
+  static FrequencyIndex BuildWithPool(const Collection& collection,
+                                      ThreadPool* pool);
+
   /// Incrementally extends the index with every timestamp `collection`
   /// gained since this index was built or last caught up (the result of one
   /// or more Collection::Append calls). Postings are extended in place; only
@@ -136,8 +151,50 @@ class FrequencyIndex {
   /// InvalidArgument if the collection's timeline or vocabulary is behind
   /// the index. Equivalence: after any sequence of appends the index is
   /// bit-identical to Build(collection) from scratch (tested).
+  ///
+  /// `pool`: when non-null, the per-term splice of the gathered postings is
+  /// fanned across the pool (the gather scan stays serial — it is a single
+  /// pass over the new documents). The splice is per-term independent, so
+  /// output is bit-identical with or without a pool, at any pool size
+  /// (tested). Feeds with 10^4+ documents per tick are splice-dominated and
+  /// benefit; tiny ticks do not.
   /// Complexity: O(V + new tokens + Σ postings(t) over touched terms t).
-  Status AppendSnapshot(const Collection& collection);
+  Status AppendSnapshot(const Collection& collection,
+                        ThreadPool* pool = nullptr);
+
+  /// Drops all postings older than `cutoff`, advancing window_start(). Terms
+  /// that lose postings are recorded as dirty (their standing mining slots
+  /// reference evicted timestamps) and their buckets are shrunk when the
+  /// slack exceeds ~25%, so a steadily evicting feed's postings memory
+  /// plateaus at O(window · active terms) instead of growing with the feed.
+  /// Terms untouched by the cutoff are NOT dirtied: their windowed series
+  /// content is unchanged, and patterns are reported in absolute timestamps,
+  /// so on a length-preserving window slide (evicting as many timestamps as
+  /// were appended since the slot was mined — FeedRuntime's steady state)
+  /// their standing results remain exact. An eviction that shrinks the net
+  /// window length shifts the burstiness baseline 1/N for every term, so
+  /// untouched quiet slots then carry the standard staleness drift until
+  /// re-mined (see the retention contract in docs/ARCHITECTURE.md); re-mine
+  /// the full vocabulary after first applying a window to deep history.
+  ///
+  /// `pool`: when non-null the per-term scan is fanned across the pool;
+  /// output is identical with or without it. cutoff <= window_start() is a
+  /// no-op; cutoff beyond the timeline is OutOfRange. O(retained + evicted
+  /// postings) work.
+  Status EvictBefore(Timestamp cutoff, ThreadPool* pool = nullptr);
+
+  /// First retained timestamp (0 until EvictBefore advances it). Postings
+  /// hold absolute timestamps in [window_start(), timeline_length()).
+  Timestamp window_start() const { return window_start_; }
+
+  /// Number of retained timestamps — the dense-series width the miners
+  /// operate over.
+  Timestamp window_length() const { return timeline_length_ - window_start_; }
+
+  /// Bytes held by the posting buckets (capacity, not size — the number the
+  /// allocator actually charges). The retention tests pin the live-memory
+  /// plateau with this.
+  size_t PostingsMemoryBytes() const;
 
   /// Terms whose postings changed since the last call (sorted, unique), and
   /// resets the dirty set. Feed to RemineTerms / index rebuilds so
@@ -151,11 +208,14 @@ class FrequencyIndex {
   /// Sparse postings for a term; empty for out-of-range ids.
   const std::vector<TermPosting>& postings(TermId term) const;
 
-  /// Materializes the dense matrix for one term.
+  /// Materializes the dense matrix for one term over the retained window:
+  /// num_streams() x window_length(), column j holding the frequencies of
+  /// absolute timestamp window_start() + j. Before any eviction this is the
+  /// full timeline, unchanged.
   TermSeries DenseSeries(TermId term) const;
 
   /// Fills a caller-owned scratch matrix (dimensions must match
-  /// num_streams() x timeline_length()) with the term's dense frequencies.
+  /// num_streams() x window_length()) with the term's dense frequencies.
   /// Allocation-free; the batch miner calls this once per term per worker.
   void FillSeries(TermId term, TermSeries* series) const;
 
@@ -169,10 +229,12 @@ class FrequencyIndex {
   double TotalCount(TermId term) const;
 
  private:
-  FrequencyIndex() = default;
+  static FrequencyIndex BuildImpl(const Collection& collection, size_t threads,
+                                  ThreadPool* borrowed);
 
   size_t num_streams_ = 0;
   Timestamp timeline_length_ = 0;
+  Timestamp window_start_ = 0;  // first retained timestamp
   std::vector<std::vector<TermPosting>> postings_;  // indexed by TermId
   std::vector<TermId> dirty_terms_;  // touched by appends; may hold dupes
   static const std::vector<TermPosting> kEmpty;

@@ -132,6 +132,95 @@ TEST(Collection, AppendThenAddStreamCoversTheWholeTimeline) {
   EXPECT_EQ(c->DocumentsAt(late, 2).size(), 1u);
 }
 
+TEST(CollectionRetention, EvictBeforeDropsDocsAndRenumbers) {
+  auto c = Collection::Create(4);
+  ASSERT_TRUE(c.ok());
+  StreamId s0 = c->AddStream("A", {}, {});
+  StreamId s1 = c->AddStream("B", {}, {});
+  TermId w = c->mutable_vocabulary()->Intern("w");
+  ASSERT_TRUE(c->AddDocument(s0, 0, {w}).ok());
+  ASSERT_TRUE(c->AddDocument(s1, 1, {w, w}).ok());
+  ASSERT_TRUE(c->AddDocument(s0, 2, {w}).ok());
+  ASSERT_TRUE(c->AddDocument(s1, 3, {w}).ok());
+
+  ASSERT_TRUE(c->EvictBefore(2).ok());
+  EXPECT_EQ(c->window_start(), 2);
+  EXPECT_EQ(c->timeline_length(), 4);  // timestamps stay absolute
+  EXPECT_EQ(c->num_documents(), 2u);
+  EXPECT_EQ(c->doc_id_base(), 2u);
+
+  // Survivors are renumbered densely from the base, in original order.
+  EXPECT_EQ(c->documents()[0].time, 2);
+  EXPECT_EQ(c->documents()[0].id, 2u);
+  EXPECT_EQ(c->documents()[1].id, 3u);
+  EXPECT_EQ(c->document(2).stream, s0);
+  ASSERT_EQ(c->DocumentsAt(s1, 3).size(), 1u);
+  EXPECT_EQ(c->DocumentsAt(s1, 3)[0], 3u);
+
+  // The retained window keeps accepting documents and snapshots.
+  EXPECT_TRUE(c->AddDocument(s0, 1, {w}).status().IsOutOfRange());  // evicted
+  ASSERT_TRUE(c->AddDocument(s0, 3, {w}).ok());
+  Snapshot snap;
+  snap.push_back(SnapshotDocument{s1, {w}, kNoEvent});
+  auto t = c->Append(std::move(snap));
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, 4);
+  EXPECT_EQ(c->DocumentsAt(s1, 4).size(), 1u);
+
+  // Cutoffs at or behind the window are no-ops; beyond the timeline fail.
+  EXPECT_TRUE(c->EvictBefore(1).ok());
+  EXPECT_EQ(c->window_start(), 2);
+  EXPECT_TRUE(c->EvictBefore(99).IsOutOfRange());
+}
+
+TEST(CollectionRetention, EvictBeforeHandlesOutOfOrderHistory) {
+  // Documents ingested out of time order force the general eviction path
+  // (survivor renumbering + docs_at_ re-filing) instead of the prefix
+  // erase; the observable contract is identical.
+  auto c = Collection::Create(4);
+  ASSERT_TRUE(c.ok());
+  StreamId s0 = c->AddStream("A", {}, {});
+  StreamId s1 = c->AddStream("B", {}, {});
+  TermId w = c->mutable_vocabulary()->Intern("w");
+  ASSERT_TRUE(c->AddDocument(s0, 3, {w}).ok());        // id 0
+  ASSERT_TRUE(c->AddDocument(s1, 0, {w}).ok());        // id 1 (evicted)
+  ASSERT_TRUE(c->AddDocument(s0, 2, {w, w}).ok());     // id 2
+  ASSERT_TRUE(c->AddDocument(s1, 1, {w}).ok());        // id 3 (evicted)
+  ASSERT_TRUE(c->AddDocument(s0, 3, {w}).ok());        // id 4
+
+  ASSERT_TRUE(c->EvictBefore(2).ok());
+  EXPECT_EQ(c->num_documents(), 3u);
+  EXPECT_EQ(c->doc_id_base(), 2u);
+  // Survivors keep their relative order (times 3, 2, 3) and dense ids.
+  EXPECT_EQ(c->documents()[0].time, 3);
+  EXPECT_EQ(c->documents()[1].time, 2);
+  EXPECT_EQ(c->documents()[2].time, 3);
+  EXPECT_EQ(c->documents()[0].id, 2u);
+  EXPECT_EQ(c->documents()[2].id, 4u);
+  // docs_at_ was re-filed consistently: both s0 docs at t=3, in order.
+  ASSERT_EQ(c->DocumentsAt(s0, 3).size(), 2u);
+  EXPECT_EQ(c->DocumentsAt(s0, 3)[0], 2u);
+  EXPECT_EQ(c->DocumentsAt(s0, 3)[1], 4u);
+  ASSERT_EQ(c->DocumentsAt(s0, 2).size(), 1u);
+  EXPECT_EQ(c->document(c->DocumentsAt(s0, 2)[0]).TermFrequency(w), 2);
+  EXPECT_EQ(c->DocumentsAt(s1, 2).size(), 0u);
+  EXPECT_EQ(c->DocumentsAt(s1, 3).size(), 0u);
+}
+
+TEST(CollectionRetention, AddStreamAfterEvictionCoversTheWindow) {
+  auto c = Collection::Create(6);
+  ASSERT_TRUE(c.ok());
+  c->AddStream("A", {}, {});
+  ASSERT_TRUE(c->EvictBefore(4).ok());
+  StreamId late = c->AddStream("B", {}, {});
+  // The late stream's per-time slots must span exactly the retained window.
+  EXPECT_EQ(c->DocumentsAt(late, 4).size(), 0u);
+  EXPECT_EQ(c->DocumentsAt(late, 5).size(), 0u);
+  TermId w = c->mutable_vocabulary()->Intern("w");
+  ASSERT_TRUE(c->AddDocument(late, 5, {w}).ok());
+  EXPECT_EQ(c->DocumentsAt(late, 5).size(), 1u);
+}
+
 TEST(Collection, MdsProjectionRequiresStreams) {
   auto c = Collection::Create(2);
   ASSERT_TRUE(c.ok());

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "stburst/common/parallel.h"
 #include "stburst/common/random.h"
 
 namespace stburst {
@@ -147,6 +148,12 @@ TEST(FrequencyIndexSharded, BitIdenticalToSerialAt1248Threads) {
     FrequencyIndex sharded = FrequencyIndex::Build(c, threads);
     ExpectIdenticalIndexes(serial, sharded);
   }
+  // The standing-pool variant is just another worker arrangement.
+  ExpectIdenticalIndexes(serial, FrequencyIndex::BuildWithPool(c, nullptr));
+  for (size_t pool_threads : {1u, 3u}) {
+    ThreadPool pool(pool_threads);
+    ExpectIdenticalIndexes(serial, FrequencyIndex::BuildWithPool(c, &pool));
+  }
 }
 
 TEST(FrequencyIndexSharded, BitIdenticalAcrossRandomizedThreadCounts) {
@@ -249,6 +256,86 @@ TEST(FrequencyIndex, SnapshotColumnMatchesDenseSeries) {
       EXPECT_EQ(idx.SnapshotColumn(t, i), dense.SnapshotColumn(i))
           << "term " << t << " time " << i;
     }
+  }
+}
+
+TEST(FrequencyIndexRetention, EvictBeforeDropsOldPostingsAndMarksDirty) {
+  Collection c = MakeCollection();  // cat at (s0,t1); dog at (s0,t1),(s1,t3)
+  FrequencyIndex idx = FrequencyIndex::Build(c);
+  TermId cat = c.vocabulary().Lookup("cat");
+  TermId dog = c.vocabulary().Lookup("dog");
+
+  ASSERT_TRUE(idx.EvictBefore(2).ok());
+  EXPECT_EQ(idx.window_start(), 2);
+  EXPECT_EQ(idx.window_length(), 2);
+  EXPECT_TRUE(idx.postings(cat).empty());
+  ASSERT_EQ(idx.postings(dog).size(), 1u);
+  EXPECT_EQ(idx.postings(dog)[0].time, 3);
+
+  // Both terms lost postings and must be reported dirty; re-evicting at the
+  // same cutoff is a no-op and dirties nothing.
+  EXPECT_EQ(idx.TakeDirtyTerms(), (std::vector<TermId>{cat, dog}));
+  ASSERT_TRUE(idx.EvictBefore(2).ok());
+  EXPECT_TRUE(idx.TakeDirtyTerms().empty());
+
+  // The dense series now covers the window, with column 0 = window_start.
+  TermSeries series = idx.DenseSeries(dog);
+  EXPECT_EQ(series.timeline_length(), 2);
+  EXPECT_DOUBLE_EQ(series.at(1, 1), 1.0);  // (s1, absolute t3)
+
+  EXPECT_TRUE(idx.EvictBefore(99).IsOutOfRange());
+}
+
+TEST(FrequencyIndexRetention, ParallelEvictionMatchesSerial) {
+  Collection c = MakeRandomCorpus(77, 8, 30, 150, 4000);
+  FrequencyIndex serial = FrequencyIndex::Build(c);
+  ASSERT_TRUE(serial.EvictBefore(11).ok());
+  const std::vector<TermId> serial_dirty = serial.TakeDirtyTerms();
+  EXPECT_FALSE(serial_dirty.empty());
+  for (size_t pool_threads : {1u, 3u, 7u}) {
+    FrequencyIndex parallel = FrequencyIndex::Build(c);
+    ThreadPool pool(pool_threads);
+    ASSERT_TRUE(parallel.EvictBefore(11, &pool).ok());
+    ExpectIdenticalIndexes(serial, parallel);
+    EXPECT_EQ(serial_dirty, parallel.TakeDirtyTerms());
+  }
+}
+
+TEST(FrequencyIndexRetention, MemoryShrinksWithEviction) {
+  Collection c = MakeRandomCorpus(53, 8, 40, 100, 8000);
+  FrequencyIndex idx = FrequencyIndex::Build(c);
+  const size_t before = idx.PostingsMemoryBytes();
+  ASSERT_TRUE(idx.EvictBefore(30).ok());  // keep the last quarter
+  const size_t after = idx.PostingsMemoryBytes();
+  EXPECT_LT(static_cast<double>(after), 0.6 * static_cast<double>(before))
+      << before << " -> " << after;
+}
+
+TEST(FrequencyIndexAppend, ParallelSpliceBitIdenticalToSerial) {
+  Collection base = MakeRandomCorpus(71, 10, 20, 120, 2000);
+  // Two identical live collections appended in lockstep: one index splices
+  // serially, the other across pools of several sizes.
+  FrequencyIndex serial = FrequencyIndex::Build(base);
+  FrequencyIndex pooled = FrequencyIndex::Build(base);
+  Rng rng(72);
+  for (size_t pool_threads : {1u, 2u, 5u}) {
+    Snapshot snap;
+    size_t docs = 30 + rng.NextUint64(30);
+    for (size_t d = 0; d < docs; ++d) {
+      SnapshotDocument doc;
+      doc.stream = static_cast<StreamId>(rng.NextUint64(base.num_streams()));
+      size_t len = 1 + rng.NextUint64(5);
+      for (size_t i = 0; i < len; ++i) {
+        doc.tokens.push_back(static_cast<TermId>(rng.NextUint64(120)));
+      }
+      snap.push_back(std::move(doc));
+    }
+    ASSERT_TRUE(base.Append(std::move(snap)).ok());
+    ASSERT_TRUE(serial.AppendSnapshot(base).ok());
+    ThreadPool pool(pool_threads);
+    ASSERT_TRUE(pooled.AppendSnapshot(base, &pool).ok());
+    ExpectIdenticalIndexes(serial, pooled);
+    EXPECT_EQ(serial.TakeDirtyTerms(), pooled.TakeDirtyTerms());
   }
 }
 

@@ -148,6 +148,93 @@ TEST(OnlineStComb, PushFromIndexRejectsMismatchedStreamCount) {
   EXPECT_TRUE(online.PushFromIndex(freq, 0).IsInvalidArgument());
 }
 
+TEST(OnlineStComb, EvictBeforeMatchesBatchOverTheWindow) {
+  // Retention parity: after evicting history older than a cutoff, the
+  // online miner's patterns must equal batch STComb over the windowed
+  // suffix, with timeframes reported in absolute timestamps.
+  Rng rng(31);
+  const size_t n = 6;
+  const Timestamp length = 50;
+  const Timestamp cutoff = 20;
+  TermSeries series(n, length);
+  for (StreamId s = 0; s < n; ++s) {
+    for (Timestamp t = 0; t < length; ++t) {
+      series.set(s, t, rng.Exponential(2.0));
+    }
+  }
+  // One burst straddling the cutoff and one inside the window.
+  for (StreamId s = 0; s < 3; ++s) {
+    for (Timestamp t = 15; t < 25; ++t) series.add(s, t, 8.0);
+    for (Timestamp t = 38; t < 43; ++t) series.add(s, t, 8.0);
+  }
+
+  StCombOptions opts;
+  opts.min_interval_burstiness = 0.05;
+  OnlineStComb online(n, opts);
+  StComb batch(opts);
+  for (Timestamp t = 0; t < length; ++t) {
+    ASSERT_TRUE(online.Push(series.SnapshotColumn(t)).ok());
+  }
+  ASSERT_TRUE(online.EvictBefore(cutoff).ok());
+  EXPECT_EQ(online.window_start(), cutoff);
+
+  TermSeries window(n, length - cutoff);
+  for (StreamId s = 0; s < n; ++s) {
+    for (Timestamp t = cutoff; t < length; ++t) {
+      window.set(s, t - cutoff, series.at(s, t));
+    }
+  }
+  auto expected = batch.MinePatterns(window);
+  auto got = online.CurrentPatterns();
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].streams, expected[i].streams);
+    // Online timeframes are absolute; the batch run over the extracted
+    // window is relative to the cutoff.
+    EXPECT_EQ(got[i].timeframe.start, expected[i].timeframe.start + cutoff);
+    EXPECT_EQ(got[i].timeframe.end, expected[i].timeframe.end + cutoff);
+    EXPECT_NEAR(got[i].score, expected[i].score, 1e-9);
+  }
+
+  // Pushing after an eviction keeps working (and stays in parity).
+  ASSERT_TRUE(online.Push(std::vector<double>(n, 1.0)).ok());
+  EXPECT_EQ(online.current_time(), length + 1);
+}
+
+TEST(OnlineStComb, PushFromIndexRejectsEvictedTimestamps) {
+  // A miner lagging behind an evicted index must fail loudly instead of
+  // silently ingesting zeros for timestamps the index no longer holds.
+  auto c = Collection::Create(3);
+  ASSERT_TRUE(c.ok());
+  StreamId s = c->AddStream("A", {}, {});
+  TermId w = c->mutable_vocabulary()->Intern("w");
+  for (Timestamp t = 0; t < 3; ++t) ASSERT_TRUE(c->AddDocument(s, t, {w}).ok());
+  FrequencyIndex idx = FrequencyIndex::Build(*c);
+  ASSERT_TRUE(idx.EvictBefore(2).ok());
+
+  OnlineStComb fresh(1);  // current_time 0 < window_start 2
+  EXPECT_TRUE(fresh.PushFromIndex(idx, w).IsFailedPrecondition());
+
+  // A miner evicted in lockstep keeps working.
+  OnlineStComb aligned(1);
+  ASSERT_TRUE(aligned.Push({1.0}).ok());
+  ASSERT_TRUE(aligned.Push({1.0}).ok());
+  ASSERT_TRUE(aligned.EvictBefore(2).ok());
+  EXPECT_TRUE(aligned.PushFromIndex(idx, w).ok());
+}
+
+TEST(OnlineStComb, EvictBeforeValidatesCutoff) {
+  OnlineStComb miner(2);
+  ASSERT_TRUE(miner.Push({1.0, 0.0}).ok());
+  EXPECT_TRUE(miner.EvictBefore(0).ok());   // no-op
+  EXPECT_TRUE(miner.EvictBefore(-5).ok());  // no-op
+  EXPECT_TRUE(miner.EvictBefore(2).IsOutOfRange());  // beyond history
+  ASSERT_TRUE(miner.Push({1.0, 0.0}).ok());
+  EXPECT_TRUE(miner.EvictBefore(1).ok());
+  EXPECT_EQ(miner.window_start(), 1);
+  EXPECT_EQ(miner.current_time(), 2);
+}
+
 // ---- EnumerateMaximalCliques --------------------------------------------
 
 WeightedInterval WI(Timestamp a, Timestamp b, double w, int64_t tag) {

@@ -193,6 +193,22 @@ TEST(OnlineRegionalMiner, PushParityWithBatchDriver) {
   }
 }
 
+TEST(OnlineRegionalMiner, PushFromIndexRejectsEvictedTimestamps) {
+  // A lagging regional miner must fail loudly rather than silently ingest
+  // zeros for timestamps the index has evicted.
+  auto c = Collection::Create(3);
+  ASSERT_TRUE(c.ok());
+  c->AddStream("s", {}, {});
+  TermId quake = c->mutable_vocabulary()->Intern("quake");
+  for (Timestamp t = 0; t < 3; ++t) (void)c->AddDocument(0, t, {quake});
+  FrequencyIndex freq = FrequencyIndex::Build(*c);
+  ASSERT_TRUE(freq.EvictBefore(2).ok());
+
+  auto factory = [] { return std::make_unique<GlobalMeanModel>(); };
+  OnlineRegionalMiner lagging(c->StreamPositions(), factory);
+  EXPECT_TRUE(lagging.PushFromIndex(freq, quake).IsFailedPrecondition());
+}
+
 TEST(OnlineRegionalMiner, PushFromIndexFollowsAppends) {
   auto c = Collection::Create(4);
   ASSERT_TRUE(c.ok());
