@@ -22,6 +22,7 @@
 #include "bench/bench_common.h"
 #include "stburst/common/parallel.h"
 #include "stburst/common/random.h"
+#include "stburst/common/simd.h"
 #include "stburst/common/timer.h"
 #include "stburst/core/batch_miner.h"
 #include "stburst/stream/feed_runtime.h"
@@ -468,6 +469,45 @@ int Run() {
     report("rect_grid64_16k", opt, pts.size());
     std::printf("  -> grid rect speedup: %.2fx\n", naive / opt);
   }
+
+  // SolveCells kernel against a standing binning (the mining access
+  // pattern: geometry built once, one O(points) weight scatter + sweep per
+  // snapshot), under the dispatched ISA and with the scalar fallback
+  // forced. The two paths are bit-identical by construction; the ratio is
+  // the pure SIMD win on the band sweep.
+  {
+    std::printf("  [simd] active ISA: %s\n",
+                simd::IsaName(simd::ActiveIsa()));
+    struct Kernel {
+      const char* op;
+      size_t n;
+      MaxRectOptions opts;
+    };
+    std::vector<Kernel> kernels;
+    kernels.push_back({"solve_cells_exact", 256, MaxRectOptions{}});
+    {
+      MaxRectOptions grid;
+      grid.mode = MaxRectOptions::Mode::kGrid;
+      kernels.push_back({"solve_cells_grid", 1 << 14, grid});
+    }
+    for (const Kernel& kernel : kernels) {
+      std::vector<Point2D> pts;
+      std::vector<double> w;
+      RandomPlane(kernel.n, 11, &pts, &w);
+      auto binning = SpatialBinning::Create(pts, kernel.opts);
+      if (!binning.ok()) return 1;
+      double active =
+          TimeNs([&] { (void)MaxWeightRectangle(*binning, w); });
+      const simd::Isa previous = simd::SetIsaForTest(simd::Isa::kScalar);
+      double scalar =
+          TimeNs([&] { (void)MaxWeightRectangle(*binning, w); });
+      simd::SetIsaForTest(previous);
+      report(kernel.op, active, kernel.n);
+      report(std::string(kernel.op) + "_scalar", scalar, kernel.n);
+      std::printf("  -> %s: %.2fx %s over scalar\n", kernel.op,
+                  scalar / active, simd::IsaName(simd::ActiveIsa()));
+    }
+  }
   {
     InvertedIndex idx = RandomIndex(1 << 16, 7);
     std::vector<TermId> query = {0, 1, 2};
@@ -662,9 +702,10 @@ int Run() {
     }
   }
 
-  // Regional mining over a vocabulary sample (full-vocab STLocal is a
-  // several-minute run; the sample keeps the harness snappy while still
-  // timing the rectangle kernel end to end).
+  // Regional mining over a vocabulary sample (one standalone
+  // MineRegionalPatterns per term — each call builds its own binning), then
+  // the whole vocabulary through the batch engine sharing one standing
+  // binning across every term.
   {
     std::vector<Point2D> positions = corpus.StreamPositions();
     ExpectedModelFactory factory = bench::MeanFactory();
@@ -685,6 +726,29 @@ int Run() {
            serial_s * 1e9 / static_cast<double>(sample.size()), sample.size());
     std::printf("  -> regional sample: %zu windows over %zu terms\n", windows,
                 sample.size());
+
+    // Whole-vocabulary STLocal (one Timer window; a second run would double
+    // the harness's longest op for no signal on a shared machine).
+    BatchMinerOptions regional_opts;
+    regional_opts.mine_combinatorial = false;
+    regional_opts.mine_regional = true;
+    regional_opts.positions = positions;
+    regional_opts.model_factory = factory;
+    regional_opts.stlocal = local_opts;
+    regional_opts.num_threads = 1;
+    Timer tv;
+    auto regional = MineAllTerms(freq, regional_opts);
+    if (!regional.ok()) return 1;
+    double vocab_s = tv.ElapsedSeconds();
+    size_t vocab_windows = 0;
+    for (const TermPatterns& tp : regional->terms) {
+      vocab_windows += tp.regional.size();
+    }
+    report("mine_all_terms_regional", vocab_s * 1e9, vocab);
+    std::printf("  -> whole-vocab regional: %zu windows over %zu terms in "
+                "%.1f s (shared binning, %s sweep)\n",
+                vocab_windows, vocab, vocab_s,
+                simd::IsaName(simd::ActiveIsa()));
   }
 
   perf.Write("BENCH_micro.json");

@@ -1,0 +1,103 @@
+#include "stburst/common/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define STBURST_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define STBURST_SIMD_X86 0
+#endif
+
+namespace stburst {
+namespace simd {
+
+namespace {
+
+void AddIntoScalar(double* dst, const double* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+#if STBURST_SIMD_X86
+// Compiled with a function-level target attribute so the translation unit
+// (and the rest of the library) keeps the portable baseline; only this body
+// may emit AVX2 instructions, and it is only ever reached after the runtime
+// CPU check below.
+__attribute__((target("avx2"))) void AddIntoAvx2(double* dst,
+                                                 const double* src, size_t n) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm256_storeu_pd(dst + i, _mm256_add_pd(_mm256_loadu_pd(dst + i),
+                                            _mm256_loadu_pd(src + i)));
+    _mm256_storeu_pd(dst + i + 4, _mm256_add_pd(_mm256_loadu_pd(dst + i + 4),
+                                                _mm256_loadu_pd(src + i + 4)));
+    _mm256_storeu_pd(dst + i + 8, _mm256_add_pd(_mm256_loadu_pd(dst + i + 8),
+                                                _mm256_loadu_pd(src + i + 8)));
+    _mm256_storeu_pd(dst + i + 12,
+                     _mm256_add_pd(_mm256_loadu_pd(dst + i + 12),
+                                   _mm256_loadu_pd(src + i + 12)));
+  }
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(dst + i, _mm256_add_pd(_mm256_loadu_pd(dst + i),
+                                            _mm256_loadu_pd(src + i)));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+}
+#endif  // STBURST_SIMD_X86
+
+// The dispatch state, resolved once (thread-safe via static-local init).
+// SetIsaForTest mutates it from a quiesced state, so a plain struct is
+// enough — no atomics on the kernel call path.
+struct Dispatch {
+  Isa isa;
+  void (*add_into)(double*, const double*, size_t);
+};
+
+Dispatch MakeDispatch(Isa isa) {
+#if STBURST_SIMD_X86
+  if (isa == Isa::kAvx2) return {Isa::kAvx2, &AddIntoAvx2};
+#endif
+  return {Isa::kScalar, &AddIntoScalar};
+}
+
+bool DisabledByEnv() {
+  const char* v = std::getenv("STBURST_NO_AVX2");
+  return v != nullptr && std::strcmp(v, "1") == 0;
+}
+
+Dispatch& ActiveDispatch() {
+  static Dispatch dispatch = MakeDispatch(
+      Avx2Supported() && !DisabledByEnv() ? Isa::kAvx2 : Isa::kScalar);
+  return dispatch;
+}
+
+}  // namespace
+
+bool Avx2Supported() {
+#if STBURST_SIMD_X86
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+Isa ActiveIsa() { return ActiveDispatch().isa; }
+
+const char* IsaName(Isa isa) {
+  return isa == Isa::kAvx2 ? "avx2" : "scalar";
+}
+
+Isa SetIsaForTest(Isa isa) {
+  Dispatch& dispatch = ActiveDispatch();
+  const Isa previous = dispatch.isa;
+  dispatch = MakeDispatch(isa);
+  return previous;
+}
+
+void AddInto(double* dst, const double* src, size_t n) {
+  ActiveDispatch().add_into(dst, src, n);
+}
+
+}  // namespace simd
+}  // namespace stburst

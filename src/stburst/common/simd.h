@@ -1,0 +1,54 @@
+// Runtime-dispatched SIMD kernels for the mining hot paths.
+//
+// Scope is deliberately narrow: only *element-wise* operations, where the
+// vector lanes carry independent columns and no floating-point fold is
+// reassociated. Every kernel is therefore bit-identical across instruction
+// sets — the AVX2 path and the scalar path produce the same doubles, so the
+// miners' parity guarantees (thread-count invariance, online/batch
+// equivalence, shared-binning vs per-call equality) hold regardless of
+// which CPU runs them. Horizontal reductions (sums across a row) are NOT
+// offered here precisely because they would break that contract.
+//
+// Dispatch policy: the ISA is resolved once per process — AVX2 when the
+// binary targets x86, the CPU reports the feature, and the environment
+// does not set STBURST_NO_AVX2=1; scalar otherwise. The AVX2 kernels are
+// compiled with function-level target attributes, so the rest of the
+// library keeps the portable baseline and the binary stays runnable on
+// any x86-64 (and the scalar path builds cleanly on non-x86).
+
+#ifndef STBURST_COMMON_SIMD_H_
+#define STBURST_COMMON_SIMD_H_
+
+#include <cstddef>
+
+namespace stburst {
+namespace simd {
+
+/// Instruction sets the kernels can dispatch to.
+enum class Isa { kScalar, kAvx2 };
+
+/// True when this binary carries AVX2 kernels and the CPU supports them
+/// (independent of STBURST_NO_AVX2).
+bool Avx2Supported();
+
+/// The ISA the kernels currently dispatch to. Resolved once on first use:
+/// kAvx2 iff Avx2Supported() and STBURST_NO_AVX2 is unset/!=1.
+Isa ActiveIsa();
+
+/// "avx2" / "scalar" — for logs and bench output.
+const char* IsaName(Isa isa);
+
+/// Test/bench hook: force the dispatch to `isa` (kAvx2 requires
+/// Avx2Supported()). Not thread-safe — call while no kernel is running,
+/// e.g. before spawning workers. Returns the previously active ISA so
+/// callers can restore it.
+Isa SetIsaForTest(Isa isa);
+
+/// dst[i] += src[i] for i in [0, n). Element-wise, no reassociation:
+/// bit-identical on every ISA. The buffers must not overlap.
+void AddInto(double* dst, const double* src, size_t n);
+
+}  // namespace simd
+}  // namespace stburst
+
+#endif  // STBURST_COMMON_SIMD_H_

@@ -71,6 +71,11 @@ Status ValidateRegional(const FrequencyIndex& index,
     return Status::InvalidArgument(
         "regional mining requires an expected-model factory");
   }
+  if (options.binning != nullptr &&
+      options.binning->num_points() != index.num_streams()) {
+    return Status::InvalidArgument(
+        "shared binning does not cover the index's streams");
+  }
   return Status::OK();
 }
 
@@ -83,18 +88,24 @@ struct MineShared {
   const StComb stcomb;
   const size_t timeline;   // retained window width
   const Timestamp origin;  // absolute timestamp of window column 0
+  // Stream-position binning shared by every term's regional mine: either
+  // the caller's standing binning (options.binning) or one built per run.
+  // Immutable, so all workers read it concurrently. Null without regional
+  // mining.
+  const SpatialBinning* binning;
   std::vector<WorkerScratch> scratch;
   std::atomic<bool> failed{false};
   std::mutex error_mu;
   std::optional<Status> error;
 
   MineShared(const FrequencyIndex& idx, const BatchMinerOptions& opts,
-             size_t threads)
+             const SpatialBinning* shared_binning, size_t threads)
       : index(idx),
         options(opts),
         stcomb(opts.stcomb),
         timeline(static_cast<size_t>(idx.window_length())),
         origin(idx.window_start()),
+        binning(shared_binning),
         scratch(threads) {}
 
   void MineTerm(size_t worker, TermId term, TermPatterns* slot) {
@@ -126,8 +137,9 @@ struct MineShared {
                                                 index.window_length());
       }
       index.FillSeries(term, ws.dense.get());
-      auto windows = MineRegionalPatterns(*ws.dense, options.positions,
-                                          options.model_factory, options.stlocal);
+      auto windows =
+          MineRegionalPatterns(*ws.dense, options.positions,
+                               options.model_factory, options.stlocal, binning);
       if (!windows.ok()) {
         std::unique_lock<std::mutex> lock(error_mu);
         if (!error.has_value()) error = windows.status();
@@ -167,6 +179,21 @@ void RunParallel(const BatchMinerOptions& options, size_t n,
   }
 }
 
+// Resolves the run's shared binning into `binning`: the caller's standing
+// one when lent, else a fresh build over the options' positions stored in
+// `own` (whose lifetime the caller scopes to the run). No-op without
+// regional mining.
+Status ResolveBinning(const BatchMinerOptions& options,
+                      std::optional<SpatialBinning>* own,
+                      const SpatialBinning** binning) {
+  *binning = options.binning;
+  if (!options.mine_regional || *binning != nullptr) return Status::OK();
+  STB_ASSIGN_OR_RETURN(*own, SpatialBinning::Create(
+                                 options.positions, options.stlocal.rbursty.rect));
+  *binning = &**own;
+  return Status::OK();
+}
+
 // Restores the mined/skipped bookkeeping invariant (mined + skipped ==
 // num_terms) after slots changed.
 void RecountTerms(BatchMineResult* result) {
@@ -190,7 +217,11 @@ StatusOr<BatchMineResult> MineAllTerms(const FrequencyIndex& index,
   result.threads_used = threads;
   if (index.num_terms() == 0) return result;
 
-  MineShared shared(index, options, threads);
+  std::optional<SpatialBinning> own_binning;
+  const SpatialBinning* binning = nullptr;
+  STB_RETURN_NOT_OK(ResolveBinning(options, &own_binning, &binning));
+
+  MineShared shared(index, options, binning, threads);
   RunParallel(options, index.num_terms(), [&](size_t worker, size_t t) {
     if (shared.failed.load(std::memory_order_relaxed)) return;
     shared.MineTerm(worker, static_cast<TermId>(t), &result.terms[t]);
@@ -230,7 +261,10 @@ Status RemineTerms(const FrequencyIndex& index, const std::vector<TermId>& terms
   const size_t threads = RunWorkerSlots(options);
   result->threads_used = threads;
   if (!todo.empty()) {
-    MineShared shared(index, options, threads);
+    std::optional<SpatialBinning> own_binning;
+    const SpatialBinning* binning = nullptr;
+    STB_RETURN_NOT_OK(ResolveBinning(options, &own_binning, &binning));
+    MineShared shared(index, options, binning, threads);
     RunParallel(options, todo.size(), [&](size_t worker, size_t i) {
       if (shared.failed.load(std::memory_order_relaxed)) return;
       shared.MineTerm(worker, todo[i], &result->terms[todo[i]]);

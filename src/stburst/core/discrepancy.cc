@@ -6,38 +6,48 @@
 #include <limits>
 
 #include "stburst/common/logging.h"
+#include "stburst/common/simd.h"
 #include "stburst/geo/grid.h"
 
 namespace stburst {
 
 namespace {
 
-// A rows x cols matrix of aggregated weights, where column c spans
-// [col_lo[c], col_hi[c]] in x and row r spans [row_lo[r], row_hi[r]] in y.
-// In exact mode each row/column is a single coordinate (lo == hi); in grid
-// mode they are grid-cell extents. point_row/point_col record the bin of
-// every input point so the solver can collect a rectangle's members straight
-// from the binning instead of rescanning the plane.
+// Per-thread scratch of the solver. `cells` is the dense rows x cols weight
+// matrix; it is kept all-zero *between* solves (the touched-cell reset
+// below), so a solve only pays for the cells its points actually occupy —
+// never an O(rows · cols) clear. `cell_epoch` stamps which cells were
+// written during the current solve, which both dedupes the touched list
+// (coincident points share a cell) and distinguishes "first write" (store)
+// from "accumulate" (add).
 //
-// Instances are reused as thread-local scratch across MaxWeightRectangle
-// calls: R-Bursty and STLocal call the solver once per snapshot per term,
-// and the buffers stabilize at the largest size seen by each thread.
-struct CellMatrix {
-  size_t rows = 0;
-  size_t cols = 0;
-  std::vector<double> cells;  // row-major
-  std::vector<double> col_lo, col_hi;
-  std::vector<double> row_lo, row_hi;
-  std::vector<uint32_t> point_row, point_col;  // bin of each input point
-};
-
-// Per-thread scratch of the band sweep.
+// Buffers stabilize at the largest binning each thread sees: R-Bursty and
+// STLocal solve once per snapshot per term against a fixed binning, and the
+// batch miner's workers share one binning across the whole vocabulary.
 struct SolveScratch {
+  std::vector<double> cells;        // row-major; all-zero between solves
+  std::vector<uint32_t> cell_epoch; // epoch of the last write per cell
+  uint32_t epoch = 0;               // current solve's stamp
+  std::vector<size_t> touched;      // unique cell indices written this solve
   std::vector<double> col_sums;
-  std::vector<double> row_pos_mass;    // positive mass per row
+  std::vector<double> row_pos_mass;    // positive cell mass per row
   std::vector<double> suffix_pos_mass; // positive mass in rows >= r
   std::vector<size_t> positive_rows;
 };
+
+SolveScratch& LocalScratch(size_t ncells) {
+  thread_local SolveScratch scratch;
+  if (scratch.cells.size() < ncells) {
+    scratch.cells.resize(ncells, 0.0);
+    scratch.cell_epoch.resize(ncells, 0);
+  }
+  if (++scratch.epoch == 0) {  // stamp wrapped: invalidate every old stamp
+    std::fill(scratch.cell_epoch.begin(), scratch.cell_epoch.end(), 0u);
+    scratch.epoch = 1;
+  }
+  scratch.touched.clear();
+  return scratch;
+}
 
 // Kadane sweep over row bands with two admissible-pruning levels:
 //  - anchor level: the positive mass in rows >= r1 bounds every rectangle
@@ -45,37 +55,46 @@ struct SolveScratch {
 //    beat the incumbent no later anchor can either and the sweep stops.
 //  - band level: the positive mass inside [r1, r2] bounds the band's Kadane
 //    score; bands that cannot beat the incumbent only accumulate column
-//    sums (one fused pass) and skip the max-subarray bookkeeping.
-// Tie-breaking (strict improvement only) matches the naive sweep, so the
-// pruned solver returns bit-identical rectangles.
-MaxRectResult SolveCells(const CellMatrix& m) {
+//    sums (one vectorized pass) and skip the max-subarray bookkeeping.
+// Tie-breaking (strict improvement only) keeps the pruned solver's output
+// independent of how many bands the bounds let it skip.
+//
+// The across-column passes (band accumulation, and the col_sums + row
+// update ahead of the Kadane recurrence) go through simd::AddInto — lanes
+// are independent columns, no fold is reassociated, so the SIMD and scalar
+// paths are bit-identical (tested). The Kadane recurrence itself is a
+// loop-carried dependency and stays scalar.
+MaxRectResult SolveCells(const SpatialBinning& b, SolveScratch& scratch) {
   MaxRectResult result;
-  if (m.rows == 0 || m.cols == 0) return result;
+  const size_t rows = b.rows();
+  const size_t cols = b.cols();
+  if (rows == 0 || cols == 0) return result;
+  const double* cells = scratch.cells.data();
 
-  thread_local SolveScratch scratch;
-  std::vector<double>& col_sums = scratch.col_sums;
+  // Positive mass per row, from the touched cells alone: untouched cells
+  // are zero by the scratch invariant, so this is the same per-row total
+  // the old full matrix scan produced at O(points) instead of
+  // O(rows · cols) — the win that makes quiet snapshots (no positive
+  // cell anywhere) cost only the scatter.
   std::vector<double>& row_pos_mass = scratch.row_pos_mass;
-  std::vector<double>& suffix_pos_mass = scratch.suffix_pos_mass;
+  row_pos_mass.assign(rows, 0.0);
+  for (size_t idx : scratch.touched) {
+    const double v = cells[idx];
+    if (v > 0.0) row_pos_mass[idx / cols] += v;
+  }
+  // Rows hosting positive mass: an optimal rectangle can be shrunk until
+  // its top and bottom edges touch positive cells.
   std::vector<size_t>& positive_rows = scratch.positive_rows;
-
-  row_pos_mass.assign(m.rows, 0.0);
   positive_rows.clear();
-  for (size_t r = 0; r < m.rows; ++r) {
-    const double* row = m.cells.data() + r * m.cols;
-    double pos = 0.0;
-    for (size_t c = 0; c < m.cols; ++c) {
-      if (row[c] > 0.0) pos += row[c];
-    }
-    row_pos_mass[r] = pos;
-    // Rows hosting positive mass: an optimal rectangle can be shrunk until
-    // its top and bottom edges touch positive cells.
-    if (pos > 0.0) positive_rows.push_back(r);
+  for (size_t r = 0; r < rows; ++r) {
+    if (row_pos_mass[r] > 0.0) positive_rows.push_back(r);
   }
   if (positive_rows.empty()) return result;
   const size_t last_positive_row = positive_rows.back();
 
-  suffix_pos_mass.assign(m.rows + 1, 0.0);
-  for (size_t r = m.rows; r-- > 0;) {
+  std::vector<double>& suffix_pos_mass = scratch.suffix_pos_mass;
+  suffix_pos_mass.assign(rows + 1, 0.0);
+  for (size_t r = rows; r-- > 0;) {
     suffix_pos_mass[r] = suffix_pos_mass[r + 1] + row_pos_mass[r];
   }
 
@@ -83,7 +102,8 @@ MaxRectResult SolveCells(const CellMatrix& m) {
   size_t best_r1 = 0, best_r2 = 0, best_c1 = 0, best_c2 = 0;
   bool found = false;
 
-  col_sums.resize(m.cols);
+  std::vector<double>& col_sums = scratch.col_sums;
+  col_sums.resize(cols);
   for (size_t anchor = 0; anchor < positive_rows.size(); ++anchor) {
     const size_t r1 = positive_rows[anchor];
     if (suffix_pos_mass[r1] <= best_score) break;  // nor can any later anchor
@@ -95,22 +115,19 @@ MaxRectResult SolveCells(const CellMatrix& m) {
     // the band still contribute their weight), evaluating only when the
     // band's bottom edge also touches a positive row.
     for (size_t r2 = r1; r2 <= last_positive_row; ++r2) {
-      const double* row = m.cells.data() + r2 * m.cols;
+      const double* row = cells + r2 * cols;
       band_pos_mass += row_pos_mass[r2];
       const bool evaluate =
           positive_rows[next_positive] == r2 && band_pos_mass > best_score;
       if (positive_rows[next_positive] == r2) ++next_positive;
 
-      if (!evaluate) {
-        for (size_t c = 0; c < m.cols; ++c) col_sums[c] += row[c];
-      } else {
-        // Fused pass: accumulate the new row into the column sums and run
-        // the max-subarray recurrence on the updated values in one sweep.
+      simd::AddInto(col_sums.data(), row, cols);
+      if (evaluate) {
+        // Max-subarray recurrence over the freshly accumulated column sums.
         double run = 0.0;
         size_t run_start = 0;
-        for (size_t c = 0; c < m.cols; ++c) {
-          const double v = col_sums[c] + row[c];
-          col_sums[c] = v;
+        for (size_t c = 0; c < cols; ++c) {
+          const double v = col_sums[c];
           if (run <= 0.0) {
             run = v;
             run_start = c;
@@ -133,26 +150,68 @@ MaxRectResult SolveCells(const CellMatrix& m) {
   if (!found) return result;
 
   result.score = best_score;
-  result.rect = Rect(m.col_lo[best_c1], m.row_lo[best_r1], m.col_hi[best_c2],
-                     m.row_hi[best_r2]);
+  result.rect = Rect(b.col_lo()[best_c1], b.row_lo()[best_r1],
+                     b.col_hi()[best_c2], b.row_hi()[best_r2]);
   // Members come from the binned indices: exactly the points whose mass the
   // winning cells aggregated — no geometric rescan.
-  const size_t n = m.point_row.size();
+  const std::span<const uint32_t> point_rows = b.point_rows();
+  const std::span<const uint32_t> point_cols = b.point_cols();
+  const size_t n = b.num_points();
   for (size_t i = 0; i < n; ++i) {
-    if (m.point_row[i] >= best_r1 && m.point_row[i] <= best_r2 &&
-        m.point_col[i] >= best_c1 && m.point_col[i] <= best_c2) {
+    if (point_rows[i] >= best_r1 && point_rows[i] <= best_r2 &&
+        point_cols[i] >= best_c1 && point_cols[i] <= best_c2) {
       result.points_inside.push_back(i);
     }
   }
   return result;
 }
 
-void BuildExactMatrix(const std::vector<Point2D>& points,
-                      const std::vector<double>& weights, CellMatrix* m) {
-  std::vector<double>& xs = m->col_lo;
-  std::vector<double>& ys = m->row_lo;
-  xs.clear();
-  ys.clear();
+}  // namespace
+
+StatusOr<SpatialBinning> SpatialBinning::Create(
+    const std::vector<Point2D>& points, const MaxRectOptions& options) {
+  SpatialBinning b;
+  if (options.mode == MaxRectOptions::Mode::kGrid) {
+    if (options.grid_cols == 0 || options.grid_rows == 0) {
+      return Status::InvalidArgument("grid resolution must be positive");
+    }
+    Rect bounds = Rect::BoundingBox(points);
+    if (bounds.empty()) return b;  // no points: zero-cell binning
+    if (bounds.width() > 0.0 && bounds.height() > 0.0) {
+      STB_ASSIGN_OR_RETURN(
+          UniformGrid grid,
+          UniformGrid::Create(bounds, options.grid_cols, options.grid_rows));
+      b.rows_ = grid.rows();
+      b.cols_ = grid.cols();
+      b.point_col_.resize(points.size());
+      b.point_row_.resize(points.size());
+      for (size_t i = 0; i < points.size(); ++i) {
+        size_t col, row;
+        grid.CellCoords(points[i], &col, &row);
+        b.point_col_[i] = static_cast<uint32_t>(col);
+        b.point_row_[i] = static_cast<uint32_t>(row);
+      }
+      b.col_lo_.resize(b.cols_);
+      b.col_hi_.resize(b.cols_);
+      b.row_lo_.resize(b.rows_);
+      b.row_hi_.resize(b.rows_);
+      for (size_t c = 0; c < b.cols_; ++c) {
+        Rect r = grid.CellRect(c, 0);
+        b.col_lo_[c] = r.min_x();
+        b.col_hi_[c] = r.max_x();
+      }
+      for (size_t r = 0; r < b.rows_; ++r) {
+        Rect rr = grid.CellRect(0, r);
+        b.row_lo_[r] = rr.min_y();
+        b.row_hi_[r] = rr.max_y();
+      }
+      return b;
+    }
+    // Degenerate map (all points collinear): fall through to the exact
+    // compression, which handles 1-D layouts natively.
+  }
+  std::vector<double>& xs = b.col_lo_;
+  std::vector<double>& ys = b.row_lo_;
   xs.reserve(points.size());
   ys.reserve(points.size());
   for (const Point2D& p : points) {
@@ -163,76 +222,58 @@ void BuildExactMatrix(const std::vector<Point2D>& points,
   xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
   std::sort(ys.begin(), ys.end());
   ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
-
-  m->cols = xs.size();
-  m->rows = ys.size();
-  m->col_hi = xs;
-  m->row_hi = ys;
-  m->cells.assign(m->rows * m->cols, 0.0);
-  m->point_col.resize(points.size());
-  m->point_row.resize(points.size());
-
+  b.cols_ = xs.size();
+  b.rows_ = ys.size();
+  b.col_hi_ = xs;
+  b.row_hi_ = ys;
+  b.point_col_.resize(points.size());
+  b.point_row_.resize(points.size());
   auto index_of = [](const std::vector<double>& v, double key) {
     return static_cast<uint32_t>(
         std::lower_bound(v.begin(), v.end(), key) - v.begin());
   };
   for (size_t i = 0; i < points.size(); ++i) {
-    const uint32_t c = index_of(xs, points[i].x);
-    const uint32_t r = index_of(ys, points[i].y);
-    m->point_col[i] = c;
-    m->point_row[i] = r;
-    if (weights[i] != 0.0) m->cells[r * m->cols + c] += weights[i];
+    b.point_col_[i] = index_of(xs, points[i].x);
+    b.point_row_[i] = index_of(ys, points[i].y);
   }
+  return b;
 }
 
-Status BuildGridMatrix(const std::vector<Point2D>& points,
-                       const std::vector<double>& weights, size_t grid_cols,
-                       size_t grid_rows, CellMatrix* m) {
-  Rect bounds = Rect::BoundingBox(points);
-  if (bounds.empty()) {
-    m->rows = m->cols = 0;
-    return Status::OK();
+StatusOr<MaxRectResult> MaxWeightRectangle(const SpatialBinning& binning,
+                                           std::span<const double> weights) {
+  if (weights.size() != binning.num_points()) {
+    return Status::InvalidArgument("weights length does not match binning");
   }
-  if (bounds.width() <= 0.0 || bounds.height() <= 0.0) {
-    // Degenerate map (all points collinear): fall back to the exact sweep,
-    // which handles 1-D layouts natively.
-    BuildExactMatrix(points, weights, m);
-    return Status::OK();
-  }
-  STB_ASSIGN_OR_RETURN(UniformGrid grid,
-                       UniformGrid::Create(bounds, grid_cols, grid_rows));
+  const size_t ncells = binning.rows() * binning.cols();
+  if (ncells == 0) return MaxRectResult{};
 
-  m->rows = grid.rows();
-  m->cols = grid.cols();
-  m->cells.assign(m->rows * m->cols, 0.0);
-  m->point_col.resize(points.size());
-  m->point_row.resize(points.size());
-  for (size_t i = 0; i < points.size(); ++i) {
-    size_t col, row;
-    grid.CellCoords(points[i], &col, &row);
-    m->point_col[i] = static_cast<uint32_t>(col);
-    m->point_row[i] = static_cast<uint32_t>(row);
-    m->cells[row * m->cols + col] += weights[i];
+  SolveScratch& scratch = LocalScratch(ncells);
+  // O(points) weight scatter: first touch of a cell stores, later touches
+  // accumulate — the fold over a cell's coincident points runs in point
+  // order, matching a scatter into a zeroed matrix.
+  const size_t n = weights.size();
+  const size_t cols = binning.cols();
+  const std::span<const uint32_t> point_rows = binning.point_rows();
+  const std::span<const uint32_t> point_cols = binning.point_cols();
+  for (size_t i = 0; i < n; ++i) {
+    const double w = weights[i];
+    if (w == 0.0) continue;
+    const size_t idx = static_cast<size_t>(point_rows[i]) * cols + point_cols[i];
+    if (scratch.cell_epoch[idx] != scratch.epoch) {
+      scratch.cell_epoch[idx] = scratch.epoch;
+      scratch.cells[idx] = w;
+      scratch.touched.push_back(idx);
+    } else {
+      scratch.cells[idx] += w;
+    }
   }
 
-  m->col_lo.resize(m->cols);
-  m->col_hi.resize(m->cols);
-  m->row_lo.resize(m->rows);
-  m->row_hi.resize(m->rows);
-  for (size_t c = 0; c < m->cols; ++c) {
-    Rect r = grid.CellRect(c, 0);
-    m->col_lo[c] = r.min_x();
-    m->col_hi[c] = r.max_x();
-  }
-  for (size_t r = 0; r < m->rows; ++r) {
-    Rect rr = grid.CellRect(0, r);
-    m->row_lo[r] = rr.min_y();
-    m->row_hi[r] = rr.max_y();
-  }
-  return Status::OK();
+  MaxRectResult result = SolveCells(binning, scratch);
+
+  // Touched-cell reset: restore the all-zero invariant at O(points).
+  for (size_t idx : scratch.touched) scratch.cells[idx] = 0.0;
+  return result;
 }
-
-}  // namespace
 
 StatusOr<MaxRectResult> MaxWeightRectangle(const std::vector<Point2D>& points,
                                            const std::vector<double>& weights,
@@ -241,18 +282,9 @@ StatusOr<MaxRectResult> MaxWeightRectangle(const std::vector<Point2D>& points,
     return Status::InvalidArgument("points/weights length mismatch");
   }
   if (points.empty()) return MaxRectResult{};
-
-  thread_local CellMatrix matrix;
-  if (options.mode == MaxRectOptions::Mode::kGrid) {
-    if (options.grid_cols == 0 || options.grid_rows == 0) {
-      return Status::InvalidArgument("grid resolution must be positive");
-    }
-    STB_RETURN_NOT_OK(BuildGridMatrix(points, weights, options.grid_cols,
-                                      options.grid_rows, &matrix));
-    return SolveCells(matrix);
-  }
-  BuildExactMatrix(points, weights, &matrix);
-  return SolveCells(matrix);
+  STB_ASSIGN_OR_RETURN(SpatialBinning binning,
+                       SpatialBinning::Create(points, options));
+  return MaxWeightRectangle(binning, weights);
 }
 
 }  // namespace stburst

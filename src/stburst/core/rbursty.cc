@@ -7,18 +7,18 @@
 namespace stburst {
 
 StatusOr<std::vector<BurstyRectangle>> RBursty(
-    const std::vector<Point2D>& positions, const std::vector<double>& burstiness,
+    const SpatialBinning& binning, std::span<const double> burstiness,
     const RBurstyOptions& options) {
-  if (positions.size() != burstiness.size()) {
-    return Status::InvalidArgument("positions/burstiness length mismatch");
+  if (binning.num_points() != burstiness.size()) {
+    return Status::InvalidArgument("binning/burstiness length mismatch");
   }
   std::vector<BurstyRectangle> out;
-  if (positions.empty()) return out;
+  if (burstiness.empty()) return out;
 
-  std::vector<double> weights = burstiness;
+  std::vector<double> weights(burstiness.begin(), burstiness.end());
   while (out.size() < options.max_rectangles) {
     STB_ASSIGN_OR_RETURN(MaxRectResult best,
-                         MaxWeightRectangle(positions, weights, options.rect));
+                         MaxWeightRectangle(binning, weights));
     if (best.score <= 0.0) break;
 
     BurstyRectangle rect;
@@ -35,6 +35,18 @@ StatusOr<std::vector<BurstyRectangle>> RBursty(
     out.push_back(std::move(rect));
   }
   return out;
+}
+
+StatusOr<std::vector<BurstyRectangle>> RBursty(
+    const std::vector<Point2D>& positions, const std::vector<double>& burstiness,
+    const RBurstyOptions& options) {
+  if (positions.size() != burstiness.size()) {
+    return Status::InvalidArgument("positions/burstiness length mismatch");
+  }
+  if (positions.empty()) return std::vector<BurstyRectangle>{};
+  STB_ASSIGN_OR_RETURN(SpatialBinning binning,
+                       SpatialBinning::Create(positions, options.rect));
+  return RBursty(binning, burstiness, options);
 }
 
 }  // namespace stburst

@@ -10,6 +10,7 @@
 #ifndef STBURST_CORE_RBURSTY_H_
 #define STBURST_CORE_RBURSTY_H_
 
+#include <span>
 #include <vector>
 
 #include "stburst/common/statusor.h"
@@ -37,8 +38,20 @@ struct RBurstyOptions {
 /// Runs Algorithm 1 on one snapshot: `positions[s]` is stream s's planar
 /// location and `burstiness[s]` its B(t, Dx[i]) score (Eq. 7). Rectangles
 /// come back in the order found, i.e. descending r-score.
+///
+/// Builds a SpatialBinning for the positions internally (shared across the
+/// iterative extractions of this one call); snapshot-at-a-time callers
+/// (STLocal) hold a standing binning and use the overload below instead.
 StatusOr<std::vector<BurstyRectangle>> RBursty(
     const std::vector<Point2D>& positions, const std::vector<double>& burstiness,
+    const RBurstyOptions& options = {});
+
+/// Same algorithm against a prebuilt binning of the stream positions
+/// (binning.num_points() must equal burstiness.size()). `options.rect` is
+/// ignored — the binning already fixes the cell geometry. Identical output
+/// to the position-based overload over the binning's point set.
+StatusOr<std::vector<BurstyRectangle>> RBursty(
+    const SpatialBinning& binning, std::span<const double> burstiness,
     const RBurstyOptions& options = {});
 
 }  // namespace stburst

@@ -1,33 +1,59 @@
 #include "stburst/core/stlocal.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "stburst/common/logging.h"
 
 namespace stburst {
 
-StLocal::StLocal(std::vector<Point2D> positions, StLocalOptions options)
-    : positions_(std::move(positions)), options_(options) {}
+StLocal::StLocal(std::vector<Point2D> positions, StLocalOptions options,
+                 const SpatialBinning* shared_binning)
+    : positions_(std::move(positions)),
+      num_streams_(positions_.size()),
+      options_(options),
+      binning_(shared_binning) {}
 
-Status StLocal::ProcessSnapshot(const std::vector<double>& burstiness) {
-  if (burstiness.size() != positions_.size()) {
+StLocal::StLocal(size_t num_streams, StLocalOptions options,
+                 const SpatialBinning& binning)
+    : num_streams_(num_streams), options_(options), binning_(&binning) {}
+
+Status StLocal::EnsureBinning() {
+  if (binning_ != nullptr) {
+    if (binning_->num_points() != num_streams_) {
+      return Status::InvalidArgument(
+          "shared binning does not cover this miner's streams");
+    }
+    return Status::OK();
+  }
+  STB_ASSIGN_OR_RETURN(SpatialBinning binning,
+                       SpatialBinning::Create(positions_, options_.rbursty.rect));
+  // Heap-owned so binning_ stays valid when the miner itself is moved.
+  own_binning_ = std::make_unique<SpatialBinning>(std::move(binning));
+  binning_ = own_binning_.get();
+  return Status::OK();
+}
+
+Status StLocal::ProcessSnapshot(std::span<const double> burstiness) {
+  if (burstiness.size() != num_streams_) {
     return Status::InvalidArgument("burstiness size does not match stream count");
   }
+  STB_RETURN_NOT_OK(EnsureBinning());
 
-  // Line 6: bursty rectangles of this snapshot.
+  // Line 6: bursty rectangles of this snapshot, against the standing
+  // binning (built once per miner, or shared across a whole vocabulary).
   STB_ASSIGN_OR_RETURN(std::vector<BurstyRectangle> rects,
-                       RBursty(positions_, burstiness, options_.rbursty));
+                       RBursty(*binning_, burstiness, options_.rbursty));
 
-  // Line 7: open a sequence for every newly seen region.
+  // Line 7: open a sequence for every newly seen region. The stream set is
+  // the map key and nothing else: try_emplace hashes the set it is handed
+  // and moves it in only on actual insertion — one lookup, zero copies.
   for (BurstyRectangle& r : rects) {
-    auto it = live_.find(r.streams);
-    if (it == live_.end()) {
-      Sequence seq;
-      seq.rect = r.rect;
-      seq.streams = r.streams;
-      seq.born = time_;
-      live_.emplace(std::move(r.streams), std::move(seq));
+    auto [it, inserted] = live_.try_emplace(std::move(r.streams));
+    if (inserted) {
+      it->second.rect = r.rect;
+      it->second.born = time_;
     }
   }
 
@@ -36,10 +62,10 @@ Status StLocal::ProcessSnapshot(const std::vector<double>& burstiness) {
   for (auto it = live_.begin(); it != live_.end();) {
     Sequence& seq = it->second;
     double r_score = 0.0;
-    for (StreamId s : seq.streams) r_score += burstiness[s];
+    for (StreamId s : it->first) r_score += burstiness[s];
     seq.segments.Add(r_score);
     if (seq.segments.total() < 0.0) {
-      Retire(seq);
+      Retire(it->first, seq);
       it = live_.erase(it);
     } else {
       ++it;
@@ -50,12 +76,12 @@ Status StLocal::ProcessSnapshot(const std::vector<double>& burstiness) {
   return Status::OK();
 }
 
-void StLocal::Retire(const Sequence& seq) {
+void StLocal::Retire(const std::vector<StreamId>& streams, const Sequence& seq) {
   for (const Segment& seg : seq.segments.CurrentSegments()) {
     if (seg.score <= options_.min_window_score) continue;
     SpatiotemporalWindow w;
     w.region = seq.rect;
-    w.streams = seq.streams;
+    w.streams = streams;
     w.timeframe = Interval{seq.born + static_cast<Timestamp>(seg.start),
                            seq.born + static_cast<Timestamp>(seg.end)};
     w.score = seg.score;
@@ -64,7 +90,7 @@ void StLocal::Retire(const Sequence& seq) {
 }
 
 std::vector<SpatiotemporalWindow> StLocal::Finish() {
-  for (const auto& [key, seq] : live_) Retire(seq);
+  for (const auto& [streams, seq] : live_) Retire(streams, seq);
   live_.clear();
   std::vector<SpatiotemporalWindow> out = finished_;
   std::sort(out.begin(), out.end(),
@@ -82,8 +108,9 @@ size_t StLocal::num_open_windows() const {
 
 OnlineRegionalMiner::OnlineRegionalMiner(std::vector<Point2D> positions,
                                          const ExpectedModelFactory& model_factory,
-                                         StLocalOptions options)
-    : miner_(std::move(positions), options) {
+                                         StLocalOptions options,
+                                         const SpatialBinning* shared_binning)
+    : miner_(std::move(positions), options, shared_binning) {
   models_.reserve(miner_.num_streams());
   for (size_t s = 0; s < miner_.num_streams(); ++s) {
     models_.push_back(model_factory());
@@ -123,17 +150,46 @@ Status OnlineRegionalMiner::PushFromIndex(const FrequencyIndex& index,
 
 StatusOr<std::vector<SpatiotemporalWindow>> MineRegionalPatterns(
     const TermSeries& series, const std::vector<Point2D>& positions,
-    const ExpectedModelFactory& model_factory, const StLocalOptions& options) {
+    const ExpectedModelFactory& model_factory, const StLocalOptions& options,
+    const SpatialBinning* shared_binning) {
   if (series.num_streams() != positions.size()) {
     return Status::InvalidArgument("series/positions stream count mismatch");
   }
-  OnlineRegionalMiner miner(positions, model_factory, options);
-  std::vector<double> column(series.num_streams());
-  for (Timestamp t = 0; t < series.timeline_length(); ++t) {
-    for (StreamId s = 0; s < series.num_streams(); ++s) {
-      column[s] = series.at(s, t);
+  const size_t n = series.num_streams();
+  const size_t timeline = static_cast<size_t>(series.timeline_length());
+
+  // Burstiness for the whole term, laid out time-major (snapshot t at
+  // [t*n, (t+1)*n)): each stream's causal model walks its row through a
+  // zero-copy span, and each snapshot is then a contiguous span — no
+  // per-snapshot strided column gather, no per-push allocation. Values are
+  // identical to pushing columns through OnlineRegionalMiner (same models,
+  // same observation order per stream).
+  std::vector<double> burstiness(n * timeline);
+  for (StreamId s = 0; s < n; ++s) {
+    std::unique_ptr<ExpectedFrequencyModel> model = model_factory();
+    const std::span<const double> row = series.StreamRow(s);
+    for (size_t t = 0; t < timeline; ++t) {
+      const double y = row[t];
+      burstiness[t * n + s] =
+          model->HasHistory() ? y - model->Expected() : 0.0;
+      model->Observe(y);
     }
-    STB_RETURN_NOT_OK(miner.Push(column));
+  }
+
+  // Resolve the binning here (caller's, or one build for this call) so the
+  // per-term StLocal never copies the positions vector.
+  std::optional<SpatialBinning> own_binning;
+  const SpatialBinning* binning = shared_binning;
+  if (binning == nullptr) {
+    STB_ASSIGN_OR_RETURN(own_binning,
+                         SpatialBinning::Create(positions, options.rbursty.rect));
+    binning = &*own_binning;
+  }
+
+  StLocal miner(n, options, *binning);
+  for (size_t t = 0; t < timeline; ++t) {
+    STB_RETURN_NOT_OK(miner.ProcessSnapshot(
+        std::span<const double>(burstiness.data() + t * n, n)));
   }
   return miner.Finish();
 }

@@ -34,14 +34,35 @@ struct StLocalOptions {
 
 /// Per-term online miner. Feed one snapshot of per-stream burstiness values
 /// per timestamp; call Finish() once the stream closes.
+///
+/// Binning: R-Bursty's cell geometry depends only on the positions, so the
+/// miner builds one SpatialBinning on the first snapshot and reuses it for
+/// its whole lifetime. Whole-vocabulary drivers that run one StLocal per
+/// term over the *same* positions (the batch miner) pass a shared binning
+/// instead, skipping even that one build per term.
 class StLocal {
  public:
-  /// `positions[s]` is the planar location of stream s.
-  explicit StLocal(std::vector<Point2D> positions, StLocalOptions options = {});
+  /// `positions[s]` is the planar location of stream s. `shared_binning`,
+  /// when non-null, must have been built via SpatialBinning::Create from
+  /// these positions and options.rbursty.rect, and must outlive the miner
+  /// (not owned); null makes the miner build its own.
+  explicit StLocal(std::vector<Point2D> positions, StLocalOptions options = {},
+                   const SpatialBinning* shared_binning = nullptr);
+
+  /// Positions-free variant for drivers that already hold the binning: the
+  /// geometry comes entirely from `binning` (which must cover exactly
+  /// `num_streams` points, outlive the miner, and match
+  /// options.rbursty.rect; not owned). Skips the per-miner positions copy —
+  /// the whole-vocabulary path constructs one StLocal per term.
+  StLocal(size_t num_streams, StLocalOptions options,
+          const SpatialBinning& binning);
 
   /// Processes the snapshot for the next timestamp. `burstiness[s]` is
   /// B(t, Dx[i]) per Eq. 7. Must match the stream count.
-  Status ProcessSnapshot(const std::vector<double>& burstiness);
+  Status ProcessSnapshot(std::span<const double> burstiness);
+  Status ProcessSnapshot(const std::vector<double>& burstiness) {
+    return ProcessSnapshot(std::span<const double>(burstiness));
+  }
 
   /// Retires all live sequences and returns every maximal window found, in
   /// descending w-score order. The miner can keep processing afterwards;
@@ -52,7 +73,7 @@ class StLocal {
   Timestamp current_time() const { return time_; }
 
   /// Streams this miner was constructed over.
-  size_t num_streams() const { return positions_.size(); }
+  size_t num_streams() const { return num_streams_; }
 
   /// Live region sequences (bounded by n·L in theory, tiny in practice —
   /// Figure 6's subject).
@@ -63,20 +84,28 @@ class StLocal {
 
  private:
   struct Sequence {
-    Rect rect;                      // geometry when first reported
-    std::vector<StreamId> streams;  // region identity (sorted)
-    Timestamp born = 0;             // timestamp of the first score
+    Rect rect;           // geometry when first reported
+    Timestamp born = 0;  // timestamp of the first score
     OnlineMaxSegments segments;
   };
 
-  /// Moves a sequence's maximal segments into finished_.
-  void Retire(const Sequence& seq);
+  /// Builds own_binning_ from the positions on first use (no-op when a
+  /// shared binning was supplied).
+  Status EnsureBinning();
 
-  std::vector<Point2D> positions_;
+  /// Moves a sequence's maximal segments into finished_. `streams` is the
+  /// region identity — the sequence's key in live_.
+  void Retire(const std::vector<StreamId>& streams, const Sequence& seq);
+
+  std::vector<Point2D> positions_;  // empty in the positions-free variant
+  size_t num_streams_ = 0;
   StLocalOptions options_;
   Timestamp time_ = 0;
+  const SpatialBinning* binning_ = nullptr;  // shared_binning or own_binning_
+  std::unique_ptr<SpatialBinning> own_binning_;  // stable across moves
   // Keyed by the region's canonical stream set so a region re-reported on a
-  // later snapshot extends its existing sequence.
+  // later snapshot extends its existing sequence. The key IS the region
+  // identity; sequences do not duplicate it.
   std::map<std::vector<StreamId>, Sequence> live_;
   std::vector<SpatiotemporalWindow> finished_;
 };
@@ -86,7 +115,8 @@ class StLocal {
 /// snapshots into burstiness values (Eq. 7) as they arrive. Push columns by
 /// hand or straight from a live-fed FrequencyIndex (PushFromIndex); the
 /// windows Finish() returns are identical to running MineRegionalPatterns
-/// over the same prefix. Single-threaded; one instance per (term, feed).
+/// over the same prefix (tested). Single-threaded; one instance per
+/// (term, feed).
 ///
 /// Retention: unlike OnlineStComb, this miner has no EvictBefore — the
 /// per-region Ruzzo–Tompa sequences and expected-frequency models
@@ -97,9 +127,12 @@ class StLocal {
 /// from the current window (ROADMAP: windowed regional watchlists).
 class OnlineRegionalMiner {
  public:
+  /// `shared_binning`: see StLocal — optional, not owned, must match the
+  /// positions and options.rbursty.rect.
   OnlineRegionalMiner(std::vector<Point2D> positions,
                       const ExpectedModelFactory& model_factory,
-                      StLocalOptions options = {});
+                      StLocalOptions options = {},
+                      const SpatialBinning* shared_binning = nullptr);
 
   /// Consumes the per-stream raw frequencies of the next timestamp. Must
   /// match the stream count. O(RBursty) per snapshot.
@@ -124,12 +157,15 @@ class OnlineRegionalMiner {
 };
 
 /// Convenience batch driver for one term: derives per-stream burstiness from
-/// the frequency matrix with a fresh expected-frequency model per stream,
-/// replays the timeline through StLocal (via OnlineRegionalMiner), and
-/// returns the maximal windows.
+/// the frequency matrix with a fresh expected-frequency model per stream
+/// (walking each stream's row through a zero-copy span, no per-snapshot
+/// column gather), replays the timeline through StLocal, and returns the
+/// maximal windows. Output is identical to pushing the columns through an
+/// OnlineRegionalMiner (tested). `shared_binning`: see StLocal.
 StatusOr<std::vector<SpatiotemporalWindow>> MineRegionalPatterns(
     const TermSeries& series, const std::vector<Point2D>& positions,
-    const ExpectedModelFactory& model_factory, const StLocalOptions& options = {});
+    const ExpectedModelFactory& model_factory, const StLocalOptions& options = {},
+    const SpatialBinning* shared_binning = nullptr);
 
 }  // namespace stburst
 

@@ -138,6 +138,10 @@ class FeedRuntime {
   FeedRuntimeOptions options_;
   Collection collection_;
   std::unique_ptr<ThreadPool> pool_;  // null when serial
+  // Standing stream-position binning for regional mining (null otherwise):
+  // built once at Create — stream positions never move — and lent to every
+  // re-mine via options_.miner.binning, so no tick rebuilds the geometry.
+  std::unique_ptr<SpatialBinning> binning_;
   FrequencyIndex index_;
   BatchMineResult result_;
   // Per-term bookkeeping for the refresh policy, indexed by TermId.

@@ -7,6 +7,7 @@
 #include <algorithm>
 
 #include "stburst/common/random.h"
+#include "stburst/common/simd.h"
 
 namespace stburst {
 namespace {
@@ -17,7 +18,7 @@ TEST(MaxWeightRectangle, RejectsMismatchedInput) {
 }
 
 TEST(MaxWeightRectangle, EmptyInput) {
-  auto r = MaxWeightRectangle({}, {});
+  auto r = MaxWeightRectangle(std::vector<Point2D>{}, {});
   ASSERT_TRUE(r.ok());
   EXPECT_DOUBLE_EQ(r->score, 0.0);
   EXPECT_TRUE(r->rect.empty());
@@ -216,6 +217,188 @@ TEST(MaxWeightRectangleGrid, RejectsZeroResolution) {
   opts.grid_cols = 0;
   EXPECT_TRUE(MaxWeightRectangle({{0, 0}}, {1.0}, opts).status()
                   .IsInvalidArgument());
+  EXPECT_TRUE(SpatialBinning::Create({{0, 0}}, opts).status()
+                  .IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Shared spatial binning: solving many weight vectors against one binning
+// must equal building the matrix per call, result for result.
+// ---------------------------------------------------------------------------
+
+void ExpectSameResult(const MaxRectResult& a, const MaxRectResult& b) {
+  EXPECT_EQ(a.score, b.score);  // exact: same floats, same fold order
+  EXPECT_EQ(a.rect, b.rect);
+  EXPECT_EQ(a.points_inside, b.points_inside);
+}
+
+std::vector<Point2D> RandomPoints(Rng& rng, size_t n) {
+  std::vector<Point2D> pts(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts[i] = Point2D{rng.Uniform(0, 30), rng.Uniform(0, 30)};
+    // Some coincident points, so cells aggregate several weights.
+    if (i > 0 && rng.Bernoulli(0.15)) pts[i] = pts[rng.NextUint64(i)];
+  }
+  return pts;
+}
+
+std::vector<double> RandomWeights(Rng& rng, size_t n) {
+  std::vector<double> w(n);
+  for (double& v : w) {
+    v = rng.Uniform(-2.0, 2.0);
+    if (rng.Bernoulli(0.1)) v = 0.0;              // zero-weight points
+    if (rng.Bernoulli(0.05)) v = kExcludedWeight;  // R-Bursty exclusions
+  }
+  return w;
+}
+
+class SpatialBinningParityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpatialBinningParityTest, SharedBinningMatchesPerCallConstruction) {
+  Rng rng(4000 + GetParam());
+  for (int mode = 0; mode < 2; ++mode) {
+    MaxRectOptions opts;
+    if (mode == 1) {
+      opts.mode = MaxRectOptions::Mode::kGrid;
+      opts.grid_cols = 16;
+      opts.grid_rows = 12;
+    }
+    const size_t n = 5 + rng.NextUint64(60);
+    std::vector<Point2D> pts = RandomPoints(rng, n);
+    auto binning = SpatialBinning::Create(pts, opts);
+    ASSERT_TRUE(binning.ok());
+    EXPECT_EQ(binning->num_points(), n);
+    // One binning, many snapshots — the mining access pattern.
+    for (int snapshot = 0; snapshot < 12; ++snapshot) {
+      std::vector<double> w = RandomWeights(rng, n);
+      auto per_call = MaxWeightRectangle(pts, w, opts);
+      auto shared = MaxWeightRectangle(*binning, w);
+      ASSERT_TRUE(per_call.ok());
+      ASSERT_TRUE(shared.ok());
+      ExpectSameResult(*per_call, *shared);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpatialBinningParityTest,
+                         ::testing::Range(0, 8));
+
+TEST(SpatialBinning, DegenerateLayoutsMatchPerCall) {
+  // Collinear and single-point layouts, where grid mode falls back to the
+  // exact compression; the binned path must take the identical fallback.
+  const std::vector<std::vector<Point2D>> layouts = {
+      {{0, 1}, {1, 1}, {2, 1}, {3, 1}},          // horizontal line
+      {{2, 0}, {2, 1}, {2, 5}, {2, 9}},          // vertical line
+      {{4, 4}},                                  // single point
+      {{1, 1}, {1, 1}, {1, 1}},                  // fully coincident
+  };
+  Rng rng(99);
+  for (const auto& pts : layouts) {
+    for (int mode = 0; mode < 2; ++mode) {
+      MaxRectOptions opts;
+      if (mode == 1) opts.mode = MaxRectOptions::Mode::kGrid;
+      auto binning = SpatialBinning::Create(pts, opts);
+      ASSERT_TRUE(binning.ok());
+      for (int snapshot = 0; snapshot < 6; ++snapshot) {
+        std::vector<double> w = RandomWeights(rng, pts.size());
+        auto per_call = MaxWeightRectangle(pts, w, opts);
+        auto shared = MaxWeightRectangle(*binning, w);
+        ASSERT_TRUE(per_call.ok());
+        ASSERT_TRUE(shared.ok());
+        ExpectSameResult(*per_call, *shared);
+      }
+    }
+  }
+}
+
+TEST(SpatialBinning, RejectsMismatchedWeights) {
+  auto binning = SpatialBinning::Create({{0, 0}, {1, 1}});
+  ASSERT_TRUE(binning.ok());
+  EXPECT_TRUE(MaxWeightRectangle(*binning, std::vector<double>{1.0})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SpatialBinning, EmptyPointSet) {
+  auto binning = SpatialBinning::Create({});
+  ASSERT_TRUE(binning.ok());
+  EXPECT_EQ(binning->rows(), 0u);
+  auto r = MaxWeightRectangle(*binning, std::span<const double>{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->rect.empty());
+}
+
+// ---------------------------------------------------------------------------
+// SIMD dispatch: the AVX2 and scalar SolveCells paths must produce
+// bit-identical rectangles, scores, and member lists — the kernels are
+// element-wise, so no fold is reassociated.
+// ---------------------------------------------------------------------------
+
+// Runs fn under both ISAs and returns (scalar, simd); restores the active
+// ISA afterwards.
+template <typename Fn>
+void ExpectIsaInvariant(const Fn& fn) {
+  const simd::Isa previous = simd::SetIsaForTest(simd::Isa::kScalar);
+  MaxRectResult scalar = fn();
+  simd::SetIsaForTest(simd::Isa::kAvx2);
+  MaxRectResult vectorized = fn();
+  simd::SetIsaForTest(previous);
+  EXPECT_EQ(scalar.score, vectorized.score);
+  EXPECT_EQ(scalar.rect, vectorized.rect);
+  EXPECT_EQ(scalar.points_inside, vectorized.points_inside);
+}
+
+TEST(SolveCellsSimd, ScalarAndAvx2BitIdentical) {
+  if (!simd::Avx2Supported()) {
+    GTEST_SKIP() << "CPU lacks AVX2; dispatch is scalar-only here";
+  }
+  Rng rng(31337);
+  // Shapes spanning the deployed range: tiny, 1-D/collinear (exact-mode
+  // single row/column), odd widths around the 4-lane boundary, a dense
+  // exact matrix, and a 64x64 grid.
+  struct Shape {
+    size_t n;
+    MaxRectOptions opts;
+    bool collinear;
+  };
+  std::vector<Shape> shapes;
+  for (size_t n : {1u, 3u, 4u, 5u, 17u, 63u, 200u}) {
+    shapes.push_back({n, MaxRectOptions{}, false});
+  }
+  shapes.push_back({33, MaxRectOptions{}, true});  // 1-D layout
+  {
+    MaxRectOptions grid;
+    grid.mode = MaxRectOptions::Mode::kGrid;
+    shapes.push_back({4096, grid, false});
+  }
+  for (const Shape& shape : shapes) {
+    std::vector<Point2D> pts(shape.n);
+    for (size_t i = 0; i < shape.n; ++i) {
+      pts[i] = Point2D{rng.Uniform(0, 100),
+                       shape.collinear ? 7.0 : rng.Uniform(0, 100)};
+    }
+    auto binning = SpatialBinning::Create(pts, shape.opts);
+    ASSERT_TRUE(binning.ok());
+    for (int snapshot = 0; snapshot < 5; ++snapshot) {
+      std::vector<double> w = RandomWeights(rng, shape.n);
+      ExpectIsaInvariant([&] {
+        auto r = MaxWeightRectangle(*binning, w);
+        EXPECT_TRUE(r.ok());
+        return r.ok() ? *r : MaxRectResult{};
+      });
+    }
+  }
+}
+
+TEST(Simd, ActiveIsaHonorsForcing) {
+  const simd::Isa previous = simd::SetIsaForTest(simd::Isa::kScalar);
+  EXPECT_EQ(simd::ActiveIsa(), simd::Isa::kScalar);
+  if (simd::Avx2Supported()) {
+    simd::SetIsaForTest(simd::Isa::kAvx2);
+    EXPECT_EQ(simd::ActiveIsa(), simd::Isa::kAvx2);
+  }
+  simd::SetIsaForTest(previous);
+  EXPECT_EQ(simd::ActiveIsa(), previous);
 }
 
 }  // namespace

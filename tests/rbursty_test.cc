@@ -16,7 +16,7 @@ TEST(RBursty, RejectsMismatchedInput) {
 }
 
 TEST(RBursty, EmptyAndAllNegative) {
-  auto none = RBursty({}, {});
+  auto none = RBursty(std::vector<Point2D>{}, {});
   ASSERT_TRUE(none.ok());
   EXPECT_TRUE(none->empty());
 

@@ -132,6 +132,43 @@ TEST(StLocal, OpenWindowCountsAreBounded) {
   }
 }
 
+TEST(StLocal, SharedBinningMatchesOwnBinning) {
+  // A miner handed a prebuilt binning of its positions must behave exactly
+  // like one that builds its own — the batch miner relies on this to share
+  // one binning across every term of a vocabulary.
+  Rng rng(21);
+  const size_t n = 9;
+  auto positions = LinePositions(n, 3.0);
+  auto binning = SpatialBinning::Create(positions);
+  ASSERT_TRUE(binning.ok());
+
+  StLocal own(positions);
+  StLocal shared(positions, {}, &*binning);
+  for (int t = 0; t < 50; ++t) {
+    std::vector<double> b(n);
+    for (auto& v : b) v = rng.Uniform(-1.0, 1.5);
+    ASSERT_TRUE(own.ProcessSnapshot(b).ok());
+    ASSERT_TRUE(shared.ProcessSnapshot(b).ok());
+    EXPECT_EQ(own.num_live_sequences(), shared.num_live_sequences());
+  }
+  auto a = own.Finish();
+  auto c = shared.Finish();
+  ASSERT_EQ(a.size(), c.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].region, c[i].region);
+    EXPECT_EQ(a[i].streams, c[i].streams);
+    EXPECT_EQ(a[i].timeframe, c[i].timeframe);
+    EXPECT_EQ(a[i].score, c[i].score);
+  }
+}
+
+TEST(StLocal, RejectsSharedBinningOfWrongSize) {
+  auto binning = SpatialBinning::Create(LinePositions(5));
+  ASSERT_TRUE(binning.ok());
+  StLocal miner(LinePositions(3), {}, &*binning);
+  EXPECT_TRUE(miner.ProcessSnapshot({0.1, 0.2, 0.3}).IsInvalidArgument());
+}
+
 TEST(MineRegionalPatterns, EndToEndWithExpectedModel) {
   // 5 streams on a line; streams 1-2 burst on [30, 39] over noisy background.
   Rng rng(9);
