@@ -1,9 +1,22 @@
 #!/usr/bin/env bash
 # CI helper: install GoogleTest from the Ubuntu source package. One script
 # shared by every job in ci.yml so the matrix cannot silently diverge.
+#
+# The built tree is staged under GTEST_STAGE (default ~/.cache/gtest-install)
+# so CI can cache it across runs, keyed on this script's hash: a warm stage
+# skips apt and the compile entirely and only copies the staged headers and
+# libraries into /usr/local.
 set -euo pipefail
-sudo apt-get update
-sudo apt-get install -y libgtest-dev cmake
-cmake -S /usr/src/googletest -B /tmp/gtest-build
-cmake --build /tmp/gtest-build -j "$(nproc)"
-sudo cmake --install /tmp/gtest-build
+
+STAGE="${GTEST_STAGE:-$HOME/.cache/gtest-install}"
+
+if [[ ! -f "$STAGE/.complete" ]]; then
+  sudo apt-get update
+  sudo apt-get install -y libgtest-dev cmake
+  cmake -S /usr/src/googletest -B /tmp/gtest-build
+  cmake --build /tmp/gtest-build -j "$(nproc)"
+  cmake --install /tmp/gtest-build --prefix "$STAGE"
+  touch "$STAGE/.complete"
+fi
+
+sudo cp -a "$STAGE/include" "$STAGE/lib" /usr/local/

@@ -751,6 +751,127 @@ int Run() {
                 simd::IsaName(simd::ActiveIsa()));
   }
 
+  // Retention-complete serving: the search index following a sliding window
+  // in place (Reopen -> EvictBefore -> append -> Finalize) versus the full
+  // rebuild it replaces, and a windowed regional watchlist's steady-state
+  // tick (push one snapshot + rebase to the window).
+  {
+    // A search-shaped index in steady state: W ticks of docs live, each doc
+    // scoring on a handful of Zipf-ish terms.
+    constexpr size_t kTerms = 20000;
+    constexpr size_t kDocsPerTick = 2000;
+    constexpr size_t kWindowTicks = 48;
+    Rng rng(97);
+    InvertedIndex live_index;
+    DocId next_doc = 0;
+    std::vector<TermId> doc_terms;
+    auto add_tick_docs = [&](InvertedIndex* idx) {
+      for (size_t d = 0; d < kDocsPerTick; ++d) {
+        const DocId doc = next_doc++;
+        const size_t hits = 2 + rng.NextUint64(5);
+        doc_terms.clear();
+        for (size_t h = 0; h < hits; ++h) {
+          TermId t = static_cast<TermId>(rng.NextUint64(kTerms));
+          if (rng.Bernoulli(0.5)) t = static_cast<TermId>(t % (kTerms / 8 + 1));
+          // Add() takes each (term, doc) pair at most once; colliding draws
+          // after the Zipf fold are simply dropped.
+          if (std::find(doc_terms.begin(), doc_terms.end(), t) !=
+              doc_terms.end()) {
+            continue;
+          }
+          doc_terms.push_back(t);
+          idx->Add(t, doc, rng.Uniform(0.01, 10.0));
+        }
+      }
+    };
+    for (size_t w = 0; w < kWindowTicks; ++w) add_tick_docs(&live_index);
+    live_index.Finalize();
+
+    // Min of three 8-tick windows (the state slides steadily, so windows
+    // are comparable) — single-window timing is too noisy for the 10% gate
+    // on a shared machine.
+    constexpr size_t kTicksPerWindow = 8;
+    size_t evicted_ticks = 0;
+    double evict_s = std::numeric_limits<double>::infinity();
+    for (int window = 0; window < 3; ++window) {
+      Timer t_evict;
+      for (size_t tick = 0; tick < kTicksPerWindow; ++tick) {
+        live_index.Reopen();
+        live_index.EvictBefore(
+            static_cast<DocId>(++evicted_ticks * kDocsPerTick));
+        add_tick_docs(&live_index);
+        live_index.Finalize();
+      }
+      evict_s = std::min(evict_s, t_evict.ElapsedSeconds());
+    }
+    report("inverted_reopen_evict",
+           evict_s * 1e9 / static_cast<double>(kTicksPerWindow),
+           live_index.total_postings());
+
+    // The rebuild it replaces: re-Add every surviving posting from scratch
+    // and freeze (scoring work excluded — this is the floor a rebuilding
+    // consumer pays even with scores in hand).
+    std::vector<std::vector<Posting>> frozen(kTerms);
+    for (TermId t = 0; t < kTerms; ++t) frozen[t] = live_index.postings(t);
+    double rebuild_ns = TimeNs([&] {
+      InvertedIndex rebuilt;
+      for (TermId t = 0; t < kTerms; ++t) {
+        for (const Posting& p : frozen[t]) rebuilt.Add(t, p.doc, p.score);
+      }
+      rebuilt.Finalize();
+    });
+    report("inverted_rebuild_after_evict", rebuild_ns,
+           live_index.total_postings());
+    const double evict_ns =
+        evict_s * 1e9 / static_cast<double>(kTicksPerWindow);
+    std::printf("  -> eviction-aware refreeze: %.2f ms/tick vs %.2f ms "
+                "rebuild (%.1fx)\n",
+                evict_ns / 1e6, rebuild_ns / 1e6, rebuild_ns / evict_ns);
+
+    // Windowed regional watchlist at corpus scale (181 streams): one
+    // steady-state tick = push the next snapshot + EvictBefore back to a
+    // 48-snapshot window (fresh models re-observe the window, per-region
+    // sequences replay from the rebased burstiness).
+    std::vector<Point2D> positions = corpus.StreamPositions();
+    const size_t n = positions.size();
+    constexpr Timestamp kWatchWindow = 48;
+    constexpr size_t kWatchTicks = 96;
+    Rng wrng(998);
+    std::vector<std::vector<double>> snaps;
+    for (size_t t = 0; t < kWatchWindow + kWatchTicks; ++t) {
+      std::vector<double> snap(n);
+      for (size_t s = 0; s < n; ++s) snap[s] = wrng.Exponential(1.0);
+      if ((t / 8) % 3 == 0) {
+        for (size_t s = 0; s < n / 6; ++s) snap[s] += 4.0;  // regional burst
+      }
+      snaps.push_back(std::move(snap));
+    }
+    OnlineRegionalMiner watch(positions, bench::MeanFactory());
+    for (size_t t = 0; t < kWatchWindow; ++t) {
+      if (!watch.Push(snaps[t]).ok()) return 1;
+    }
+    // Min of three windows over the steady-state ticks, as above.
+    constexpr size_t kWatchTicksPerWindow = kWatchTicks / 3;
+    double watch_s = std::numeric_limits<double>::infinity();
+    size_t consumed = 0;
+    for (int window = 0; window < 3; ++window) {
+      Timer t_watch;
+      for (size_t tick = 0; tick < kWatchTicksPerWindow; ++tick) {
+        if (!watch.Push(snaps[kWatchWindow + consumed++]).ok()) return 1;
+        if (!watch.EvictBefore(watch.current_time() - kWatchWindow).ok()) {
+          return 1;
+        }
+      }
+      watch_s = std::min(watch_s, t_watch.ElapsedSeconds());
+    }
+    report("watchlist_evict_tick",
+           watch_s * 1e9 / static_cast<double>(kWatchTicksPerWindow), n);
+    std::printf("  -> windowed regional watchlist: %.2f ms/tick "
+                "(%d-snapshot window, %zu streams)\n",
+                watch_s * 1e3 / static_cast<double>(kWatchTicksPerWindow),
+                kWatchWindow, n);
+  }
+
   perf.Write("BENCH_micro.json");
   return 0;
 }

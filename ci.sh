@@ -10,6 +10,13 @@
 #        BENCH_SOFT=1 RUN_BENCH=1 ./ci.sh  bench smoke: tooling errors gate,
 #                                          perf regressions only warn
 #        BENCH_BASELINE=path ./ci.sh     override the baseline file
+#        TEST_TIMEOUT=seconds ./ci.sh    per-test ctest timeout (default 600):
+#                                        a hung test fails its job instead of
+#                                        stalling it to the runner's limit
+#        NO_CCACHE=1 ./ci.sh             skip the ccache compiler launcher
+#                                        that is otherwise used when ccache
+#                                        is on PATH (CI caches the ccache
+#                                        default dir, ~/.cache/ccache)
 #
 # CC/CXX are honored as usual (the CI matrix sets gcc/clang through them).
 set -euo pipefail
@@ -29,10 +36,17 @@ fi
 if [[ "${SANITIZE:-0}" == "1" ]]; then
   CMAKE_ARGS+=("-DSTBURST_SANITIZE=ON")
 fi
+if [[ "${NO_CCACHE:-0}" != "1" ]] && command -v ccache >/dev/null 2>&1; then
+  CMAKE_ARGS+=("-DCMAKE_C_COMPILER_LAUNCHER=ccache"
+               "-DCMAKE_CXX_COMPILER_LAUNCHER=ccache")
+fi
 
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}"
 cmake --build "$BUILD_DIR" -j "$JOBS"
-ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error -j "$JOBS"
+# The per-test timeout turns a hang (a wedged windowed-feed test, a deadlock
+# under sanitizers) into a loud failure instead of a 6-hour runner stall.
+ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error -j "$JOBS" \
+      --timeout "${TEST_TIMEOUT:-600}"
 
 # The perf differ always runs its self-test so CI catches tooling rot even
 # when the (slower) benchmark pass is skipped.

@@ -4,15 +4,21 @@
 //
 //  1. Ingest a 30-week historical corpus.
 //  2. FeedRuntime::Create owns the stack: sharded index build, initial
-//     whole-vocabulary sweep, persistent thread pool.
+//     whole-vocabulary sweep, persistent thread pool, and (new) a
+//     maintained bursty-document search index over the standing patterns.
 //  3. Go live for 18 weeks. Every Tick: parallel append splice, retention
-//     eviction beyond the 36-week window, dirty-term re-mining, and a
+//     eviction beyond the 36-week window, dirty-term re-mining, a
 //     background refresh sweep that re-mines the stalest quiet terms
-//     (mass x staleness, 16 terms/tick). A watchlist OnlineStComb follows
-//     the same index, evicted in lockstep.
+//     (mass x staleness, 16 terms/tick), and the in-place search-index
+//     update. Two watchlists follow the same index, evicted in lockstep:
+//     an OnlineStComb (combinatorial) and an OnlineRegionalMiner
+//     (regional, bounded to the window by EvictBefore).
 //  4. Verify: the runtime's windowed index matches a from-scratch rebuild
-//     of the evicted collection, and the watchlist miner matches batch
-//     STComb over the retained window.
+//     of the evicted collection; the combinatorial watchlist matches batch
+//     STComb over the retained window; the regional watchlist matches
+//     MineRegionalPatterns over the same window; and the maintained search
+//     index matches a full BurstySearchEngine rebuild from the standing
+//     patterns.
 //
 // A burst of the watched term "storm" is injected into the clustered
 // streams during live weeks 36-40, so the weekly log shows the pattern
@@ -22,11 +28,15 @@
 // Run: ./build/examples/live_feed
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "stburst/common/random.h"
+#include "stburst/core/expected.h"
 #include "stburst/core/online_stcomb.h"
+#include "stburst/core/stlocal.h"
+#include "stburst/index/search_engine.h"
 #include "stburst/stream/feed_runtime.h"
 
 using namespace stburst;
@@ -88,6 +98,7 @@ int main() {
   opts.num_threads = 4;              // one standing pool for everything
   opts.retention_window = kRetentionWeeks;
   opts.refresh_budget = 16;          // stalest quiet terms re-mined per tick
+  opts.search_serving = SearchServing::kCombinatorial;  // live search index
   auto runtime = FeedRuntime::Create(std::move(*collection), opts);
   if (!runtime.ok()) {
     std::fprintf(stderr, "FeedRuntime::Create: %s\n",
@@ -101,10 +112,18 @@ int main() {
               runtime->collection().timeline_length(),
               runtime->result().terms_mined, runtime->result().terms_skipped);
 
-  // Watchlist miner on the same index, replaying the retained history.
+  // Watchlist miners on the same index, replaying the retained history: a
+  // combinatorial OnlineStComb and a windowed regional OnlineRegionalMiner.
   OnlineStComb watch(runtime->collection().num_streams(), opts.miner.stcomb);
+  const std::vector<Point2D> positions =
+      runtime->collection().StreamPositions();
+  const ExpectedModelFactory mean_model = [] {
+    return std::make_unique<GlobalMeanModel>();
+  };
+  OnlineRegionalMiner regional_watch(positions, mean_model);
   while (watch.current_time() < runtime->index().timeline_length()) {
     if (!watch.PushFromIndex(runtime->index(), storm).ok()) return 1;
+    if (!regional_watch.PushFromIndex(runtime->index(), storm).ok()) return 1;
   }
 
   // --- 3. Go live ---------------------------------------------------------
@@ -139,9 +158,13 @@ int main() {
       std::fprintf(stderr, "Tick: %s\n", stats.status().ToString().c_str());
       return 1;
     }
-    // The watchlist follows the index and its sliding window in lockstep.
+    // The watchlists follow the index and its sliding window in lockstep;
+    // the regional miner's EvictBefore rebases its expected models and
+    // per-region sequences to the window, keeping it bounded-memory.
     if (!watch.PushFromIndex(runtime->index(), storm).ok()) return 1;
     if (!watch.EvictBefore(runtime->window_start()).ok()) return 1;
+    if (!regional_watch.PushFromIndex(runtime->index(), storm).ok()) return 1;
+    if (!regional_watch.EvictBefore(runtime->window_start()).ok()) return 1;
 
     auto patterns = watch.CurrentPatterns();
     std::string state = "-";
@@ -190,6 +213,59 @@ int main() {
   std::printf("online watchlist vs batch STComb over the window: %s\n",
               same ? "identical patterns" : "MISMATCH");
 
+  // The regional watchlist, evicted in lockstep, vs batch regional mining
+  // over the windowed dense series (same shift to absolute timestamps).
+  auto batch_regional =
+      MineRegionalPatterns(live_index.DenseSeries(storm), positions, mean_model);
+  bool regional_same = batch_regional.ok();
+  if (regional_same) {
+    auto online_windows = regional_watch.Finish();
+    regional_same = batch_regional->size() == online_windows.size();
+    for (size_t i = 0; regional_same && i < online_windows.size(); ++i) {
+      regional_same =
+          (*batch_regional)[i].streams == online_windows[i].streams &&
+          (*batch_regional)[i].timeframe.start + origin ==
+              online_windows[i].timeframe.start &&
+          (*batch_regional)[i].timeframe.end + origin ==
+              online_windows[i].timeframe.end;
+    }
+  }
+  std::printf("regional watchlist vs batch STLocal over the window: %s\n",
+              regional_same ? "identical windows" : "MISMATCH");
+
+  // The maintained search index vs a full engine rebuild from the standing
+  // patterns — and a live query for the watched term.
+  PatternIndex standing;
+  for (TermId t = 0; t < runtime->result().terms.size(); ++t) {
+    for (const auto& p : runtime->result().terms[t].combinatorial) {
+      standing.AddCombinatorial(t, p);
+    }
+  }
+  auto engine = BurstySearchEngine::Build(runtime->collection(), standing);
+  const InvertedIndex* live_search = runtime->search_index();
+  bool search_same =
+      live_search != nullptr &&
+      live_search->total_postings() == engine.index().total_postings();
+  for (TermId t = 0; search_same && t < live_search->num_terms(); ++t) {
+    const auto& a = live_search->postings(t);
+    const auto& b = engine.index().postings(t);
+    search_same = a.size() == b.size();
+    for (size_t i = 0; search_same && i < a.size(); ++i) {
+      search_same = a[i].doc == b[i].doc && a[i].score == b[i].score;
+    }
+  }
+  std::printf("maintained search index vs full engine rebuild: %s\n",
+              search_same ? "bit-identical" : "MISMATCH");
+  auto top = runtime->Search("storm", 3);
+  std::printf("top \"storm\" docs (generation %llu):",
+              static_cast<unsigned long long>(top.generation));
+  for (const ScoredDoc& d : top.docs) {
+    const Document& doc = runtime->collection().document(d.doc);
+    std::printf("  doc %u (stream %u, week %d, score %.2f)", d.doc, doc.stream,
+                doc.time, d.score);
+  }
+  std::printf("\n");
+
   // The standing result keeps absolute timestamps: the storm slot should
   // still report the burst even after the window slid past its start.
   const TermPatterns& slot = runtime->patterns(storm);
@@ -201,5 +277,5 @@ int main() {
                 slot.combinatorial[0].streams.size(),
                 runtime->staleness(storm));
   }
-  return (identical && same) ? 0 : 1;
+  return (identical && same && regional_same && search_same) ? 0 : 1;
 }

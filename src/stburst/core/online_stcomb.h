@@ -57,6 +57,13 @@ class OnlineStComb {
   /// miner evicted in lockstep with its FrequencyIndex holds O(window)
   /// memory per stream instead of the full feed history. cutoff <=
   /// window_start() is a no-op; cutoff beyond current_time() is OutOfRange.
+  ///
+  /// This is the shared watchlist eviction contract (docs/ARCHITECTURE.md,
+  /// retention rules 2 and 8): evict-then-continue equals a fresh miner
+  /// over the windowed series, timestamps absolute. OnlineRegionalMiner::
+  /// EvictBefore makes the same promise for regional watchlists (there the
+  /// rebase must also rebuild the expected-frequency models and replay the
+  /// per-region sequences, not just re-sum masses).
   Status EvictBefore(Timestamp cutoff);
 
   /// First retained timestamp (0 until EvictBefore advances it).

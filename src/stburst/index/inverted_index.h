@@ -32,7 +32,10 @@ struct Posting {
 class InvertedIndex {
  public:
   /// Records that `doc` scores `score` for `term`. Must precede Finalize()
-  /// (or follow a Reopen()). Amortized O(1).
+  /// (or follow a Reopen()). Each (term, doc) pair must be added at most
+  /// once per lifetime of the term's postings — to change a frozen term's
+  /// scores, ClearTerm() it and re-Add (re-adding a still-listed pair keeps
+  /// the first-frozen score in the random-access map). Amortized O(1).
   void Add(TermId term, DocId doc, double score);
 
   /// Sorts posting lists and builds the random-access maps. Idempotent.
@@ -44,6 +47,27 @@ class InvertedIndex {
   /// Re-opens a finalized index so Add() is legal again. Queries are
   /// rejected until the next Finalize(). No-op when already open.
   void Reopen();
+
+  /// Eviction-aware edit: removes every posting whose doc precedes
+  /// `min_live_doc` — the in-place follow-up to a prefix eviction
+  /// (Collection::EvictBefore with EvictionReport::ids_preserved, where
+  /// surviving documents keep their ids). Erasure preserves each term's
+  /// score order, so nothing is re-sorted, and the evicted docs are known
+  /// exactly, so the random-access maps pay O(evicted) targeted erases —
+  /// no per-term rebuild. Requires the index to be open (Reopen() first);
+  /// the next Finalize() bumps generation() for the whole edit batch,
+  /// exactly as an append-only refreeze would, so cached query results are
+  /// invalidated the same way. O(total postings) scan + O(evicted) map
+  /// erases — no collection re-scan, no re-scoring (bench:
+  /// inverted_reopen_evict).
+  void EvictBefore(DocId min_live_doc);
+
+  /// Drops all postings of `term` (marking it dirty for the next
+  /// Finalize()) so a consumer can re-derive them from fresh pattern state
+  /// — the per-term replacement path FeedRuntime's search serving takes
+  /// when a term is re-mined. Requires the index to be open. O(postings of
+  /// the term).
+  void ClearTerm(TermId term);
 
   /// Monotone freeze counter, bumped by every completing Finalize().
   /// Consumers cache it alongside derived results (top-k lists, pattern

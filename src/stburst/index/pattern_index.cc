@@ -26,17 +26,22 @@ const std::vector<TermPattern>& PatternIndex::PatternsFor(TermId term) const {
   return patterns_[term];
 }
 
-bool PatternIndex::MaxOverlapScore(TermId term, StreamId stream, Timestamp time,
-                                   double* score) const {
+bool MaxOverlapScore(std::span<const TermPattern> patterns, StreamId stream,
+                     Timestamp time, double* score) {
   bool any = false;
   double best = 0.0;
-  for (const TermPattern& p : PatternsFor(term)) {
+  for (const TermPattern& p : patterns) {
     if (!p.Overlaps(stream, time)) continue;
     if (!any || p.score > best) best = p.score;
     any = true;
   }
   if (any) *score = best;
   return any;
+}
+
+bool PatternIndex::MaxOverlapScore(TermId term, StreamId stream, Timestamp time,
+                                   double* score) const {
+  return stburst::MaxOverlapScore(PatternsFor(term), stream, time, score);
 }
 
 }  // namespace stburst

@@ -10,6 +10,7 @@
 #define STBURST_INDEX_PATTERN_INDEX_H_
 
 #include <algorithm>
+#include <span>
 #include <vector>
 
 #include "stburst/core/interval.h"
@@ -31,6 +32,14 @@ struct TermPattern {
            std::binary_search(streams.begin(), streams.end(), stream);
   }
 };
+
+/// Eq. 11 with f = max over an explicit pattern list (the per-term slice a
+/// live maintainer holds — FeedRuntime's search serving): the maximum score
+/// among `patterns` overlapping a document from `stream` at `time`; false
+/// when none does. Every pattern's stream list must be sorted (TermPattern's
+/// invariant).
+bool MaxOverlapScore(std::span<const TermPattern> patterns, StreamId stream,
+                     Timestamp time, double* score);
 
 /// Per-term pattern lists. The engine is built for one pattern type at a
 /// time (§5: "a separate instance is required for each type").

@@ -37,6 +37,28 @@ BurstySearchEngine BurstySearchEngine::Build(const Collection& collection,
   return engine;
 }
 
+void IndexTermDocuments(const Collection& collection,
+                        const FrequencyIndex& freq, TermId term,
+                        std::span<const TermPattern> patterns,
+                        InvertedIndex* index) {
+  if (patterns.empty()) return;  // no pattern can overlap: no postings
+  for (const TermPosting& cell : freq.postings(term)) {
+    double burst_score;
+    if (!MaxOverlapScore(patterns, cell.stream, cell.time, &burst_score)) {
+      continue;
+    }
+    for (DocId id : collection.DocumentsAt(cell.stream, cell.time)) {
+      const Document& doc = collection.document(id);
+      size_t count = 0;
+      for (TermId token : doc.tokens) count += token == term ? 1 : 0;
+      if (count == 0) continue;  // another doc of the cell carries the term
+      const double entry =
+          Relevance(static_cast<double>(count)) * burst_score;
+      if (entry > 0.0) index->Add(term, id, entry);
+    }
+  }
+}
+
 TopKResult BurstySearchEngine::Search(const std::string& query, size_t k) const {
   return Search(tokenizer_.TokenizeFrozen(query, collection_->vocabulary()), k);
 }

@@ -15,6 +15,7 @@
 #define STBURST_INDEX_SEARCH_ENGINE_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "stburst/index/pattern_index.h"
 #include "stburst/index/threshold_algorithm.h"
 #include "stburst/stream/collection.h"
+#include "stburst/stream/frequency.h"
 #include "stburst/stream/tokenizer.h"
 
 namespace stburst {
@@ -63,6 +65,22 @@ class BurstySearchEngine {
 
 /// relevance(d, t) of Eq. 10 for a raw term frequency.
 double Relevance(double term_frequency);
+
+/// Recomputes the search postings of one term, term-major: every retained
+/// document containing `term` — found through the frequency index's sparse
+/// postings and the collection's per-(stream, timestamp) document lists —
+/// is scored relevance × max pattern overlap, and positive entries are
+/// Add()ed to `index`. The index must be open and hold no postings for the
+/// term (ClearTerm first when replacing). This is the incremental path a
+/// live maintainer (FeedRuntime's search serving) takes when a term's
+/// patterns change: postings produced this way are identical to the ones
+/// BurstySearchEngine::Build derives doc-major from the same pattern state
+/// (tested). `freq` must be in sync with `collection` (same windowed feed).
+/// O(Σ docs at the term's nonzero cells × tokens per doc).
+void IndexTermDocuments(const Collection& collection,
+                        const FrequencyIndex& freq, TermId term,
+                        std::span<const TermPattern> patterns,
+                        InvertedIndex* index);
 
 }  // namespace stburst
 

@@ -79,13 +79,22 @@ StatusOr<Timestamp> Collection::Append(Snapshot snapshot) {
   return time;
 }
 
-Status Collection::EvictBefore(Timestamp cutoff) {
+Status Collection::EvictBefore(Timestamp cutoff, EvictionReport* report) {
+  if (report != nullptr) {
+    // Filled for the no-op and error paths too, so a caller can always read
+    // a coherent "nothing moved" report.
+    report->cutoff = window_start_;
+    report->evicted_documents = 0;
+    report->doc_id_base = doc_id_base_;
+    report->ids_preserved = true;
+  }
   if (cutoff <= window_start_) return Status::OK();
   if (cutoff > timeline_length_) {
     return Status::OutOfRange(
         StringPrintf("eviction cutoff %d beyond timeline %d", cutoff,
                      timeline_length_));
   }
+  const size_t docs_before = documents_.size();
 
   const size_t drop = static_cast<size_t>(cutoff - window_start_);
   const bool prefix_evictable = docs_time_ordered_;
@@ -132,6 +141,12 @@ Status Collection::EvictBefore(Timestamp cutoff) {
       docs_at_[doc.stream][static_cast<size_t>(doc.time - window_start_)]
           .push_back(doc.id);
     }
+  }
+  if (report != nullptr) {
+    report->cutoff = window_start_;
+    report->evicted_documents = docs_before - documents_.size();
+    report->doc_id_base = doc_id_base_;
+    report->ids_preserved = prefix_evictable;
   }
   return Status::OK();
 }

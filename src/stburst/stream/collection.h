@@ -39,6 +39,28 @@ struct SnapshotDocument {
 /// reported nothing.
 using Snapshot = std::vector<SnapshotDocument>;
 
+/// How one Collection::EvictBefore changed the DocId space — the contract
+/// DocId-keyed consumers (search indexes) use to follow an eviction
+/// incrementally instead of rebuilding (see docs/ARCHITECTURE.md, retention
+/// rule 4).
+struct EvictionReport {
+  /// The new window_start(): first retained timestamp.
+  Timestamp cutoff = 0;
+  /// Documents dropped by this eviction (0 for a no-op cutoff).
+  size_t evicted_documents = 0;
+  /// The new doc_id_base(): live ids are [doc_id_base, doc_id_base +
+  /// num_documents()).
+  DocId doc_id_base = 0;
+  /// True when the evicted documents were exactly the id-prefix
+  /// [old base, new base) and every surviving document kept its id — the
+  /// time-ordered fast path every Append-driven feed takes. A DocId-keyed
+  /// index then only drops entries with doc < doc_id_base, in place
+  /// (InvertedIndex::EvictBefore). False means survivors were renumbered
+  /// densely (out-of-order historical ingest): previously handed-out ids
+  /// are meaningless and DocId-keyed state must rebuild.
+  bool ids_preserved = false;
+};
+
 /// A spatiotemporal collection: streams, an interned vocabulary, and the
 /// documents each stream reported per timestamp. Timestamps are 0-based; the
 /// timeline starts at the length given to Create() and grows one timestamp
@@ -83,13 +105,19 @@ class Collection {
   StatusOr<Timestamp> Append(Snapshot snapshot);
 
   /// Drops every document (and per-stream slot) of timestamps before
-  /// `cutoff`, advancing window_start(). Surviving documents are renumbered
-  /// densely starting at doc_id_base() — their relative order is preserved,
-  /// but previously handed-out DocIds are invalidated (rebuild DocId-keyed
-  /// indexes, or key them by generation). The vocabulary and streams are
-  /// never evicted. cutoff <= window_start() is a no-op; cutoff beyond the
-  /// timeline is OutOfRange. O(retained documents + streams · window).
-  Status EvictBefore(Timestamp cutoff);
+  /// `cutoff`, advancing window_start(). On the time-ordered fast path
+  /// (Append-driven feeds) surviving documents keep their ids; otherwise
+  /// survivors are renumbered densely starting at doc_id_base() — their
+  /// relative order is preserved, but previously handed-out DocIds are
+  /// invalidated. `report`, when non-null, receives which of the two
+  /// happened so DocId-keyed consumers (search indexes) can follow the
+  /// eviction in place instead of rebuilding. The vocabulary and streams
+  /// are never evicted. cutoff <= window_start() is a no-op (reported as
+  /// zero evictions with ids preserved); cutoff beyond the timeline is
+  /// OutOfRange. Both paths move O(retained documents + streams · window)
+  /// elements; the fast path additionally skips the renumbering pass and
+  /// the per-document docs_at_ re-filing.
+  Status EvictBefore(Timestamp cutoff, EvictionReport* report = nullptr);
 
   /// First retained timestamp: 0 until EvictBefore advances it. Documents
   /// and DocumentsAt() exist only for times in

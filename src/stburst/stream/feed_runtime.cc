@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "stburst/common/logging.h"
 #include "stburst/common/timer.h"
+#include "stburst/index/search_engine.h"
 
 namespace stburst {
 
@@ -29,6 +31,18 @@ StatusOr<FeedRuntime> FeedRuntime::Create(Collection collection,
                                           FeedRuntimeOptions options) {
   if (options.retention_window < 0) {
     return Status::InvalidArgument("retention window must be non-negative");
+  }
+  // A search index over a pattern type the miner never produces would
+  // silently serve zero results forever.
+  if (options.search_serving == SearchServing::kCombinatorial &&
+      !options.miner.mine_combinatorial) {
+    return Status::InvalidArgument(
+        "search_serving = kCombinatorial requires miner.mine_combinatorial");
+  }
+  if (options.search_serving == SearchServing::kRegional &&
+      !options.miner.mine_regional) {
+    return Status::InvalidArgument(
+        "search_serving = kRegional requires miner.mine_regional");
   }
   FeedRuntime runtime(std::move(collection), std::move(options));
 
@@ -66,6 +80,13 @@ StatusOr<FeedRuntime> FeedRuntime::Create(Collection collection,
   for (TermId t = 0; t < runtime.index_.num_terms(); ++t) {
     runtime.mass_[t] = runtime.index_.TotalCount(t);
   }
+
+  // Initial search build: retention was already applied above, so the index
+  // covers exactly the retained window and every DocId it holds is live.
+  if (runtime.options_.search_serving != SearchServing::kNone) {
+    runtime.RebuildSearchIndex();
+    runtime.search_index_.Finalize();
+  }
   return runtime;
 }
 
@@ -78,10 +99,11 @@ StatusOr<FeedTickStats> FeedRuntime::Tick(Snapshot snapshot) {
   STB_RETURN_NOT_OK(index_.AppendSnapshot(collection_, pool_.get()));
 
   const Timestamp window = options_.retention_window;
+  EvictionReport eviction;
   if (window > 0 && collection_.timeline_length() > window) {
     const Timestamp cutoff = collection_.timeline_length() - window;
     if (cutoff > index_.window_start()) {
-      STB_RETURN_NOT_OK(collection_.EvictBefore(cutoff));
+      STB_RETURN_NOT_OK(collection_.EvictBefore(cutoff, &eviction));
       STB_RETURN_NOT_OK(index_.EvictBefore(cutoff, pool_.get()));
       stats.evicted = true;
     }
@@ -95,10 +117,47 @@ StatusOr<FeedTickStats> FeedRuntime::Tick(Snapshot snapshot) {
   stats.dirty_terms = dirty.size();
   STB_RETURN_NOT_OK(Remine(dirty));
 
+  std::vector<TermId> refreshed;
   if (options_.refresh_budget > 0) {
-    std::vector<TermId> targets = PickRefreshTargets();
-    stats.refreshed_terms = targets.size();
-    STB_RETURN_NOT_OK(Remine(targets));
+    refreshed = PickRefreshTargets();
+    stats.refreshed_terms = refreshed.size();
+    STB_RETURN_NOT_OK(Remine(refreshed));
+  }
+
+  // Search maintenance: one Reopen→edit→Finalize cycle per editing tick —
+  // evicted documents leave in place (their terms lost postings and are
+  // re-derived below anyway; the in-place drop keeps the index structurally
+  // free of dead DocIds whatever the dirty bookkeeping says), then exactly
+  // the re-mined slots are re-scored. Quiet terms' postings stay exact:
+  // their docs, frequencies, and standing patterns are all unchanged. A
+  // tick with nothing to edit skips the cycle entirely, so generation()
+  // moves only when the index could have changed (the documented cache-
+  // invalidation contract).
+  if (options_.search_serving != SearchServing::kNone &&
+      (stats.evicted || !dirty.empty() || !refreshed.empty())) {
+    search_index_.Reopen();
+    bool rebuilt_all = false;
+    if (stats.evicted) {
+      if (eviction.ids_preserved) {
+        search_index_.EvictBefore(eviction.doc_id_base);
+      } else {
+        // Out-of-order historical ingest: survivors were renumbered, so
+        // every DocId in the search index is stale. Never reached on an
+        // Append-driven feed. The rebuild runs after Remine, so it scores
+        // every term — including the dirty and refreshed ones — against
+        // its current slot; re-deriving them again below would be pure
+        // duplicate work.
+        RebuildSearchIndex();
+        rebuilt_all = true;
+      }
+    }
+    if (!rebuilt_all) {
+      for (TermId t : dirty) UpdateSearchTerm(t);
+      for (TermId t : refreshed) UpdateSearchTerm(t);
+    }
+    stats.search_terms =
+        rebuilt_all ? index_.num_terms() : dirty.size() + refreshed.size();
+    search_index_.Finalize();
   }
 
   stats.seconds = timer.ElapsedSeconds();
@@ -163,6 +222,48 @@ std::vector<TermId> FeedRuntime::PickRefreshTargets() const {
   targets.reserve(budget);
   for (size_t i = 0; i < budget; ++i) targets.push_back(candidates[i].second);
   return targets;
+}
+
+void FeedRuntime::UpdateSearchTerm(TermId term) {
+  search_index_.ClearTerm(term);
+  term_patterns_scratch_.clear();
+  if (term < result_.terms.size()) {
+    const TermPatterns& slot = result_.terms[term];
+    if (options_.search_serving == SearchServing::kCombinatorial) {
+      for (const CombinatorialPattern& p : slot.combinatorial) {
+        term_patterns_scratch_.push_back(
+            TermPattern{p.streams, p.timeframe, p.score});
+      }
+    } else {
+      for (const SpatiotemporalWindow& w : slot.regional) {
+        term_patterns_scratch_.push_back(
+            TermPattern{w.streams, w.timeframe, w.score});
+      }
+    }
+    // TermPattern's overlap test binary-searches the stream list; the
+    // miners already emit sorted stream sets, but sort defensively — the
+    // lists are tiny and Build (via PatternIndex::Add) does the same.
+    for (TermPattern& p : term_patterns_scratch_) {
+      std::sort(p.streams.begin(), p.streams.end());
+    }
+  }
+  IndexTermDocuments(collection_, index_, term, term_patterns_scratch_,
+                     &search_index_);
+}
+
+void FeedRuntime::RebuildSearchIndex() {
+  for (TermId t = 0; t < index_.num_terms(); ++t) UpdateSearchTerm(t);
+}
+
+TopKResult FeedRuntime::Search(const std::string& query, size_t k) const {
+  return Search(tokenizer_.TokenizeFrozen(query, collection_.vocabulary()), k);
+}
+
+TopKResult FeedRuntime::Search(const std::vector<TermId>& query,
+                               size_t k) const {
+  STB_CHECK(options_.search_serving != SearchServing::kNone)
+      << "Search requires FeedRuntimeOptions::search_serving";
+  return ThresholdTopK(search_index_, query, k);
 }
 
 const TermPatterns& FeedRuntime::patterns(TermId term) const {

@@ -17,6 +17,11 @@
 //     5. background refresh sweep         re-mine the stalest quiet terms,
 //                                         prioritized by mass × staleness,
 //                                         under the per-tick budget
+//     6. search-index maintenance         [optional] drop evicted documents'
+//                                         postings in place and re-derive
+//                                         the postings of every term
+//                                         re-mined this tick, in one
+//                                         Reopen→Finalize generation bump
 //
 // With a retention window W, live memory is O(V + W · active terms) and a
 // long-running feed plateaus (tested: peak postings memory stays within
@@ -32,16 +37,29 @@
 #define STBURST_STREAM_FEED_RUNTIME_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "stburst/common/parallel.h"
 #include "stburst/common/statusor.h"
 #include "stburst/core/batch_miner.h"
+#include "stburst/index/inverted_index.h"
+#include "stburst/index/pattern_index.h"
+#include "stburst/index/threshold_algorithm.h"
 #include "stburst/stream/collection.h"
 #include "stburst/stream/frequency.h"
+#include "stburst/stream/tokenizer.h"
 #include "stburst/stream/types.h"
 
 namespace stburst {
+
+/// Which mined pattern type the runtime's optional search index scores
+/// documents against (§5: one engine instance per pattern type).
+enum class SearchServing {
+  kNone,           ///< no search index is maintained
+  kCombinatorial,  ///< score against the standing STComb patterns
+  kRegional,       ///< score against the standing STLocal windows
+};
 
 struct FeedRuntimeOptions {
   /// Per-term mining configuration. `miner.pool` and `miner.num_threads`
@@ -59,6 +77,17 @@ struct FeedRuntimeOptions {
   /// pattern timeframes stay absolute). 0 keeps the full history
   /// (unbounded memory — the PR-2 behavior).
   Timestamp retention_window = 0;
+
+  /// Maintain a bursty-document search index (paper §5) over the standing
+  /// result, updated on every tick: evicted documents' postings are dropped
+  /// in place (InvertedIndex::EvictBefore — DocIds survive eviction on the
+  /// Append-driven fast path), and exactly the terms whose slots were
+  /// re-mined this tick (dirty + refreshed) get their postings re-derived —
+  /// so Search() is always window-consistent with result() (tested: equal
+  /// to a from-scratch BurstySearchEngine build over the retained
+  /// collection and standing patterns). Each tick's update is one
+  /// Reopen→edit→Finalize cycle, bumping search_index()->generation() once.
+  SearchServing search_serving = SearchServing::kNone;
 
   /// Background refresh budget: quiet terms re-mined per tick, stalest
   /// first (priority = total windowed mass × ticks since last mine, ties to
@@ -79,6 +108,7 @@ struct FeedTickStats {
   size_t documents = 0;        ///< documents filed from the snapshot
   size_t dirty_terms = 0;      ///< terms re-mined for new/evicted postings
   size_t refreshed_terms = 0;  ///< quiet terms re-mined by the sweep
+  size_t search_terms = 0;     ///< terms whose search postings were re-derived
   bool evicted = false;        ///< whether retention advanced the window
   double seconds = 0.0;        ///< wall time of the whole tick
 };
@@ -119,6 +149,24 @@ class FeedRuntime {
   /// search-index rebuild); nullptr when the runtime is serial.
   ThreadPool* pool() { return pool_.get(); }
 
+  /// The maintained search index — window-consistent with result() after
+  /// every Tick; nullptr when options.search_serving is kNone. Cached query
+  /// results are keyed by its generation(), which moves once per tick that
+  /// edited the index.
+  const InvertedIndex* search_index() const {
+    return options_.search_serving == SearchServing::kNone ? nullptr
+                                                           : &search_index_;
+  }
+
+  /// Top-k bursty documents for a raw query string (tokenized against the
+  /// collection's vocabulary; unknown words are dropped) over the
+  /// maintained search index. Requires search serving; safe to call
+  /// concurrently between ticks.
+  TopKResult Search(const std::string& query, size_t k) const;
+
+  /// Top-k for pre-resolved term ids.
+  TopKResult Search(const std::vector<TermId>& query, size_t k) const;
+
   Timestamp window_start() const { return index_.window_start(); }
 
   /// Ticks since `term`'s slot was last (re-)mined: 0 right after its mine,
@@ -135,6 +183,15 @@ class FeedRuntime {
   /// Picks the refresh_budget stalest massy quiet terms, deterministically.
   std::vector<TermId> PickRefreshTargets() const;
 
+  /// Replaces the open search index's postings of one term, scoring the
+  /// term's retained documents against its standing slot.
+  void UpdateSearchTerm(TermId term);
+
+  /// Re-derives every term's search postings (the fallback when an eviction
+  /// renumbered DocIds — never on an Append-driven feed). The index object
+  /// is edited, not replaced, so generation() stays monotone.
+  void RebuildSearchIndex();
+
   FeedRuntimeOptions options_;
   Collection collection_;
   std::unique_ptr<ThreadPool> pool_;  // null when serial
@@ -144,6 +201,12 @@ class FeedRuntime {
   std::unique_ptr<SpatialBinning> binning_;
   FrequencyIndex index_;
   BatchMineResult result_;
+  // Search serving (options_.search_serving != kNone): the maintained
+  // score-sorted index, the tokenizer for string queries, and a scratch
+  // pattern list reused across per-term updates.
+  InvertedIndex search_index_;
+  Tokenizer tokenizer_;
+  std::vector<TermPattern> term_patterns_scratch_;
   // Per-term bookkeeping for the refresh policy, indexed by TermId.
   std::vector<Timestamp> last_mined_;   // timeline length at last (re-)mine
   std::vector<Timestamp> last_window_;  // window length at last (re-)mine

@@ -207,6 +207,48 @@ TEST(CollectionRetention, EvictBeforeHandlesOutOfOrderHistory) {
   EXPECT_EQ(c->DocumentsAt(s1, 3).size(), 0u);
 }
 
+TEST(CollectionRetention, EvictionReportDistinguishesPrefixFromRenumber) {
+  // Time-ordered ingest: the report must say ids were preserved, so
+  // DocId-keyed consumers can follow the eviction in place.
+  auto ordered = Collection::Create(4);
+  ASSERT_TRUE(ordered.ok());
+  StreamId s = ordered->AddStream("A", {}, {});
+  TermId w = ordered->mutable_vocabulary()->Intern("w");
+  for (Timestamp t = 0; t < 4; ++t) {
+    ASSERT_TRUE(ordered->AddDocument(s, t, {w}).ok());
+  }
+  EvictionReport report;
+  ASSERT_TRUE(ordered->EvictBefore(3, &report).ok());
+  EXPECT_EQ(report.cutoff, 3);
+  EXPECT_EQ(report.evicted_documents, 3u);
+  EXPECT_EQ(report.doc_id_base, 3u);
+  EXPECT_TRUE(report.ids_preserved);
+  // The surviving document really did keep its pre-eviction id.
+  EXPECT_EQ(ordered->document(3).time, 3);
+
+  // A no-op cutoff reports zero evictions coherently.
+  EvictionReport noop;
+  ASSERT_TRUE(ordered->EvictBefore(1, &noop).ok());
+  EXPECT_EQ(noop.evicted_documents, 0u);
+  EXPECT_EQ(noop.doc_id_base, 3u);
+  EXPECT_TRUE(noop.ids_preserved);
+
+  // Out-of-order ingest forces the renumbering path; the report must warn
+  // consumers their DocIds are meaningless.
+  auto shuffled = Collection::Create(4);
+  ASSERT_TRUE(shuffled.ok());
+  StreamId z = shuffled->AddStream("A", {}, {});
+  ASSERT_TRUE(shuffled->AddDocument(z, 3, {w}).ok());
+  ASSERT_TRUE(shuffled->AddDocument(z, 0, {w}).ok());
+  ASSERT_TRUE(shuffled->AddDocument(z, 2, {w}).ok());
+  EvictionReport renumbered;
+  ASSERT_TRUE(shuffled->EvictBefore(2, &renumbered).ok());
+  EXPECT_EQ(renumbered.cutoff, 2);
+  EXPECT_EQ(renumbered.evicted_documents, 1u);
+  EXPECT_EQ(renumbered.doc_id_base, 1u);
+  EXPECT_FALSE(renumbered.ids_preserved);
+}
+
 TEST(CollectionRetention, AddStreamAfterEvictionCoversTheWindow) {
   auto c = Collection::Create(6);
   ASSERT_TRUE(c.ok());

@@ -12,11 +12,33 @@
 #include <string>
 #include <vector>
 
+#include "index_test_util.h"
 #include "stburst/common/random.h"
 #include "stburst/core/expected.h"
+#include "stburst/index/search_engine.h"
 
 namespace stburst {
 namespace {
+
+// The full-rebuild reference for search serving: a from-scratch
+// BurstySearchEngine over the retained collection and the *standing*
+// patterns (search serving is consistent with result(), staleness and all,
+// not with a hypothetical fresh mine).
+InvertedIndex RebuildReferenceSearchIndex(const FeedRuntime& runtime,
+                                          SearchServing source) {
+  PatternIndex patterns;
+  for (TermId t = 0; t < runtime.result().terms.size(); ++t) {
+    const TermPatterns& slot = runtime.result().terms[t];
+    if (source == SearchServing::kCombinatorial) {
+      for (const auto& p : slot.combinatorial) patterns.AddCombinatorial(t, p);
+    } else {
+      for (const auto& w : slot.regional) patterns.AddWindow(t, w);
+    }
+  }
+  auto engine = BurstySearchEngine::Build(runtime.collection(), patterns);
+  // Copy out the index (the engine owns it); postings/maps copy cleanly.
+  return engine.index();
+}
 
 Collection MakeSeedCollection(size_t num_streams, Timestamp timeline,
                               size_t vocab) {
@@ -116,6 +138,8 @@ TEST(FeedRuntime, TickOutputBitIdenticalAt1248Threads) {
     opts.miner.model_factory = WithPriorFloor(
         [] { return std::make_unique<GlobalMeanModel>(); }, 0.2);
 
+    opts.search_serving = SearchServing::kRegional;
+
     auto runtime = FeedRuntime::Create(MakeSeedCollection(kStreams, 4, kVocab),
                                        std::move(opts));
     ASSERT_TRUE(runtime.ok()) << runtime.status().ToString();
@@ -130,6 +154,10 @@ TEST(FeedRuntime, TickOutputBitIdenticalAt1248Threads) {
     } else {
       ExpectIdenticalPostings(reference->index(), runtime->index());
       ExpectIdenticalResults(reference->result(), runtime->result());
+      // The maintained search index is part of the bit-identical surface.
+      ASSERT_NE(runtime->search_index(), nullptr);
+      ExpectIdenticalIndexes(*reference->search_index(),
+                             *runtime->search_index());
     }
   }
 }
@@ -304,6 +332,87 @@ TEST(FeedRuntime, WindowedIndexMatchesRebuildFromEvictedCollection) {
   ExpectIdenticalPostings(runtime->index(), rebuilt);
 }
 
+TEST(FeedRuntime, SearchServingMatchesFullRebuildEveryTick) {
+  // The tentpole acceptance: through appends, evictions, dirty re-mines,
+  // and refresh sweeps, the incrementally maintained search index must stay
+  // posting-identical to a from-scratch engine build over the retained
+  // collection and standing patterns — and each editing tick must bump the
+  // generation exactly once.
+  constexpr size_t kStreams = 5;
+  constexpr size_t kVocab = 50;
+
+  FeedRuntimeOptions opts = BaseOptions(2);
+  opts.retention_window = 10;
+  opts.refresh_budget = 4;
+  opts.search_serving = SearchServing::kCombinatorial;
+  auto runtime =
+      FeedRuntime::Create(MakeSeedCollection(kStreams, 3, kVocab), opts);
+  ASSERT_TRUE(runtime.ok());
+  ASSERT_NE(runtime->search_index(), nullptr);
+  EXPECT_TRUE(runtime->search_index()->finalized());
+
+  Rng rng(31337);
+  uint64_t last_generation = runtime->search_index()->generation();
+  for (int tick = 0; tick < 25; ++tick) {
+    auto stats = runtime->Tick(MakeSnapshot(rng, kStreams, kVocab));
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(runtime->search_index()->generation(), last_generation + 1)
+        << "tick " << tick;
+    last_generation = runtime->search_index()->generation();
+
+    InvertedIndex reference =
+        RebuildReferenceSearchIndex(*runtime, SearchServing::kCombinatorial);
+    ExpectIdenticalIndexes(*runtime->search_index(), reference);
+
+    // Queries agree too, and carry the generation for cache invalidation.
+    const std::vector<TermId> query = {TermId{0}, TermId{1}, TermId{2}};
+    TopKResult live = runtime->Search(query, 5);
+    TopKResult rebuilt = ThresholdTopK(reference, query, 5);
+    ASSERT_EQ(live.docs.size(), rebuilt.docs.size());
+    for (size_t i = 0; i < live.docs.size(); ++i) {
+      EXPECT_EQ(live.docs[i], rebuilt.docs[i]);
+    }
+    EXPECT_EQ(live.generation, last_generation);
+  }
+  // The run exercised eviction (window 10, 25 ticks over a 3-deep seed).
+  EXPECT_GT(runtime->window_start(), 0);
+}
+
+TEST(FeedRuntime, SearchGenerationStaysPutOnEditFreeTicks) {
+  // A tick with no eviction, no dirty terms, and no refresh targets leaves
+  // the search index bit-identical, so its generation must not move —
+  // cached top-k results stay valid exactly as the contract promises.
+  FeedRuntimeOptions opts = BaseOptions(1);
+  opts.search_serving = SearchServing::kCombinatorial;
+  Collection seed = MakeSeedCollection(2, 2, 6);
+  for (Timestamp t = 0; t < 2; ++t) {
+    for (StreamId s = 0; s < 2; ++s) {
+      ASSERT_TRUE(seed.AddDocument(s, t, {TermId{0}, TermId{1}}).ok());
+    }
+  }
+  auto runtime = FeedRuntime::Create(std::move(seed), opts);
+  ASSERT_TRUE(runtime.ok());
+  const uint64_t created = runtime->search_index()->generation();
+
+  auto idle = runtime->Tick(Snapshot{});  // no docs, no window: no edits
+  ASSERT_TRUE(idle.ok());
+  EXPECT_EQ(idle->search_terms, 0u);
+  EXPECT_EQ(runtime->search_index()->generation(), created);
+
+  Snapshot snap;
+  snap.push_back(SnapshotDocument{0, {TermId{0}}});
+  auto editing = runtime->Tick(std::move(snap));  // dirty term: one bump
+  ASSERT_TRUE(editing.ok());
+  EXPECT_EQ(runtime->search_index()->generation(), created + 1);
+}
+
+TEST(FeedRuntime, SearchDisabledByDefault) {
+  auto runtime = FeedRuntime::Create(MakeSeedCollection(2, 2, 6),
+                                     BaseOptions(1));
+  ASSERT_TRUE(runtime.ok());
+  EXPECT_EQ(runtime->search_index(), nullptr);
+}
+
 TEST(FeedRuntime, RefreshSweepDrainsStaleness) {
   constexpr size_t kStreams = 4;
   constexpr size_t kVocab = 30;
@@ -407,6 +516,23 @@ TEST(FeedRuntime, RefreshPrefersMassTimesStaleness) {
   // outranks light at staleness 2 (priority 12): mass x staleness, not LRU.
   EXPECT_EQ(runtime->staleness(heavy), 0);
   EXPECT_EQ(runtime->staleness(light), 2);
+}
+
+TEST(FeedRuntime, CreateRejectsSearchServingWithoutItsPatternType) {
+  // kRegional serving with combinatorial-only mining (and vice versa) would
+  // silently serve an always-empty index; Create must refuse instead.
+  FeedRuntimeOptions regional = BaseOptions(1);
+  regional.search_serving = SearchServing::kRegional;  // mine_regional off
+  EXPECT_TRUE(FeedRuntime::Create(MakeSeedCollection(2, 2, 4), regional)
+                  .status()
+                  .IsInvalidArgument());
+
+  FeedRuntimeOptions combinatorial = BaseOptions(1);
+  combinatorial.search_serving = SearchServing::kCombinatorial;
+  combinatorial.miner.mine_combinatorial = false;
+  EXPECT_TRUE(FeedRuntime::Create(MakeSeedCollection(2, 2, 4), combinatorial)
+                  .status()
+                  .IsInvalidArgument());
 }
 
 TEST(FeedRuntime, CreateRejectsNegativeWindow) {

@@ -4,7 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "stburst/common/random.h"
 #include "stburst/index/pattern_index.h"
+#include "index_test_util.h"
 
 namespace stburst {
 namespace {
@@ -120,6 +124,129 @@ TEST(InvertedIndex, ReopenWhileOpenIsANoOp) {
   idx.Add(0, 1, 1.0);
   idx.Finalize();
   EXPECT_TRUE(idx.finalized());
+}
+
+TEST(InvertedIndex, EvictBeforeDropsEvictedDocsInPlace) {
+  InvertedIndex idx;
+  idx.Add(0, 1, 4.0);
+  idx.Add(0, 5, 2.0);
+  idx.Add(0, 2, 3.0);
+  idx.Add(1, 2, 1.0);   // term whose postings are wholly evicted
+  idx.Add(2, 9, 0.5);   // term untouched by the eviction
+  idx.Finalize();
+  ASSERT_EQ(idx.generation(), 1u);
+
+  idx.Reopen();
+  idx.EvictBefore(/*min_live_doc=*/3);
+  idx.Finalize();
+  EXPECT_EQ(idx.generation(), 2u);  // the edit batch is one new freeze
+
+  // Only docs >= 3 survive, still in descending-score order, and the
+  // random-access maps forgot the evicted docs.
+  ASSERT_EQ(idx.postings(0).size(), 1u);
+  EXPECT_EQ(idx.postings(0)[0].doc, 5u);
+  EXPECT_TRUE(idx.postings(1).empty());
+  ASSERT_EQ(idx.postings(2).size(), 1u);
+  EXPECT_EQ(idx.total_postings(), 2u);
+  double score = 0.0;
+  EXPECT_FALSE(idx.Score(0, 1, &score));
+  EXPECT_FALSE(idx.Score(0, 2, &score));
+  EXPECT_TRUE(idx.Score(0, 5, &score));
+  EXPECT_DOUBLE_EQ(score, 2.0);
+  EXPECT_FALSE(idx.Score(1, 2, &score));
+}
+
+TEST(InvertedIndex, ClearTermReplacesPostings) {
+  InvertedIndex idx;
+  idx.Add(0, 1, 1.0);
+  idx.Add(0, 2, 2.0);
+  idx.Add(1, 1, 9.0);
+  idx.Finalize();
+
+  // The live maintainer's per-term refresh: drop and re-derive one term.
+  idx.Reopen();
+  idx.ClearTerm(0);
+  idx.Add(0, 3, 7.0);
+  idx.Finalize();
+
+  ASSERT_EQ(idx.postings(0).size(), 1u);
+  EXPECT_EQ(idx.postings(0)[0].doc, 3u);
+  EXPECT_EQ(idx.total_postings(), 2u);
+  double score = 0.0;
+  EXPECT_FALSE(idx.Score(0, 1, &score));  // old map entries are gone
+  EXPECT_TRUE(idx.Score(0, 3, &score));
+  EXPECT_TRUE(idx.Score(1, 1, &score));   // untouched term unaffected
+
+  // Clearing a term to empty (no re-adds) leaves a clean empty slot.
+  idx.Reopen();
+  idx.ClearTerm(1);
+  idx.Finalize();
+  EXPECT_TRUE(idx.postings(1).empty());
+  EXPECT_FALSE(idx.Score(1, 1, &score));
+  EXPECT_EQ(idx.total_postings(), 1u);
+}
+
+TEST(InvertedIndex, RandomizedAppendEvictInterleavingsMatchRebuild) {
+  // The live-feed shape, randomized: rounds of "append postings for fresh
+  // docs, then evict an id prefix", the incremental index following each
+  // round in place (Reopen → EvictBefore → Add → Finalize). After every
+  // round it must be indistinguishable from an index rebuilt from scratch
+  // over the surviving postings, and every round must bump the generation
+  // exactly once.
+  constexpr size_t kTerms = 12;
+  Rng rng(2024);
+  InvertedIndex incremental;
+  std::vector<std::vector<Posting>> live(kTerms);  // per-term surviving docs
+
+  DocId next_doc = 0;
+  DocId min_live = 0;
+  for (int round = 0; round < 30; ++round) {
+    incremental.Reopen();
+
+    // Evict: advance the live floor past a random slice of current docs.
+    if (round > 0 && rng.Bernoulli(0.7)) {
+      min_live += static_cast<DocId>(rng.NextUint64(4));
+      incremental.EvictBefore(min_live);
+      for (auto& plist : live) {
+        std::erase_if(plist,
+                      [&](const Posting& p) { return p.doc < min_live; });
+      }
+    }
+
+    // Append: a few new docs, each scoring on a few random distinct terms
+    // (Add takes each (term, doc) pair at most once — colliding draws are
+    // dropped).
+    const size_t docs = 1 + rng.NextUint64(3);
+    std::vector<TermId> doc_terms;
+    for (size_t d = 0; d < docs; ++d) {
+      const DocId doc = next_doc++;
+      if (doc < min_live) continue;
+      const size_t hits = 1 + rng.NextUint64(3);
+      doc_terms.clear();
+      for (size_t h = 0; h < hits; ++h) {
+        const TermId term = static_cast<TermId>(rng.NextUint64(kTerms));
+        if (std::find(doc_terms.begin(), doc_terms.end(), term) !=
+            doc_terms.end()) {
+          continue;
+        }
+        doc_terms.push_back(term);
+        const double score = rng.Uniform(0.1, 5.0);
+        incremental.Add(term, doc, score);
+        live[term].push_back(Posting{doc, score});
+      }
+    }
+
+    const uint64_t before = incremental.generation();
+    incremental.Finalize();
+    ASSERT_EQ(incremental.generation(), before + 1) << "round " << round;
+
+    InvertedIndex rebuilt;
+    for (TermId t = 0; t < kTerms; ++t) {
+      for (const Posting& p : live[t]) rebuilt.Add(t, p.doc, p.score);
+    }
+    rebuilt.Finalize();
+    ExpectIdenticalIndexes(incremental, rebuilt);
+  }
 }
 
 TEST(PatternIndex, OverlapSemantics) {

@@ -5,6 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "index_test_util.h"
+#include "stburst/common/random.h"
 
 namespace stburst {
 namespace {
@@ -103,6 +109,58 @@ TEST(BurstySearchEngine, ThresholdAndExhaustiveAgree) {
   for (size_t i = 0; i < r1.docs.size(); ++i) {
     EXPECT_EQ(r1.docs[i].doc, r2.docs[i].doc);
   }
+}
+
+TEST(IndexTermDocuments, TermMajorRefreshMatchesDocMajorBuild) {
+  // The incremental path FeedRuntime's search serving takes — per-term
+  // re-derivation through the frequency index — must produce postings
+  // identical to the doc-major BurstySearchEngine::Build from the same
+  // pattern state, on a randomized corpus.
+  Rng rng(17);
+  auto c = Collection::Create(12);
+  const size_t n = 3, vocab = 10;
+  for (size_t s = 0; s < n; ++s) {
+    c->AddStream("s", {}, Point2D{static_cast<double>(s), 0.0});
+  }
+  Vocabulary* v = c->mutable_vocabulary();
+  for (size_t t = 0; t < vocab; ++t) v->Intern("t" + std::to_string(t));
+  for (Timestamp t = 0; t < 12; ++t) {
+    for (StreamId s = 0; s < n; ++s) {
+      const size_t docs = rng.NextUint64(3);
+      for (size_t d = 0; d < docs; ++d) {
+        std::vector<TermId> tokens;
+        const size_t len = 1 + rng.NextUint64(5);
+        for (size_t i = 0; i < len; ++i) {
+          tokens.push_back(static_cast<TermId>(rng.NextUint64(vocab)));
+        }
+        ASSERT_TRUE(c->AddDocument(s, t, std::move(tokens)).ok());
+      }
+    }
+  }
+  PatternIndex patterns;
+  for (TermId t = 0; t < vocab; ++t) {
+    const size_t count = rng.NextUint64(3);
+    for (size_t i = 0; i < count; ++i) {
+      const Timestamp start = static_cast<Timestamp>(rng.NextUint64(10));
+      std::vector<StreamId> streams;
+      for (StreamId s = 0; s < n; ++s) {
+        if (rng.Bernoulli(0.6)) streams.push_back(s);
+      }
+      if (streams.empty()) streams.push_back(0);
+      patterns.Add(t, TermPattern{std::move(streams),
+                                  Interval{start, start + 3},
+                                  rng.Uniform(0.5, 3.0)});
+    }
+  }
+
+  auto engine = BurstySearchEngine::Build(*c, patterns);
+  FrequencyIndex freq = FrequencyIndex::Build(*c);
+  InvertedIndex term_major;
+  for (TermId t = 0; t < vocab; ++t) {
+    IndexTermDocuments(*c, freq, t, patterns.PatternsFor(t), &term_major);
+  }
+  term_major.Finalize();
+  ExpectIdenticalIndexes(term_major, engine.index());
 }
 
 TEST(Relevance, LogOfFrequencyPlusOne) {
