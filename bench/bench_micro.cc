@@ -700,6 +700,45 @@ int Run() {
                   tick_s * 1e3 / static_cast<double>(kWeeks),
                   runtime->index().window_length());
     }
+
+    // The same ticks with the defensive machinery on: per-document snapshot
+    // validation under kDropDocument (each snapshot carries a few invalid
+    // documents that must be quarantined) and an armed-but-roomy tick
+    // deadline, so both degradation checks run every tick. Gates the cost of
+    // the transactional guard rails against the raw tick above.
+    {
+      FeedRuntimeOptions fr_opts;
+      fr_opts.miner.stcomb.min_interval_burstiness = 0.1;
+      fr_opts.num_threads = 4;
+      fr_opts.retention_window = corpus.timeline_length();
+      fr_opts.refresh_budget = 64;
+      fr_opts.on_invalid = InvalidDocPolicy::kDropDocument;
+      fr_opts.tick_deadline_seconds = 3600.0;
+      auto runtime = FeedRuntime::Create(corpus, fr_opts);
+      if (!runtime.ok()) return 1;
+      std::vector<Snapshot> ticks = master;
+      for (Snapshot& snap : ticks) {
+        for (size_t d = 0; d < 4; ++d) {
+          SnapshotDocument bad;
+          bad.stream = static_cast<StreamId>(corpus.num_streams() + d);
+          bad.tokens = {TermId{0}};
+          snap.push_back(std::move(bad));
+        }
+      }
+      size_t rejected = 0;
+      Timer t_tick;
+      for (Snapshot& snap : ticks) {
+        auto stats = runtime->Tick(std::move(snap));
+        if (!stats.ok()) return 1;
+        rejected += stats->rejected_documents;
+      }
+      double tick_s = t_tick.ElapsedSeconds();
+      report("feed_runtime_tick_guarded",
+             tick_s * 1e9 / static_cast<double>(kWeeks), docs_per_week);
+      std::printf("  -> guarded tick: %.1f ms/snapshot (validation dropped "
+                  "%zu documents, deadline armed)\n",
+                  tick_s * 1e3 / static_cast<double>(kWeeks), rejected);
+    }
   }
 
   // Regional mining over a vocabulary sample (one standalone

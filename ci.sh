@@ -6,6 +6,12 @@
 # Usage: ./ci.sh [build-dir]             (default: build; build-sanitize when SANITIZE=1)
 #        BUILD_TYPE=Debug ./ci.sh        set CMAKE_BUILD_TYPE (default: RelWithDebInfo)
 #        SANITIZE=1 ./ci.sh              ASan+UBSan build (-DSTBURST_SANITIZE=ON)
+#        FAULT_INJECTION=1 ./ci.sh       compile in the deterministic fault
+#                                        sites (-DSTBURST_FAULT_INJECTION=ON)
+#                                        so the recovery sweep in
+#                                        tests/fault_injection_test.cc runs;
+#                                        combine with SANITIZE=1 for the CI
+#                                        fault-recovery leg
 #        RUN_BENCH=1 ./ci.sh             perf gate against bench/BENCH_micro.baseline.json
 #        BENCH_SOFT=1 RUN_BENCH=1 ./ci.sh  bench smoke: tooling errors gate,
 #                                          perf regressions only warn
@@ -21,7 +27,9 @@
 # CC/CXX are honored as usual (the CI matrix sets gcc/clang through them).
 set -euo pipefail
 
-if [[ "${SANITIZE:-0}" == "1" ]]; then
+if [[ "${FAULT_INJECTION:-0}" == "1" ]]; then
+  DEFAULT_DIR="build-fault"
+elif [[ "${SANITIZE:-0}" == "1" ]]; then
   DEFAULT_DIR="build-sanitize"
 else
   DEFAULT_DIR="build"
@@ -35,6 +43,9 @@ if [[ -n "${BUILD_TYPE:-}" ]]; then
 fi
 if [[ "${SANITIZE:-0}" == "1" ]]; then
   CMAKE_ARGS+=("-DSTBURST_SANITIZE=ON")
+fi
+if [[ "${FAULT_INJECTION:-0}" == "1" ]]; then
+  CMAKE_ARGS+=("-DSTBURST_FAULT_INJECTION=ON")
 fi
 if [[ "${NO_CCACHE:-0}" != "1" ]] && command -v ccache >/dev/null 2>&1; then
   CMAKE_ARGS+=("-DCMAKE_C_COMPILER_LAUNCHER=ccache"

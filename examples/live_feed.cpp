@@ -26,11 +26,24 @@
 // start.
 //
 // Run: ./build/examples/live_feed
+//
+// When built with -DSTBURST_FAULT_INJECTION=ON and run with
+// STBURST_LIVE_FEED_FAULT=1, every live week first replays its snapshot
+// against an armed fault site (cycling through the registry, alternating
+// Status and bad_alloc failures): the doomed tick must fail, roll back to
+// bit-identical visible state, and the following clean tick must ingest the
+// same snapshot — so the end-of-run parity checks double as the recovery
+// proof. This is the CI fault-recovery smoke.
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
+
+#ifdef STBURST_FAULT_INJECTION
+#include "stburst/common/fault_injection.h"
+#endif
 
 #include "stburst/common/random.h"
 #include "stburst/core/expected.h"
@@ -127,6 +140,15 @@ int main() {
   }
 
   // --- 3. Go live ---------------------------------------------------------
+#ifdef STBURST_FAULT_INJECTION
+  const char* fault_env = std::getenv("STBURST_LIVE_FEED_FAULT");
+  const bool fault_demo = fault_env != nullptr && std::string(fault_env) == "1";
+  size_t faults_survived = 0;
+  if (fault_demo) {
+    std::printf("fault demo on: each week first ticks against an armed "
+                "fault site\n");
+  }
+#endif
   std::printf("live feed (burst of \"storm\" in the cluster, weeks 36-40; "
               "window %d weeks):\n", kRetentionWeeks);
   std::printf("%6s %6s %7s %9s %8s %10s %22s\n", "week", "docs", "dirty",
@@ -153,6 +175,45 @@ int main() {
       }
     }
 
+#ifdef STBURST_FAULT_INJECTION
+    if (fault_demo) {
+      // Sites that fire on every ingesting tick; the eviction sites join
+      // once the window starts sliding (timeline after this tick > window).
+      std::vector<std::string> eligible = {
+          "collection.append", "frequency.append_splice",
+          "batch_miner.mine_term", "runtime.remine", "runtime.search_update"};
+      if (week + 1 > kRetentionWeeks) {
+        eligible.insert(eligible.end(),
+                        {"collection.evict", "frequency.evict", "index.evict"});
+      }
+      const std::string& site =
+          eligible[static_cast<size_t>(week) % eligible.size()];
+      const size_t docs_before = runtime->collection().num_documents();
+      const Timestamp weeks_before = runtime->collection().timeline_length();
+      const uint64_t gen_before = runtime->Search("storm", 1).generation;
+      fault::Arm(site, 1,
+                 week % 2 == 0 ? fault::FailureKind::kStatus
+                               : fault::FailureKind::kBadAlloc);
+      auto doomed = runtime->Tick(Snapshot(snap));  // copy: retry it clean
+      const size_t hits = fault::HitCount(site);
+      fault::DisarmAll();
+      if (doomed.ok() || hits == 0) {
+        std::fprintf(stderr, "fault demo: site %s did not fail week %d\n",
+                     site.c_str(), week);
+        return 1;
+      }
+      if (runtime->collection().num_documents() != docs_before ||
+          runtime->collection().timeline_length() != weeks_before ||
+          runtime->Search("storm", 1).generation != gen_before) {
+        std::fprintf(stderr,
+                     "fault demo: rollback left visible state, week %d "
+                     "(site %s)\n",
+                     week, site.c_str());
+        return 1;
+      }
+      ++faults_survived;
+    }
+#endif
     auto stats = runtime->Tick(std::move(snap));
     if (!stats.ok()) {
       std::fprintf(stderr, "Tick: %s\n", stats.status().ToString().c_str());
@@ -277,5 +338,13 @@ int main() {
                 slot.combinatorial[0].streams.size(),
                 runtime->staleness(storm));
   }
+#ifdef STBURST_FAULT_INJECTION
+  if (fault_demo) {
+    std::printf("fault demo: %zu armed ticks failed, rolled back, and the "
+                "retried snapshots kept every parity check above\n",
+                faults_survived);
+    if (faults_survived != static_cast<size_t>(kLiveWeeks)) return 1;
+  }
+#endif
   return (identical && same && regional_same && search_same) ? 0 : 1;
 }

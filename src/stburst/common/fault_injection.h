@@ -1,0 +1,116 @@
+// Deterministic fault injection for robustness proofs.
+//
+// A fault point is a named site on a failure-prone path — an allocation-
+// heavy splice, an eviction pass, a per-term re-mine — that tests can arm
+// to fail on its Nth hit. Two macros cover the library's two error
+// idioms:
+//
+//   STBURST_FAULT_POINT(site)        in Status / StatusOr-returning code:
+//                                    an armed kStatus failure returns
+//                                    Internal from the enclosing function;
+//                                    an armed kBadAlloc throws
+//                                    std::bad_alloc.
+//   STBURST_FAULT_POINT_THROW(site)  in code with no Status channel (pool
+//                                    worker lambdas, void members): an
+//                                    armed failure throws — FaultInjected
+//                                    for kStatus, std::bad_alloc for
+//                                    kBadAlloc — and propagates through
+//                                    ParallelFor's first-exception capture
+//                                    to the calling thread.
+//
+// Both macros compile to nothing unless the library is built with
+// -DSTBURST_FAULT_INJECTION=ON (CMake option; CI runs a dedicated sweep
+// job with it). Sites are listed in the central registry in
+// fault_injection.cc; hitting an unregistered site in a fault build is a
+// checked programming error, so the registry cannot silently drift from
+// the code. Hit counting is global across threads (one atomic per site),
+// which is what makes "fail on the 3rd hit" meaningful for sites reached
+// from pool workers.
+//
+// The proof harness this exists for lives in tests/fault_injection_test.cc:
+// for every registered site, an armed FeedRuntime::Tick must fail with the
+// runtime bit-identical to a control that never saw the snapshot, and the
+// next clean tick must restore batch parity.
+
+#ifndef STBURST_COMMON_FAULT_INJECTION_H_
+#define STBURST_COMMON_FAULT_INJECTION_H_
+
+#ifdef STBURST_FAULT_INJECTION
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stburst/common/status.h"
+
+namespace stburst::fault {
+
+/// What an armed site does on its triggering hit.
+enum class FailureKind {
+  kStatus,    ///< Status channel: Internal("injected fault at <site>");
+              ///< thrown as FaultInjected where no Status channel exists.
+  kBadAlloc,  ///< allocation failure: throws std::bad_alloc.
+};
+
+/// The exception a throw-site raises for an armed kStatus failure. Carries
+/// the site name so owners (FeedRuntime::Tick) can convert it back into a
+/// Status::Internal with provenance.
+class FaultInjected : public std::runtime_error {
+ public:
+  explicit FaultInjected(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Every site name compiled into the library, in registry order. The sweep
+/// test parameterizes over this list, so adding a site automatically adds
+/// its atomicity proof.
+std::vector<std::string_view> RegisteredSites();
+
+/// Arms `site` to fail on its `nth_hit`-th hit from now (1-based; hits are
+/// counted globally across threads). Re-arming replaces the previous arming
+/// and resets the site's hit counter. Checked error for unknown sites.
+void Arm(std::string_view site, size_t nth_hit = 1,
+         FailureKind kind = FailureKind::kStatus);
+
+/// Disarms every site and resets all hit counters.
+void DisarmAll();
+
+/// Hits `site` has taken since its counter was last reset. Checked error
+/// for unknown sites.
+size_t HitCount(std::string_view site);
+
+namespace internal {
+/// Macro backends: count a hit and fail if this hit is the armed one.
+Status MaybeFail(const char* site);
+void MaybeFailThrow(const char* site);
+}  // namespace internal
+
+}  // namespace stburst::fault
+
+// In Status/StatusOr-returning functions only: an armed kStatus failure
+// returns from the enclosing function.
+#define STBURST_FAULT_POINT(site)                                       \
+  do {                                                                  \
+    ::stburst::Status stburst_fault_status_ =                           \
+        ::stburst::fault::internal::MaybeFail(site);                    \
+    if (!stburst_fault_status_.ok()) return stburst_fault_status_;      \
+  } while (false)
+
+// In code with no Status channel (pool workers, void members): an armed
+// failure throws.
+#define STBURST_FAULT_POINT_THROW(site) \
+  ::stburst::fault::internal::MaybeFailThrow(site)
+
+#else  // !STBURST_FAULT_INJECTION
+
+#define STBURST_FAULT_POINT(site) \
+  do {                            \
+  } while (false)
+#define STBURST_FAULT_POINT_THROW(site) \
+  do {                                  \
+  } while (false)
+
+#endif  // STBURST_FAULT_INJECTION
+
+#endif  // STBURST_COMMON_FAULT_INJECTION_H_

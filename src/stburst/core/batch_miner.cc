@@ -8,6 +8,7 @@
 #include <optional>
 #include <utility>
 
+#include "stburst/common/fault_injection.h"
 #include "stburst/common/logging.h"
 #include "stburst/common/parallel.h"
 #include "stburst/core/temporal.h"
@@ -109,6 +110,7 @@ struct MineShared {
         scratch(threads) {}
 
   void MineTerm(size_t worker, TermId term, TermPatterns* slot) {
+    STBURST_FAULT_POINT_THROW("batch_miner.mine_term");
     slot->term = term;
     slot->mined = false;
     slot->combinatorial.clear();
@@ -232,15 +234,13 @@ StatusOr<BatchMineResult> MineAllTerms(const FrequencyIndex& index,
   return result;
 }
 
-Status RemineTerms(const FrequencyIndex& index, const std::vector<TermId>& terms,
-                   const BatchMinerOptions& options, BatchMineResult* result) {
+StatusOr<std::vector<TermId>> StageRemineTerms(
+    const FrequencyIndex& index, const std::vector<TermId>& terms,
+    const BatchMinerOptions& options, std::vector<TermPatterns>* staged) {
   STB_RETURN_NOT_OK(ValidateRegional(index, options));
-  if (result->terms.size() > index.num_terms()) {
-    return Status::InvalidArgument("result holds more term slots than the index");
-  }
 
-  // Dedupe so no two workers share a slot, and validate before touching
-  // `result` so a rejected call leaves it exactly as it was.
+  // Dedupe so no two workers share a slot, and validate before mining so a
+  // rejected call stages nothing.
   std::vector<TermId> todo = terms;
   std::sort(todo.begin(), todo.end());
   todo.erase(std::unique(todo.begin(), todo.end()), todo.end());
@@ -250,26 +250,44 @@ Status RemineTerms(const FrequencyIndex& index, const std::vector<TermId>& terms
     }
   }
 
+  staged->clear();
+  staged->resize(todo.size());
+  if (!todo.empty()) {
+    std::optional<SpatialBinning> own_binning;
+    const SpatialBinning* binning = nullptr;
+    STB_RETURN_NOT_OK(ResolveBinning(options, &own_binning, &binning));
+    MineShared shared(index, options, binning, RunWorkerSlots(options));
+    RunParallel(options, todo.size(), [&](size_t worker, size_t i) {
+      if (shared.failed.load(std::memory_order_relaxed)) return;
+      shared.MineTerm(worker, todo[i], &(*staged)[i]);
+    });
+    if (shared.error.has_value()) return *shared.error;
+  }
+  return todo;
+}
+
+Status RemineTerms(const FrequencyIndex& index, const std::vector<TermId>& terms,
+                   const BatchMinerOptions& options, BatchMineResult* result) {
+  if (result->terms.size() > index.num_terms()) {
+    return Status::InvalidArgument("result holds more term slots than the index");
+  }
+  // Stage first, publish after: `result` is only touched once every listed
+  // term has mined cleanly, so any error leaves it exactly as it was.
+  std::vector<TermPatterns> staged;
+  STB_ASSIGN_OR_RETURN(std::vector<TermId> todo,
+                       StageRemineTerms(index, terms, options, &staged));
+
   // Absorb vocabulary growth: slots for new terms start out skipped and are
-  // mined below iff listed in `terms`.
+  // overwritten below iff listed in `terms`.
   const size_t old_size = result->terms.size();
   result->terms.resize(index.num_terms());
   for (size_t t = old_size; t < result->terms.size(); ++t) {
     result->terms[t].term = static_cast<TermId>(t);
   }
 
-  const size_t threads = RunWorkerSlots(options);
-  result->threads_used = threads;
-  if (!todo.empty()) {
-    std::optional<SpatialBinning> own_binning;
-    const SpatialBinning* binning = nullptr;
-    STB_RETURN_NOT_OK(ResolveBinning(options, &own_binning, &binning));
-    MineShared shared(index, options, binning, threads);
-    RunParallel(options, todo.size(), [&](size_t worker, size_t i) {
-      if (shared.failed.load(std::memory_order_relaxed)) return;
-      shared.MineTerm(worker, todo[i], &result->terms[todo[i]]);
-    });
-    if (shared.error.has_value()) return *shared.error;
+  result->threads_used = RunWorkerSlots(options);
+  for (size_t i = 0; i < todo.size(); ++i) {
+    result->terms[todo[i]] = std::move(staged[i]);
   }
   RecountTerms(result);
   return Status::OK();

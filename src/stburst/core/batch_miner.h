@@ -137,12 +137,25 @@ StatusOr<BatchMineResult> MineAllTerms(const FrequencyIndex& index,
 /// `result` must come from MineAllTerms (or a prior RemineTerms) over an
 /// earlier state of the same index, with the same options. Duplicate ids in
 /// `terms` are ignored; unknown ids are InvalidArgument. `result` must not
-/// be read concurrently with the call. On a non-OK return the listed slots
-/// are an unspecified mix of old and new states (individually consistent,
-/// but not all refreshed): keep the `terms` list and re-run after fixing
-/// the configuration — the index's dirty set was already consumed.
+/// be read concurrently with the call. All-or-nothing: terms are mined into
+/// staging slots (StageRemineTerms) and moved into `result` only after
+/// every listed term mined cleanly, so a non-OK return leaves `result`
+/// exactly as it was — keep the `terms` list and re-run after fixing the
+/// configuration (the index's dirty set was already consumed).
 Status RemineTerms(const FrequencyIndex& index, const std::vector<TermId>& terms,
                    const BatchMinerOptions& options, BatchMineResult* result);
+
+/// The staging half of RemineTerms: mines the deduped `terms` into
+/// `staged` — one compact slot per entry of the returned (sorted, unique)
+/// term list, parallel to it — touching no standing result. A transactional
+/// owner (FeedRuntime) stages against its live BatchMineResult and commits
+/// by moving slots in only after the whole tick succeeded; a failure
+/// (non-OK, or an exception out of a mining worker) leaves `staged` safe to
+/// discard and the owner's result untouched. Same options/validation
+/// semantics as RemineTerms.
+StatusOr<std::vector<TermId>> StageRemineTerms(
+    const FrequencyIndex& index, const std::vector<TermId>& terms,
+    const BatchMinerOptions& options, std::vector<TermPatterns>* staged);
 
 }  // namespace stburst
 

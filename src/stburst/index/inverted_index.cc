@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "stburst/common/fault_injection.h"
 #include "stburst/common/logging.h"
 
 namespace stburst {
@@ -61,8 +62,15 @@ void InvertedIndex::Finalize() {
 
 void InvertedIndex::Reopen() { finalized_ = false; }
 
+void InvertedIndex::AbortReopen() {
+  STB_CHECK(ever_finalized_) << "AbortReopen on a never-finalized index";
+  STB_CHECK(dirty_.empty()) << "AbortReopen with pending edits";
+  finalized_ = true;
+}
+
 void InvertedIndex::EvictBefore(DocId min_live_doc) {
   STB_CHECK(!finalized_) << "EvictBefore on a frozen index (call Reopen first)";
+  STBURST_FAULT_POINT_THROW("index.evict");
   for (size_t t = 0; t < postings_.size(); ++t) {
     auto& plist = postings_[t];
     const auto keep = [min_live_doc](const Posting& p) {
@@ -96,6 +104,16 @@ void InvertedIndex::ClearTerm(TermId term) {
   if (term >= postings_.size()) return;
   total_postings_ -= postings_[term].size();
   postings_[term].clear();
+  if (term < lookup_.size()) lookup_[term].clear();
+  if (ever_finalized_) dirty_.push_back(term);
+}
+
+void InvertedIndex::ReplaceTerm(TermId term, std::vector<Posting> postings) {
+  STB_CHECK(!finalized_) << "ReplaceTerm on a frozen index (call Reopen first)";
+  if (term >= postings_.size()) postings_.resize(term + 1);
+  total_postings_ -= postings_[term].size();
+  total_postings_ += postings.size();
+  postings_[term] = std::move(postings);
   if (term < lookup_.size()) lookup_[term].clear();
   if (ever_finalized_) dirty_.push_back(term);
 }

@@ -48,6 +48,15 @@ class InvertedIndex {
   /// rejected until the next Finalize(). No-op when already open.
   void Reopen();
 
+  /// Reverts a Reopen() that made no edits: re-freezes without bumping
+  /// generation(), so consumers holding cached query results keep them —
+  /// the index is exactly what they cached. The caller guarantees nothing
+  /// was Added/Cleared/Evicted since the Reopen(); a transactional owner
+  /// (FeedRuntime) uses this when a tick fails after Reopen() but before
+  /// its first index edit. Checked error if edits are pending or the index
+  /// was never finalized.
+  void AbortReopen();
+
   /// Eviction-aware edit: removes every posting whose doc precedes
   /// `min_live_doc` — the in-place follow-up to a prefix eviction
   /// (Collection::EvictBefore with EvictionReport::ids_preserved, where
@@ -68,6 +77,14 @@ class InvertedIndex {
   /// when a term is re-mined. Requires the index to be open. O(postings of
   /// the term).
   void ClearTerm(TermId term);
+
+  /// ClearTerm + bulk re-Add in one move: replaces `term`'s postings with
+  /// `postings` (scores need not be sorted — the next Finalize() sorts) and
+  /// marks the term dirty. The move-in makes this the no-allocation commit
+  /// step for staged per-term updates (FeedRuntime stages scored postings
+  /// off to the side, then commits each term with one ReplaceTerm).
+  /// Requires the index to be open. O(postings of the term).
+  void ReplaceTerm(TermId term, std::vector<Posting> postings);
 
   /// Monotone freeze counter, bumped by every completing Finalize().
   /// Consumers cache it alongside derived results (top-k lists, pattern

@@ -37,10 +37,10 @@ BurstySearchEngine BurstySearchEngine::Build(const Collection& collection,
   return engine;
 }
 
-void IndexTermDocuments(const Collection& collection,
+void ScoreTermDocuments(const Collection& collection,
                         const FrequencyIndex& freq, TermId term,
                         std::span<const TermPattern> patterns,
-                        InvertedIndex* index) {
+                        std::vector<Posting>* out) {
   if (patterns.empty()) return;  // no pattern can overlap: no postings
   for (const TermPosting& cell : freq.postings(term)) {
     double burst_score;
@@ -54,9 +54,18 @@ void IndexTermDocuments(const Collection& collection,
       if (count == 0) continue;  // another doc of the cell carries the term
       const double entry =
           Relevance(static_cast<double>(count)) * burst_score;
-      if (entry > 0.0) index->Add(term, id, entry);
+      if (entry > 0.0) out->push_back(Posting{id, entry});
     }
   }
+}
+
+void IndexTermDocuments(const Collection& collection,
+                        const FrequencyIndex& freq, TermId term,
+                        std::span<const TermPattern> patterns,
+                        InvertedIndex* index) {
+  std::vector<Posting> scored;
+  ScoreTermDocuments(collection, freq, term, patterns, &scored);
+  for (const Posting& p : scored) index->Add(term, p.doc, p.score);
 }
 
 TopKResult BurstySearchEngine::Search(const std::string& query, size_t k) const {

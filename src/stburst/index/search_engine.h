@@ -82,6 +82,17 @@ void IndexTermDocuments(const Collection& collection,
                         std::span<const TermPattern> patterns,
                         InvertedIndex* index);
 
+/// The scoring half of IndexTermDocuments, decoupled from the index: appends
+/// the term's positive (doc, score) entries to `out` in the same order
+/// IndexTermDocuments would Add() them. A transactional maintainer
+/// (FeedRuntime) scores every touched term into staging vectors first and
+/// commits each with one InvertedIndex::ReplaceTerm only after the whole
+/// tick succeeded. Same sync requirements as IndexTermDocuments.
+void ScoreTermDocuments(const Collection& collection,
+                        const FrequencyIndex& freq, TermId term,
+                        std::span<const TermPattern> patterns,
+                        std::vector<Posting>* out);
+
 }  // namespace stburst
 
 #endif  // STBURST_INDEX_SEARCH_ENGINE_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "stburst/common/fault_injection.h"
 #include "stburst/common/logging.h"
 #include "stburst/common/string_util.h"
 #include "stburst/geo/mds.h"
@@ -67,6 +68,7 @@ StatusOr<Timestamp> Collection::Append(Snapshot snapshot) {
           StringPrintf("unknown stream id %u in snapshot", doc.stream));
     }
   }
+  STBURST_FAULT_POINT("collection.append");
   const Timestamp time = timeline_length_;
   ++timeline_length_;
   for (auto& per_stream : docs_at_) per_stream.emplace_back();
@@ -79,7 +81,34 @@ StatusOr<Timestamp> Collection::Append(Snapshot snapshot) {
   return time;
 }
 
-Status Collection::EvictBefore(Timestamp cutoff, EvictionReport* report) {
+void Collection::RollbackAppend(Timestamp old_timeline_length,
+                                size_t old_num_documents) {
+  STB_CHECK(old_timeline_length >= window_start_ &&
+            old_timeline_length <= timeline_length_)
+      << "rollback target " << old_timeline_length
+      << " outside retained timeline";
+  STB_CHECK(old_num_documents <= documents_.size())
+      << "rollback target document count exceeds current count";
+  // Drop the appended documents. Append files new documents strictly at the
+  // tail (new timestamps only), so a suffix resize undoes them; this also
+  // cleans a partially applied Append that died mid-push, because every
+  // document it managed to push is in that suffix.
+  documents_.resize(old_num_documents);
+  // Append files ids only into the per-stream cell it just emplaced, so
+  // dropping the trailing cells removes every filed id and leaves the
+  // surviving cells untouched even after a partial Append.
+  const size_t old_cells = static_cast<size_t>(old_timeline_length -
+                                               window_start_);
+  for (auto& per_stream : docs_at_) {
+    if (per_stream.size() > old_cells) per_stream.resize(old_cells);
+  }
+  timeline_length_ = old_timeline_length;
+  // Appends never break time order; if it was set before, a rollback cannot
+  // have restored it, so docs_time_ordered_ is left as-is.
+}
+
+Status Collection::EvictBefore(Timestamp cutoff, EvictionReport* report,
+                               CollectionEvictUndo* undo) {
   if (report != nullptr) {
     // Filled for the no-op and error paths too, so a caller can always read
     // a coherent "nothing moved" report.
@@ -95,18 +124,54 @@ Status Collection::EvictBefore(Timestamp cutoff, EvictionReport* report) {
                      timeline_length_));
   }
   const size_t docs_before = documents_.size();
-
   const size_t drop = static_cast<size_t>(cutoff - window_start_);
   const bool prefix_evictable = docs_time_ordered_;
+  // Fast path: the evicted documents are exactly the time-ordered prefix.
+  const auto split =
+      prefix_evictable
+          ? std::partition_point(
+                documents_.begin(), documents_.end(),
+                [cutoff](const Document& d) { return d.time < cutoff; })
+          : documents_.begin();
+  if (undo != nullptr) {
+    // Populate the restore header before anything can fail (including the
+    // fault point below), so RollbackEvict of a never-started eviction is a
+    // clean no-op rather than a restore from a default-constructed undo.
+    undo->window_start = window_start_;
+    undo->doc_id_base = doc_id_base_;
+    undo->full_copy = !prefix_evictable;
+    undo->applied = false;
+    undo->documents.clear();
+    undo->docs_at.clear();
+  }
+  STBURST_FAULT_POINT("collection.evict");
+  if (undo != nullptr) {
+    // Capture strictly precedes mutation: every allocation the undo needs
+    // happens here, so an allocation failure during capture leaves the
+    // collection untouched (and the undo unapplied). Copies, not moves —
+    // a half-taken move would be a mutation.
+    if (prefix_evictable) {
+      undo->documents.assign(documents_.begin(), split);
+      undo->docs_at.reserve(docs_at_.size());
+      for (const auto& per_stream : docs_at_) {
+        undo->docs_at.emplace_back(
+            per_stream.begin(),
+            per_stream.begin() + static_cast<ptrdiff_t>(drop));
+      }
+    } else {
+      // Renumbering rewrites every surviving document and re-files every
+      // docs_at_ cell, so the only exact undo is a full pre-eviction copy.
+      undo->documents = documents_;
+      undo->docs_at = docs_at_;
+    }
+    undo->applied = true;
+  }
   if (prefix_evictable) {
     // Fast path for the steady-state feed (documents filed in nondecreasing
-    // time order): the evicted documents are exactly a prefix, so a prefix
-    // erase keeps every surviving id satisfying id == doc_id_base_ +
-    // position with no renumbering and no docs_at_ re-filing —
-    // O(evicted + log docs) document work per tick instead of O(retained).
-    const auto split = std::partition_point(
-        documents_.begin(), documents_.end(),
-        [cutoff](const Document& d) { return d.time < cutoff; });
+    // time order): a prefix erase keeps every surviving id satisfying
+    // id == doc_id_base_ + position with no renumbering and no docs_at_
+    // re-filing — O(evicted + log docs) document work per tick instead of
+    // O(retained).
     doc_id_base_ += static_cast<DocId>(split - documents_.begin());
     documents_.erase(documents_.begin(), split);
   } else {
@@ -149,6 +214,30 @@ Status Collection::EvictBefore(Timestamp cutoff, EvictionReport* report) {
     report->ids_preserved = prefix_evictable;
   }
   return Status::OK();
+}
+
+void Collection::RollbackEvict(CollectionEvictUndo&& undo) {
+  if (!undo.applied) return;  // the eviction never mutated anything
+  if (undo.full_copy) {
+    documents_ = std::move(undo.documents);
+    docs_at_ = std::move(undo.docs_at);
+  } else {
+    // Re-prepend the evicted prefix. The post-eviction vectors kept their
+    // pre-eviction capacity (erase never shrinks), so these inserts stay
+    // within capacity and only move elements — no allocation, no throw.
+    documents_.insert(documents_.begin(),
+                      std::make_move_iterator(undo.documents.begin()),
+                      std::make_move_iterator(undo.documents.end()));
+    STB_CHECK(undo.docs_at.size() == docs_at_.size())
+        << "eviction undo captured a different stream set";
+    for (size_t s = 0; s < docs_at_.size(); ++s) {
+      docs_at_[s].insert(docs_at_[s].begin(),
+                         std::make_move_iterator(undo.docs_at[s].begin()),
+                         std::make_move_iterator(undo.docs_at[s].end()));
+    }
+  }
+  window_start_ = undo.window_start;
+  doc_id_base_ = undo.doc_id_base;
 }
 
 const StreamInfo& Collection::stream(StreamId id) const {

@@ -39,6 +39,30 @@ struct SnapshotDocument {
 /// reported nothing.
 using Snapshot = std::vector<SnapshotDocument>;
 
+/// Captured pre-eviction state that RollbackEvict uses to undo one
+/// EvictBefore exactly — the collection-level half of FeedRuntime's
+/// transactional tick (docs/ARCHITECTURE.md, failure contract). On the
+/// time-ordered fast path this holds just the copied evicted prefix
+/// (O(evicted) capture); on the renumbering path it holds a full deep copy
+/// of the pre-eviction document state (O(retained) — never reached by an
+/// Append-driven feed). Capture strictly precedes mutation, so an
+/// EvictBefore that throws mid-capture leaves the collection untouched and
+/// `applied` false. Restore consumes the undo.
+struct CollectionEvictUndo {
+  Timestamp window_start = 0;
+  DocId doc_id_base = 0;
+  bool full_copy = false;
+  /// False until the eviction actually started mutating the collection;
+  /// RollbackEvict of an unapplied undo is a no-op.
+  bool applied = false;
+  /// Fast path: the evicted documents, in their original order. Full-copy
+  /// path: every pre-eviction document.
+  std::vector<Document> documents;
+  /// The evicted docs_at_ prefix cells per stream (fast path), or the full
+  /// pre-eviction per-stream tables (full-copy path).
+  std::vector<std::vector<std::vector<DocId>>> docs_at;
+};
+
 /// How one Collection::EvictBefore changed the DocId space — the contract
 /// DocId-keyed consumers (search indexes) use to follow an eviction
 /// incrementally instead of rebuilding (see docs/ARCHITECTURE.md, retention
@@ -104,6 +128,16 @@ class Collection {
   /// index up without a rebuild. O(snapshot tokens + num_streams).
   StatusOr<Timestamp> Append(Snapshot snapshot);
 
+  /// Undoes the most recent Append(s): drops every document filed at
+  /// timestamps >= `old_timeline_length` and shrinks the timeline back.
+  /// Also cleans up a *partially applied* Append (one that died mid-push on
+  /// an allocation failure), which is what makes Append + RollbackAppend an
+  /// all-or-nothing pair for FeedRuntime's transactional tick.
+  /// `old_num_documents` is num_documents() from before the Append;
+  /// requires old_timeline_length in [window_start(), timeline_length()].
+  /// No-throw; O(dropped documents + streams · dropped timestamps).
+  void RollbackAppend(Timestamp old_timeline_length, size_t old_num_documents);
+
   /// Drops every document (and per-stream slot) of timestamps before
   /// `cutoff`, advancing window_start(). On the time-ordered fast path
   /// (Append-driven feeds) surviving documents keep their ids; otherwise
@@ -114,10 +148,27 @@ class Collection {
   /// eviction in place instead of rebuilding. The vocabulary and streams
   /// are never evicted. cutoff <= window_start() is a no-op (reported as
   /// zero evictions with ids preserved); cutoff beyond the timeline is
-  /// OutOfRange. Both paths move O(retained documents + streams · window)
-  /// elements; the fast path additionally skips the renumbering pass and
-  /// the per-document docs_at_ re-filing.
-  Status EvictBefore(Timestamp cutoff, EvictionReport* report = nullptr);
+  /// OutOfRange with the collection untouched and the report still coherent
+  /// (a defined no-op, not caller-discipline UB). Both paths move
+  /// O(retained documents + streams · window) elements; the fast path
+  /// additionally skips the renumbering pass and the per-document docs_at_
+  /// re-filing.
+  ///
+  /// `undo`, when non-null, captures everything RollbackEvict needs to
+  /// restore the pre-eviction state exactly — an O(evicted) copy of the
+  /// evicted prefix on the fast path, a full pre-eviction copy on the
+  /// renumbering path. Capture completes before any mutation, so a failure
+  /// at any point leaves either an untouched collection (undo unapplied) or
+  /// a restorable one.
+  Status EvictBefore(Timestamp cutoff, EvictionReport* report = nullptr,
+                     CollectionEvictUndo* undo = nullptr);
+
+  /// Restores the state captured by the matching EvictBefore, consuming the
+  /// undo. Must be applied to the collection exactly as that eviction (or
+  /// its mid-flight failure) left it — no interleaved mutations. A no-op
+  /// when the eviction never started mutating. No-throw given the undo's
+  /// buffers.
+  void RollbackEvict(CollectionEvictUndo&& undo);
 
   /// First retained timestamp: 0 until EvictBefore advances it. Documents
   /// and DocumentsAt() exist only for times in

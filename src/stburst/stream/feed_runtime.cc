@@ -1,9 +1,14 @@
 #include "stburst/stream/feed_runtime.h"
 
 #include <algorithm>
+#include <exception>
+#include <new>
+#include <unordered_set>
 #include <utility>
 
+#include "stburst/common/fault_injection.h"
 #include "stburst/common/logging.h"
+#include "stburst/common/string_util.h"
 #include "stburst/common/timer.h"
 #include "stburst/index/search_engine.h"
 
@@ -12,6 +17,32 @@ namespace stburst {
 namespace {
 const TermPatterns kEmptyPatterns;
 }  // namespace
+
+// The undo log of one in-flight tick. Every `*_appended` / `*_evicted` flag
+// is set immediately BEFORE its mutating call, so a failure anywhere inside
+// the call (including a partial mutation cut short by an exception) is
+// still rolled back; the per-structure rollbacks are built to clean up
+// partial applications. `committing` flips once the commit tail starts
+// publishing staged state — past that point rollback is impossible and a
+// failure wedges the runtime instead.
+struct FeedRuntime::FeedTickUndo {
+  Timestamp old_timeline = 0;
+  size_t old_num_documents = 0;
+  FrequencyIndex::AppendCheckpoint freq_checkpoint;
+  std::vector<TermId> pre_dirty;
+  bool pre_dirty_captured = false;
+  bool collection_appended = false;
+  bool index_appended = false;
+  bool collection_evicted = false;
+  bool freq_evicted = false;
+  bool bookkeeping_resized = false;
+  bool search_reopened = false;
+  bool committing = false;
+  CollectionEvictUndo collection_undo;
+  FrequencyEvictUndo freq_undo;
+  size_t old_result_terms = 0;
+  size_t old_bookkeeping_terms = 0;
+};
 
 FeedRuntime::FeedRuntime(Collection collection, FeedRuntimeOptions options)
     : options_(std::move(options)), collection_(std::move(collection)) {
@@ -91,11 +122,115 @@ StatusOr<FeedRuntime> FeedRuntime::Create(Collection collection,
 }
 
 StatusOr<FeedTickStats> FeedRuntime::Tick(Snapshot snapshot) {
-  Timer timer;
+  if (wedged_) {
+    return Status::FailedPrecondition(
+        "runtime wedged by a commit-tail failure; rebuild via Create");
+  }
   FeedTickStats stats;
-  stats.documents = snapshot.size();
+  FeedTickUndo undo;
+  Status status = Status::OK();
+  try {
+    status = TickGuarded(std::move(snapshot), &stats, &undo);
+  } catch (const std::bad_alloc&) {
+    status = Status::Internal("allocation failure during tick");
+  }
+#ifdef STBURST_FAULT_INJECTION
+  catch (const fault::FaultInjected& e) {
+    status = Status::Internal(e.what());
+  }
+#endif
+  catch (const std::exception& e) {
+    status =
+        Status::Internal(StringPrintf("exception during tick: %s", e.what()));
+  }
+  if (status.ok()) return stats;
+  if (undo.committing) {
+    // Staged state was partially published; there is no pre-tick state left
+    // to restore. Refuse all further work instead of serving a mix.
+    wedged_ = true;
+    return Status::Internal(StringPrintf(
+        "commit tail failed (%.*s); runtime wedged — rebuild via Create",
+        static_cast<int>(status.message().size()), status.message().data()));
+  }
+  RollbackTick(&undo);
+  return status;
+}
 
-  STB_ASSIGN_OR_RETURN(stats.time, collection_.Append(std::move(snapshot)));
+Status FeedRuntime::ValidateSnapshot(Snapshot* snapshot,
+                                     FeedTickStats* stats) const {
+  const size_t num_streams = collection_.num_streams();
+  const size_t vocab = collection_.vocabulary().size();
+  // Duplicate = the same stream re-reporting the same explicit event id
+  // within one snapshot. Documents without an event id are never flagged
+  // (identical content from a no-id producer is plausible, a repeated event
+  // id is by definition the same report twice). NaN / negative frequencies
+  // need no check: counts are token multiplicities, structurally
+  // non-negative integers (see the validation table in
+  // docs/ARCHITECTURE.md).
+  std::unordered_set<uint64_t> seen_events;
+  auto invalid_reason = [&](const SnapshotDocument& doc) -> const char* {
+    if (doc.stream >= num_streams) return "unknown stream id";
+    for (TermId term : doc.tokens) {
+      // kInvalidTerm is the all-ones sentinel, caught by the range check.
+      if (term >= vocab) return "token outside the vocabulary";
+    }
+    if (doc.event_id != kNoEvent) {
+      const uint64_t key = (static_cast<uint64_t>(doc.stream) << 32) |
+                           static_cast<uint32_t>(doc.event_id);
+      if (!seen_events.insert(key).second) return "duplicate event report";
+    }
+    return nullptr;
+  };
+
+  if (options_.on_invalid == InvalidDocPolicy::kRejectTick) {
+    for (size_t i = 0; i < snapshot->size(); ++i) {
+      const char* reason = invalid_reason((*snapshot)[i]);
+      if (reason != nullptr) {
+        return Status::InvalidArgument(
+            StringPrintf("snapshot document %zu rejected: %s", i, reason));
+      }
+    }
+    return Status::OK();
+  }
+  // kDropDocument: quarantine the offenders in place, keep the rest.
+  size_t out = 0;
+  for (size_t i = 0; i < snapshot->size(); ++i) {
+    if (invalid_reason((*snapshot)[i]) == nullptr) {
+      if (out != i) (*snapshot)[out] = std::move((*snapshot)[i]);
+      ++out;
+    }
+  }
+  stats->rejected_documents = snapshot->size() - out;
+  snapshot->resize(out);
+  return Status::OK();
+}
+
+Status FeedRuntime::TickGuarded(Snapshot snapshot, FeedTickStats* stats,
+                                FeedTickUndo* undo) {
+  Timer timer;
+  const bool has_deadline = options_.tick_deadline_seconds > 0.0;
+  const double start = options_.clock ? options_.clock() : 0.0;
+  const auto over_deadline = [&]() {
+    if (!has_deadline) return false;
+    const double elapsed =
+        options_.clock ? options_.clock() - start : timer.ElapsedSeconds();
+    return elapsed > options_.tick_deadline_seconds;
+  };
+
+  // Step 0: validation is pure — a rejected tick never touched the runtime.
+  STB_RETURN_NOT_OK(ValidateSnapshot(&snapshot, stats));
+  stats->documents = snapshot.size();
+
+  // ---- mutation phase: record undo state before every mutating call ----
+  undo->old_timeline = collection_.timeline_length();
+  undo->old_num_documents = collection_.num_documents();
+  undo->freq_checkpoint = index_.CheckpointBeforeAppend();
+  undo->pre_dirty = index_.PendingDirtyTerms();
+  undo->pre_dirty_captured = true;
+
+  undo->collection_appended = true;
+  STB_ASSIGN_OR_RETURN(stats->time, collection_.Append(std::move(snapshot)));
+  undo->index_appended = true;
   STB_RETURN_NOT_OK(index_.AppendSnapshot(collection_, pool_.get()));
 
   const Timestamp window = options_.retention_window;
@@ -103,87 +238,209 @@ StatusOr<FeedTickStats> FeedRuntime::Tick(Snapshot snapshot) {
   if (window > 0 && collection_.timeline_length() > window) {
     const Timestamp cutoff = collection_.timeline_length() - window;
     if (cutoff > index_.window_start()) {
-      STB_RETURN_NOT_OK(collection_.EvictBefore(cutoff, &eviction));
-      STB_RETURN_NOT_OK(index_.EvictBefore(cutoff, pool_.get()));
-      stats.evicted = true;
+      undo->collection_evicted = true;
+      STB_RETURN_NOT_OK(
+          collection_.EvictBefore(cutoff, &eviction, &undo->collection_undo));
+      undo->freq_evicted = true;
+      STB_RETURN_NOT_OK(
+          index_.EvictBefore(cutoff, pool_.get(), &undo->freq_undo));
+      stats->evicted = true;
     }
   }
 
+  // ---- staging phase: mine and score into buffers, publish nothing ----
   // Terms with appended or evicted postings: their slots are wrong until
   // re-mined. Quiet terms' slots stay exact under the sliding window —
   // their windowed series content is unchanged and timeframes are absolute
   // (the retention contract).
   std::vector<TermId> dirty = index_.TakeDirtyTerms();
-  stats.dirty_terms = dirty.size();
-  STB_RETURN_NOT_OK(Remine(dirty));
+  STBURST_FAULT_POINT("runtime.remine");
+  std::vector<TermPatterns> staged_dirty;
+  STB_ASSIGN_OR_RETURN(
+      const std::vector<TermId> dirty_todo,
+      StageRemineTerms(index_, dirty, options_.miner, &staged_dirty));
+  stats->dirty_terms = dirty_todo.size();
 
-  std::vector<TermId> refreshed;
+  std::vector<TermId> refresh_todo;
+  std::vector<TermPatterns> staged_refresh;
   if (options_.refresh_budget > 0) {
-    refreshed = PickRefreshTargets();
-    stats.refreshed_terms = refreshed.size();
-    STB_RETURN_NOT_OK(Remine(refreshed));
+    if (over_deadline()) {
+      // Degradation ladder, step 1: shed the refresh sweep. Pure freshness
+      // work — quiet slots just keep their standard staleness drift.
+      stats->degraded = true;
+    } else {
+      STB_ASSIGN_OR_RETURN(
+          refresh_todo,
+          StageRemineTerms(index_, PickRefreshTargets(dirty_todo),
+                           options_.miner, &staged_refresh));
+    }
   }
+  stats->refreshed_terms = refresh_todo.size();
 
-  // Search maintenance: one Reopen→edit→Finalize cycle per editing tick —
-  // evicted documents leave in place (their terms lost postings and are
-  // re-derived below anyway; the in-place drop keeps the index structurally
-  // free of dead DocIds whatever the dirty bookkeeping says), then exactly
-  // the re-mined slots are re-scored. Quiet terms' postings stay exact:
-  // their docs, frequencies, and standing patterns are all unchanged. A
-  // tick with nothing to edit skips the cycle entirely, so generation()
-  // moves only when the index could have changed (the documented cache-
-  // invalidation contract).
-  if (options_.search_serving != SearchServing::kNone &&
-      (stats.evicted || !dirty.empty() || !refreshed.empty())) {
-    search_index_.Reopen();
-    bool rebuilt_all = false;
-    if (stats.evicted) {
-      if (eviction.ids_preserved) {
-        search_index_.EvictBefore(eviction.doc_id_base);
-      } else {
-        // Out-of-order historical ingest: survivors were renumbered, so
-        // every DocId in the search index is stale. Never reached on an
-        // Append-driven feed. The rebuild runs after Remine, so it scores
-        // every term — including the dirty and refreshed ones — against
-        // its current slot; re-deriving them again below would be pure
-        // duplicate work.
-        RebuildSearchIndex();
-        rebuilt_all = true;
+  const bool search = options_.search_serving != SearchServing::kNone;
+  const bool rebuild_all = search && stats->evicted && !eviction.ids_preserved;
+  std::vector<TermId> deferred_next;
+  std::vector<std::pair<TermId, std::vector<Posting>>> staged_search;
+  if (search) {
+    // The score set: this tick's re-mined terms, plus any scoring a
+    // previous degraded tick deferred — or every term after a renumbering
+    // eviction (out-of-order historical ingest; never an Append-driven
+    // feed), when every standing DocId went stale at once.
+    std::vector<TermId> want;
+    if (rebuild_all) {
+      want.resize(index_.num_terms());
+      for (size_t t = 0; t < want.size(); ++t) {
+        want[t] = static_cast<TermId>(t);
+      }
+    } else {
+      want.reserve(dirty_todo.size() + refresh_todo.size() +
+                   deferred_search_terms_.size());
+      want.insert(want.end(), dirty_todo.begin(), dirty_todo.end());
+      want.insert(want.end(), refresh_todo.begin(), refresh_todo.end());
+      want.insert(want.end(), deferred_search_terms_.begin(),
+                  deferred_search_terms_.end());
+      std::sort(want.begin(), want.end());
+      want.erase(std::unique(want.begin(), want.end()), want.end());
+    }
+    if (!rebuild_all && !want.empty() && over_deadline()) {
+      // Degradation ladder, step 2: defer search re-scoring — the terms
+      // carry over and the next tick with headroom scores them. Search
+      // *eviction* still runs in the commit tail (a deferred drop would
+      // serve dead DocIds), and a renumbering rebuild is never deferred
+      // for the same reason.
+      stats->degraded = true;
+      deferred_next = std::move(want);
+    } else {
+      // A term staged this tick scores against its staged slot (its
+      // standing slot is still pre-tick); deferred carry-overs score
+      // against their standing slot, which their original tick committed.
+      const auto slot_for = [&](TermId term) -> const TermPatterns& {
+        auto it =
+            std::lower_bound(dirty_todo.begin(), dirty_todo.end(), term);
+        if (it != dirty_todo.end() && *it == term) {
+          return staged_dirty[static_cast<size_t>(it - dirty_todo.begin())];
+        }
+        it = std::lower_bound(refresh_todo.begin(), refresh_todo.end(), term);
+        if (it != refresh_todo.end() && *it == term) {
+          return staged_refresh[static_cast<size_t>(it -
+                                                    refresh_todo.begin())];
+        }
+        if (term < result_.terms.size()) return result_.terms[term];
+        return kEmptyPatterns;
+      };
+      staged_search.reserve(want.size());
+      for (TermId term : want) {
+        STBURST_FAULT_POINT("runtime.search_update");
+        std::vector<Posting> scored;
+        ScoreSearchTerm(term, slot_for(term), &scored);
+        staged_search.emplace_back(term, std::move(scored));
       }
     }
-    if (!rebuilt_all) {
-      for (TermId t : dirty) UpdateSearchTerm(t);
-      for (TermId t : refreshed) UpdateSearchTerm(t);
-    }
-    stats.search_terms =
-        rebuilt_all ? index_.num_terms() : dirty.size() + refreshed.size();
-    search_index_.Finalize();
   }
 
-  stats.seconds = timer.ElapsedSeconds();
-  return stats;
-}
-
-Status FeedRuntime::Remine(const std::vector<TermId>& terms) {
-  STB_RETURN_NOT_OK(RemineTerms(index_, terms, options_.miner, &result_));
+  // ---- commit tail ----
+  // Revertible prologue: container growth that can still fail cleanly — a
+  // rollback just shrinks back to the recorded sizes (the grown slots are
+  // defaults nobody read).
+  const size_t num_terms = index_.num_terms();
   const Timestamp now = collection_.timeline_length();
-  if (last_mined_.size() < index_.num_terms()) {
-    // Vocabulary grew this tick. New terms with postings are in `terms`
-    // (AppendSnapshot marked them dirty) and get stamped below; interned-
-    // but-unseen terms carry no mass, so their stamp never matters.
-    last_mined_.resize(index_.num_terms(), now);
-    last_window_.resize(index_.num_terms(), index_.window_length());
-    mass_.resize(index_.num_terms(), 0.0);
+  const Timestamp window_len = index_.window_length();
+  undo->bookkeeping_resized = true;
+  undo->old_result_terms = result_.terms.size();
+  undo->old_bookkeeping_terms = last_mined_.size();
+  result_.terms.resize(num_terms);
+  for (size_t t = undo->old_result_terms; t < num_terms; ++t) {
+    result_.terms[t].term = static_cast<TermId>(t);
   }
-  for (TermId t : terms) {
+  // Vocabulary growth: new terms with postings are in dirty_todo and get
+  // stamped below; interned-but-unseen terms carry no mass, so their stamp
+  // never matters.
+  last_mined_.resize(num_terms, now);
+  last_window_.resize(num_terms, window_len);
+  mass_.resize(num_terms, 0.0);
+
+  // Search structural edits are still revertible: Reopen + the in-place
+  // eviction precede any term replacement, and an eviction failure (the
+  // index.evict fault site fires before it mutates; its body is
+  // allocation-free) leaves an edit-free reopened index that AbortReopen
+  // re-freezes without a generation bump.
+  const bool touch_search =
+      search && (stats->evicted || !staged_search.empty());
+  if (touch_search) {
+    undo->search_reopened = true;
+    search_index_.Reopen();
+    if (stats->evicted && eviction.ids_preserved) {
+      search_index_.EvictBefore(eviction.doc_id_base);
+    }
+  }
+
+  // Point of no return: staged state starts publishing. Everything below
+  // is no-throw or allocation-light (moves, in-place stamps, the refreeze);
+  // a failure past here — in practice only a true OOM inside the refreeze —
+  // wedges the runtime.
+  undo->committing = true;
+
+  for (size_t i = 0; i < dirty_todo.size(); ++i) {
+    result_.terms[dirty_todo[i]] = std::move(staged_dirty[i]);
+  }
+  for (size_t i = 0; i < refresh_todo.size(); ++i) {
+    result_.terms[refresh_todo[i]] = std::move(staged_refresh[i]);
+  }
+  size_t mined = 0;
+  for (const TermPatterns& slot : result_.terms) mined += slot.mined ? 1 : 0;
+  result_.terms_mined = mined;
+  result_.terms_skipped = result_.terms.size() - mined;
+  result_.threads_used = pool_ != nullptr ? pool_->num_threads() + 1 : 1;
+
+  for (TermId t : dirty_todo) {
     last_mined_[t] = now;
-    last_window_[t] = index_.window_length();
+    last_window_[t] = window_len;
     mass_[t] = index_.TotalCount(t);
   }
+  for (TermId t : refresh_todo) {
+    last_mined_[t] = now;
+    last_window_[t] = window_len;
+    mass_[t] = index_.TotalCount(t);
+  }
+
+  if (touch_search) {
+    for (auto& [term, scored] : staged_search) {
+      search_index_.ReplaceTerm(term, std::move(scored));
+    }
+    stats->search_terms = staged_search.size();
+    search_index_.Finalize();
+  }
+  deferred_search_terms_ = std::move(deferred_next);
+
+  stats->seconds = timer.ElapsedSeconds();
   return Status::OK();
 }
 
-std::vector<TermId> FeedRuntime::PickRefreshTargets() const {
+void FeedRuntime::RollbackTick(FeedTickUndo* undo) {
+  // Reverse order of the tick's mutations. Each rollback is a no-op when
+  // its mutation never started (or never got to mutate anything).
+  if (undo->search_reopened) search_index_.AbortReopen();
+  if (undo->bookkeeping_resized) {
+    result_.terms.resize(undo->old_result_terms);
+    last_mined_.resize(undo->old_bookkeeping_terms);
+    last_window_.resize(undo->old_bookkeeping_terms);
+    mass_.resize(undo->old_bookkeeping_terms);
+  }
+  if (undo->freq_evicted) index_.RollbackEvict(std::move(undo->freq_undo));
+  if (undo->collection_evicted) {
+    collection_.RollbackEvict(std::move(undo->collection_undo));
+  }
+  if (undo->index_appended) index_.RollbackAppend(undo->freq_checkpoint);
+  if (undo->collection_appended) {
+    collection_.RollbackAppend(undo->old_timeline, undo->old_num_documents);
+  }
+  if (undo->pre_dirty_captured) {
+    index_.RestoreDirtyTerms(std::move(undo->pre_dirty));
+  }
+}
+
+std::vector<TermId> FeedRuntime::PickRefreshTargets(
+    const std::vector<TermId>& exclude) const {
   // Priority = windowed mass × ticks since last mine: a heavy term drifting
   // for two ticks outranks a light one drifting for ten. mass_ is exact for
   // every quiet term (anything whose postings changed was re-mined and
@@ -201,6 +458,10 @@ std::vector<TermId> FeedRuntime::PickRefreshTargets() const {
   const Timestamp window = index_.window_length();
   std::vector<std::pair<double, TermId>> candidates;
   for (TermId t = 0; t < last_mined_.size(); ++t) {
+    // The tick's dirty set is being re-mined anyway; spending budget on it
+    // would be duplicate work (and before the staged redesign these terms
+    // were already stamped fresh by the time the sweep ran).
+    if (std::binary_search(exclude.begin(), exclude.end(), t)) continue;
     const Timestamp stale = now - last_mined_[t];
     if (stale <= 0 || mass_[t] <= 0.0) continue;
     if (last_window_[t] == window) continue;
@@ -224,31 +485,33 @@ std::vector<TermId> FeedRuntime::PickRefreshTargets() const {
   return targets;
 }
 
-void FeedRuntime::UpdateSearchTerm(TermId term) {
-  search_index_.ClearTerm(term);
+void FeedRuntime::ScoreSearchTerm(TermId term, const TermPatterns& slot,
+                                  std::vector<Posting>* out) {
   term_patterns_scratch_.clear();
-  if (term < result_.terms.size()) {
-    const TermPatterns& slot = result_.terms[term];
-    if (options_.search_serving == SearchServing::kCombinatorial) {
-      for (const CombinatorialPattern& p : slot.combinatorial) {
-        term_patterns_scratch_.push_back(
-            TermPattern{p.streams, p.timeframe, p.score});
-      }
-    } else {
-      for (const SpatiotemporalWindow& w : slot.regional) {
-        term_patterns_scratch_.push_back(
-            TermPattern{w.streams, w.timeframe, w.score});
-      }
+  if (options_.search_serving == SearchServing::kCombinatorial) {
+    for (const CombinatorialPattern& p : slot.combinatorial) {
+      term_patterns_scratch_.push_back(
+          TermPattern{p.streams, p.timeframe, p.score});
     }
-    // TermPattern's overlap test binary-searches the stream list; the
-    // miners already emit sorted stream sets, but sort defensively — the
-    // lists are tiny and Build (via PatternIndex::Add) does the same.
-    for (TermPattern& p : term_patterns_scratch_) {
-      std::sort(p.streams.begin(), p.streams.end());
+  } else {
+    for (const SpatiotemporalWindow& w : slot.regional) {
+      term_patterns_scratch_.push_back(
+          TermPattern{w.streams, w.timeframe, w.score});
     }
   }
-  IndexTermDocuments(collection_, index_, term, term_patterns_scratch_,
-                     &search_index_);
+  // TermPattern's overlap test binary-searches the stream list; the
+  // miners already emit sorted stream sets, but sort defensively — the
+  // lists are tiny and Build (via PatternIndex::Add) does the same.
+  for (TermPattern& p : term_patterns_scratch_) {
+    std::sort(p.streams.begin(), p.streams.end());
+  }
+  ScoreTermDocuments(collection_, index_, term, term_patterns_scratch_, out);
+}
+
+void FeedRuntime::UpdateSearchTerm(TermId term) {
+  std::vector<Posting> scored;
+  ScoreSearchTerm(term, patterns(term), &scored);
+  search_index_.ReplaceTerm(term, std::move(scored));
 }
 
 void FeedRuntime::RebuildSearchIndex() {

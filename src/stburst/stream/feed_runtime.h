@@ -9,11 +9,13 @@
 // standing BatchMineResult — and drives the full tick cycle:
 //
 //   Tick(snapshot):
+//     0. ValidateSnapshot                 reject or quarantine malformed
+//                                         documents (on_invalid policy)
 //     1. Collection::Append               file the new documents
 //     2. FrequencyIndex::AppendSnapshot   per-term splice fanned across the pool
 //     3. retention eviction               drop timestamps older than the window
 //                                         (collection + index, in lockstep)
-//     4. RemineTerms on the dirty set     appended + evicted terms, on the pool
+//     4. staged re-mine of the dirty set  appended + evicted terms, on the pool
 //     5. background refresh sweep         re-mine the stalest quiet terms,
 //                                         prioritized by mass × staleness,
 //                                         under the per-tick budget
@@ -22,6 +24,18 @@
 //                                         the postings of every term
 //                                         re-mined this tick, in one
 //                                         Reopen→Finalize generation bump
+//
+// Every tick is transactional (the failure and recovery contract in
+// docs/ARCHITECTURE.md): steps 4–6 mine and score into staging buffers and
+// publish in one commit tail, while steps 1–3 record undo state that a
+// failure — a Status error or an exception (std::bad_alloc included) out of
+// any step, on any pool worker — rolls back exactly. After a failed Tick
+// every accessor (result(), search_index() and its generation(),
+// collection(), index()) answers bit-identically to a runtime that never
+// saw the snapshot, and the next clean Tick converges to batch parity.
+// Under a tick deadline the runtime degrades instead of falling behind:
+// the refresh sweep is shed first, search re-scoring deferred second (see
+// FeedRuntimeOptions::tick_deadline_seconds).
 //
 // With a retention window W, live memory is O(V + W · active terms) and a
 // long-running feed plateaus (tested: peak postings memory stays within
@@ -36,6 +50,7 @@
 #ifndef STBURST_STREAM_FEED_RUNTIME_H_
 #define STBURST_STREAM_FEED_RUNTIME_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -59,6 +74,22 @@ enum class SearchServing {
   kNone,           ///< no search index is maintained
   kCombinatorial,  ///< score against the standing STComb patterns
   kRegional,       ///< score against the standing STLocal windows
+};
+
+/// What Tick does with a snapshot document that fails validation (unknown
+/// stream, token outside the vocabulary, duplicate event report). NaN or
+/// negative frequencies are structurally unrepresentable — counts are token
+/// multiplicities — so the malformed inputs that exist are exactly these.
+enum class InvalidDocPolicy {
+  /// The whole tick fails with InvalidArgument and nothing is ingested —
+  /// the strict default: a malformed snapshot points at a broken producer
+  /// and deserves a loud error, not silent data loss.
+  kRejectTick,
+  /// Quarantine: the offending documents are dropped (counted in
+  /// FeedTickStats::rejected_documents) and the rest of the snapshot
+  /// ingests normally — the keep-serving choice for feeds with untrusted
+  /// producers.
+  kDropDocument,
 };
 
 struct FeedRuntimeOptions {
@@ -100,16 +131,38 @@ struct FeedRuntimeOptions {
   /// the sweep (quiet slots keep the PR-2 staleness contract
   /// indefinitely).
   size_t refresh_budget = 0;
+
+  /// What Tick does with snapshot documents that fail validation.
+  InvalidDocPolicy on_invalid = InvalidDocPolicy::kRejectTick;
+
+  /// Soft per-tick deadline in seconds; 0 disables it. When a tick is over
+  /// deadline it degrades instead of falling further behind, shedding work
+  /// in a fixed ladder: (1) the refresh sweep is skipped; (2) search
+  /// re-scoring is deferred — the terms carry over and are scored by the
+  /// next tick that has headroom. Search *eviction* is never deferred (a
+  /// deferred drop would serve dead DocIds), and correctness work (append,
+  /// eviction, dirty re-mine) always runs: degradation trades freshness of
+  /// derived state, never consistency. Degraded ticks set
+  /// FeedTickStats::degraded.
+  double tick_deadline_seconds = 0.0;
+
+  /// Clock the deadline reads, in seconds (only the difference between
+  /// calls matters). Null uses a monotonic wall clock; tests inject a
+  /// scripted clock to drive the degradation ladder deterministically.
+  std::function<double()> clock;
 };
 
 /// What one Tick did — sizes for monitoring, wall time for dashboards.
 struct FeedTickStats {
   Timestamp time = 0;          ///< timestamp assigned to the snapshot
   size_t documents = 0;        ///< documents filed from the snapshot
+  size_t rejected_documents = 0;  ///< documents dropped by validation
+                                  ///< (kDropDocument policy only)
   size_t dirty_terms = 0;      ///< terms re-mined for new/evicted postings
   size_t refreshed_terms = 0;  ///< quiet terms re-mined by the sweep
   size_t search_terms = 0;     ///< terms whose search postings were re-derived
   bool evicted = false;        ///< whether retention advanced the window
+  bool degraded = false;       ///< deadline ladder shed work this tick
   double seconds = 0.0;        ///< wall time of the whole tick
 };
 
@@ -128,9 +181,19 @@ class FeedRuntime {
   FeedRuntime(FeedRuntime&&) = default;
   FeedRuntime& operator=(FeedRuntime&&) = default;
 
-  /// Runs the full tick cycle on one snapshot. On error the runtime should
-  /// be considered wedged mid-cycle (the same contract as RemineTerms):
-  /// inspect, fix the configuration, or rebuild via Create.
+  /// Runs the full tick cycle on one snapshot, transactionally: on error
+  /// (validation under kRejectTick, a Status failure from any step, or an
+  /// exception — std::bad_alloc included — thrown on any pool worker) the
+  /// snapshot's effects are rolled back and every accessor keeps answering
+  /// from the pre-tick state — result(), search_index() (generation
+  /// unchanged), collection(), index() are bit-identical to a runtime that
+  /// never saw the snapshot — and the next clean Tick converges to batch
+  /// parity. The narrow exception: a failure inside the final commit tail
+  /// (after staged state started publishing — in practice only a true OOM
+  /// during the search-index refreeze) wedges the runtime, and every later
+  /// Tick returns FailedPrecondition; rebuild via Create. The
+  /// fault-injection sweep (tests/fault_injection_test.cc) proves the
+  /// rollback contract for every registered failure site.
   StatusOr<FeedTickStats> Tick(Snapshot snapshot);
 
   const Collection& collection() const { return collection_; }
@@ -175,21 +238,46 @@ class FeedRuntime {
   Timestamp staleness(TermId term) const;
 
  private:
+  // Undo log of one in-flight tick; defined in feed_runtime.cc.
+  struct FeedTickUndo;
+
   FeedRuntime(Collection collection, FeedRuntimeOptions options);
 
-  /// Re-mines `terms` on the standing pool and stamps their slots fresh.
-  Status Remine(const std::vector<TermId>& terms);
+  /// Step 0 of Tick, pure (no runtime state touched): enforces the
+  /// on_invalid policy. kRejectTick returns InvalidArgument on the first
+  /// malformed document; kDropDocument filters them out of `snapshot` and
+  /// counts them into `stats->rejected_documents`.
+  Status ValidateSnapshot(Snapshot* snapshot, FeedTickStats* stats) const;
 
-  /// Picks the refresh_budget stalest massy quiet terms, deterministically.
-  std::vector<TermId> PickRefreshTargets() const;
+  /// The guarded tick body: stages every effect, records undo state as it
+  /// goes, and publishes in the commit tail. Exceptions escape to Tick,
+  /// which rolls back via `undo` (or wedges if the commit tail had begun).
+  Status TickGuarded(Snapshot snapshot, FeedTickStats* stats,
+                     FeedTickUndo* undo);
+
+  /// Restores the exact pre-tick state recorded in `undo` (reverse order of
+  /// the tick's mutations). No-throw.
+  void RollbackTick(FeedTickUndo* undo);
+
+  /// Picks the refresh_budget stalest massy quiet terms, deterministically,
+  /// skipping `exclude` (sorted: the tick's dirty set, whose slots are
+  /// already being re-mined).
+  std::vector<TermId> PickRefreshTargets(
+      const std::vector<TermId>& exclude) const;
+
+  /// Scores `term`'s retained documents against `slot`, appending the
+  /// positive search postings to `out` — the staging half of a search-term
+  /// update (committed later with InvertedIndex::ReplaceTerm).
+  void ScoreSearchTerm(TermId term, const TermPatterns& slot,
+                       std::vector<Posting>* out);
 
   /// Replaces the open search index's postings of one term, scoring the
-  /// term's retained documents against its standing slot.
+  /// term's retained documents against its standing slot (Create-time
+  /// build path; Tick stages via ScoreSearchTerm instead).
   void UpdateSearchTerm(TermId term);
 
-  /// Re-derives every term's search postings (the fallback when an eviction
-  /// renumbered DocIds — never on an Append-driven feed). The index object
-  /// is edited, not replaced, so generation() stays monotone.
+  /// Re-derives every term's search postings (Create's initial build). The
+  /// index object is edited, not replaced, so generation() stays monotone.
   void RebuildSearchIndex();
 
   FeedRuntimeOptions options_;
@@ -211,6 +299,13 @@ class FeedRuntime {
   std::vector<Timestamp> last_mined_;   // timeline length at last (re-)mine
   std::vector<Timestamp> last_window_;  // window length at last (re-)mine
   std::vector<double> mass_;            // windowed TotalCount at last mine
+  // Degradation ladder: terms whose search re-scoring a deadline-pressed
+  // tick deferred (sorted, unique); the next tick with headroom scores
+  // them. Empty in steady state.
+  std::vector<TermId> deferred_search_terms_;
+  // Set when a failure struck inside a commit tail (partial publish — no
+  // rollback possible); every further Tick refuses with FailedPrecondition.
+  bool wedged_ = false;
 };
 
 }  // namespace stburst

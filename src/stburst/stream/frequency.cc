@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <utility>
 
+#include "stburst/common/fault_injection.h"
 #include "stburst/common/logging.h"
 #include "stburst/common/parallel.h"
 
@@ -13,7 +15,7 @@ namespace stburst {
 
 TermSeries::TermSeries(size_t num_streams, Timestamp timeline_length)
     : num_streams_(num_streams), timeline_length_(timeline_length) {
-  STB_CHECK(timeline_length > 0) << "timeline length must be positive";
+  STB_CHECK(timeline_length >= 0) << "timeline length must be non-negative";
   data_.assign(num_streams * static_cast<size_t>(timeline_length), 0.0);
 }
 
@@ -347,6 +349,7 @@ Status FrequencyIndex::AppendSnapshot(const Collection& collection,
   // the splice fans across the pool when one is supplied — same output,
   // spliced concurrently.
   ParallelFor(pool, 0, touched.size(), [&](size_t /*worker*/, size_t k) {
+    STBURST_FAULT_POINT_THROW("frequency.append_splice");
     const TermId term = touched[k];
     std::vector<TermPosting>& add = pending[term];
     std::stable_sort(add.begin(), add.end(),
@@ -366,11 +369,41 @@ Status FrequencyIndex::AppendSnapshot(const Collection& collection,
   return Status::OK();
 }
 
-Status FrequencyIndex::EvictBefore(Timestamp cutoff, ThreadPool* pool) {
+void FrequencyIndex::RollbackAppend(const AppendCheckpoint& checkpoint) {
+  STB_CHECK(checkpoint.timeline_length >= window_start_ &&
+            checkpoint.timeline_length <= timeline_length_)
+      << "append checkpoint outside retained timeline";
+  STB_CHECK(checkpoint.num_terms <= postings_.size())
+      << "append checkpoint vocabulary exceeds current";
+  // Every posting the append spliced in carries an appended timestamp, and
+  // splices never merge into pre-existing cells (new times strictly exceed
+  // every retained time), so dropping the new-time suffix of each surviving
+  // term restores the exact pre-append bucket — whether that term's splice
+  // ran to completion or never started.
+  postings_.resize(checkpoint.num_terms);
+  const Timestamp first_new = checkpoint.timeline_length;
+  for (std::vector<TermPosting>& bucket : postings_) {
+    auto keep_end = std::remove_if(
+        bucket.begin(), bucket.end(),
+        [first_new](const TermPosting& p) { return p.time >= first_new; });
+    bucket.erase(keep_end, bucket.end());
+  }
+  timeline_length_ = checkpoint.timeline_length;
+  num_streams_ = checkpoint.num_streams;
+}
+
+Status FrequencyIndex::EvictBefore(Timestamp cutoff, ThreadPool* pool,
+                                   FrequencyEvictUndo* undo) {
   if (cutoff <= window_start_) return Status::OK();
   if (cutoff > timeline_length_) {
     return Status::OutOfRange("eviction cutoff beyond the timeline");
   }
+  if (undo != nullptr) {
+    undo->window_start = window_start_;
+    undo->cutoff = cutoff;
+    undo->removed.clear();
+  }
+  std::mutex undo_mutex;
 
   // Per-term drop of the evicted entries, fanned across the pool. Buckets
   // are (stream, time)-sorted, so evicted entries are interleaved per
@@ -379,7 +412,21 @@ Status FrequencyIndex::EvictBefore(Timestamp cutoff, ThreadPool* pool) {
   // capacity tracks its size instead of its high-water mark.
   std::vector<uint8_t> changed(postings_.size(), 0);
   ParallelFor(pool, 0, postings_.size(), [&](size_t /*worker*/, size_t t) {
+    STBURST_FAULT_POINT_THROW("frequency.evict");
     std::vector<TermPosting>& bucket = postings_[t];
+    if (undo != nullptr) {
+      // Capture before compacting, and publish the captured entries before
+      // touching the bucket: a throw elsewhere then can never leave a
+      // compacted bucket missing from the undo.
+      std::vector<TermPosting> evicted;
+      for (const TermPosting& p : bucket) {
+        if (p.time < cutoff) evicted.push_back(p);
+      }
+      if (!evicted.empty()) {
+        std::lock_guard<std::mutex> lock(undo_mutex);
+        undo->removed.emplace_back(static_cast<TermId>(t), std::move(evicted));
+      }
+    }
     auto keep_end = std::remove_if(
         bucket.begin(), bucket.end(),
         [cutoff](const TermPosting& p) { return p.time < cutoff; });
@@ -396,6 +443,30 @@ Status FrequencyIndex::EvictBefore(Timestamp cutoff, ThreadPool* pool) {
   }
   window_start_ = cutoff;
   return Status::OK();
+}
+
+void FrequencyIndex::RollbackEvict(FrequencyEvictUndo&& undo) {
+  for (auto& [term, evicted] : undo.removed) {
+    STB_CHECK(term < postings_.size()) << "eviction undo term out of range";
+    std::vector<TermPosting>& bucket = postings_[term];
+    // The surviving entries (time >= cutoff) and the evicted entries
+    // (time < cutoff) are both (stream, time)-sorted subsequences of the
+    // original bucket with disjoint cells, so a merge reconstructs it
+    // exactly. Filtering the current bucket to post-cutoff entries first
+    // makes the restore idempotent against a worker that captured its
+    // entries but threw before compacting.
+    std::vector<TermPosting> restored;
+    restored.reserve(bucket.size() + evicted.size());
+    std::vector<TermPosting> kept;
+    kept.reserve(bucket.size());
+    for (const TermPosting& p : bucket) {
+      if (p.time >= undo.cutoff) kept.push_back(p);
+    }
+    std::merge(evicted.begin(), evicted.end(), kept.begin(), kept.end(),
+               std::back_inserter(restored), PostingLess);
+    bucket = std::move(restored);
+  }
+  window_start_ = undo.window_start;
 }
 
 size_t FrequencyIndex::PostingsMemoryBytes() const {

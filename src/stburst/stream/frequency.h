@@ -38,7 +38,9 @@ class ThreadPool;
 class TermSeries {
  public:
   /// Zero-initialized n x L matrix. Requires n > 0 would be too strict (a
-  /// collection may have no streams); L must be positive.
+  /// collection may have no streams), and likewise L = 0 is a valid empty
+  /// window (a fully evicted feed): both degenerate shapes are usable,
+  /// holding no cells. L must be non-negative.
   TermSeries(size_t num_streams, Timestamp timeline_length);
 
   size_t num_streams() const { return num_streams_; }
@@ -90,6 +92,17 @@ struct TermPosting {
   StreamId stream;
   Timestamp time;
   double count;
+};
+
+/// Captured pre-eviction postings that FrequencyIndex::RollbackEvict uses to
+/// undo one EvictBefore exactly — O(evicted postings), holding only the
+/// removed entries per touched term. Consumed by the restore.
+struct FrequencyEvictUndo {
+  Timestamp window_start = 0;
+  Timestamp cutoff = 0;
+  /// Per touched term, the evicted postings in canonical (stream, time)
+  /// order. Terms the eviction left untouched do not appear.
+  std::vector<std::pair<TermId, std::vector<TermPosting>>> removed;
 };
 
 /// Sparse per-term frequency postings over a document collection.
@@ -162,6 +175,30 @@ class FrequencyIndex {
   Status AppendSnapshot(const Collection& collection,
                         ThreadPool* pool = nullptr);
 
+  /// The index dimensions an AppendSnapshot may grow — everything
+  /// RollbackAppend needs to undo one. Capture before the append.
+  struct AppendCheckpoint {
+    Timestamp timeline_length = 0;
+    size_t num_terms = 0;
+    size_t num_streams = 0;
+  };
+
+  /// Snapshot of the current dimensions, for RollbackAppend.
+  AppendCheckpoint CheckpointBeforeAppend() const {
+    return AppendCheckpoint{timeline_length_, postings_.size(), num_streams_};
+  }
+
+  /// Undoes every AppendSnapshot since `checkpoint` was captured, including
+  /// one that failed partway through its parallel splice: every appended
+  /// posting carries a timestamp >= checkpoint.timeline_length and splices
+  /// never merge into pre-existing cells, so dropping those postings (and
+  /// the terms the append grew the vocabulary by) restores the exact
+  /// pre-append postings. The dirty set is NOT rewound — restore it
+  /// separately from a PendingDirtyTerms() copy taken alongside the
+  /// checkpoint. No interleaved evictions allowed between capture and
+  /// rollback. No-throw; O(retained postings of touched terms).
+  void RollbackAppend(const AppendCheckpoint& checkpoint);
+
   /// Drops all postings older than `cutoff`, advancing window_start(). Terms
   /// that lose postings are recorded as dirty (their standing mining slots
   /// reference evicted timestamps) and their buckets are shrunk when the
@@ -179,9 +216,23 @@ class FrequencyIndex {
   ///
   /// `pool`: when non-null the per-term scan is fanned across the pool;
   /// output is identical with or without it. cutoff <= window_start() is a
-  /// no-op; cutoff beyond the timeline is OutOfRange. O(retained + evicted
-  /// postings) work.
-  Status EvictBefore(Timestamp cutoff, ThreadPool* pool = nullptr);
+  /// no-op; cutoff beyond the timeline is OutOfRange (state untouched).
+  /// O(retained + evicted postings) work.
+  ///
+  /// `undo`, when non-null, receives the evicted postings per touched term
+  /// (workers append under a mutex; the set of captured terms is complete
+  /// even when a worker throws mid-pass, because ParallelFor quiesces before
+  /// rethrowing). RollbackEvict restores them exactly.
+  Status EvictBefore(Timestamp cutoff, ThreadPool* pool = nullptr,
+                     FrequencyEvictUndo* undo = nullptr);
+
+  /// Restores the postings captured by the matching EvictBefore, consuming
+  /// the undo. Valid after a completed eviction or one that threw partway:
+  /// every term in the undo is re-merged (evicted entries all predate the
+  /// cutoff, so the merge reconstructs the original canonical bucket), terms
+  /// not in the undo were never touched. The dirty set is NOT rewound —
+  /// restore it separately (see RollbackAppend).
+  void RollbackEvict(FrequencyEvictUndo&& undo);
 
   /// First retained timestamp (0 until EvictBefore advances it). Postings
   /// hold absolute timestamps in [window_start(), timeline_length()).
@@ -200,6 +251,18 @@ class FrequencyIndex {
   /// resets the dirty set. Feed to RemineTerms / index rebuilds so
   /// downstream work is proportional to the feed, not the corpus.
   std::vector<TermId> TakeDirtyTerms();
+
+  /// The pending dirty set as-is (unsorted, may hold duplicates), without
+  /// resetting it. Capture alongside CheckpointBeforeAppend so a failed
+  /// tick can restore the set with RestoreDirtyTerms.
+  std::vector<TermId> PendingDirtyTerms() const { return dirty_terms_; }
+
+  /// Replaces the pending dirty set wholesale — the rollback counterpart of
+  /// PendingDirtyTerms (exact, because the posting rollbacks restore the
+  /// postings the set describes).
+  void RestoreDirtyTerms(std::vector<TermId> dirty) {
+    dirty_terms_ = std::move(dirty);
+  }
 
   size_t num_terms() const { return postings_.size(); }
   size_t num_streams() const { return num_streams_; }

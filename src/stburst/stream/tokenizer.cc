@@ -9,21 +9,33 @@ namespace stburst {
 Tokenizer::Tokenizer(TokenizerOptions options) : options_(std::move(options)) {}
 
 std::vector<std::string> Tokenizer::SplitNormalize(std::string_view text) const {
+  const size_t max_len = options_.max_token_length;
   std::vector<std::string> out;
   std::string current;
+  bool overlong = false;
   auto flush = [&]() {
-    if (current.size() >= options_.min_token_length &&
+    if (!overlong && current.size() >= options_.min_token_length &&
         options_.stopwords.find(current) == options_.stopwords.end()) {
       out.push_back(current);
     }
     current.clear();
+    overlong = false;
   };
   for (char raw : text) {
+    // The unsigned-char cast keeps <cctype> defined for every byte value —
+    // a negative plain char (any byte >= 0x80 on signed-char platforms) is
+    // UB to pass to isalnum/tolower directly.
     unsigned char c = static_cast<unsigned char>(raw);
     if (std::isalnum(c)) {
-      current.push_back(options_.lowercase
-                            ? static_cast<char>(std::tolower(c))
-                            : raw);
+      if (max_len > 0 && current.size() >= max_len) {
+        // Keep scanning the run without accumulating it; the whole run is
+        // dropped at the next separator.
+        overlong = true;
+      } else {
+        current.push_back(options_.lowercase
+                              ? static_cast<char>(std::tolower(c))
+                              : raw);
+      }
     } else {
       flush();
     }

@@ -19,12 +19,22 @@ struct TokenizerOptions {
   bool lowercase = true;
   /// Drop tokens shorter than this many characters.
   size_t min_token_length = 1;
+  /// Drop alphanumeric runs longer than this many bytes (0 = unbounded).
+  /// A megabyte-long "word" in a hostile or binary input is garbage, not a
+  /// term: dropping (rather than truncating) avoids aliasing distinct junk
+  /// runs into one interned term, and the accumulator never grows past the
+  /// bound however long the run is.
+  size_t max_token_length = 64;
   /// Drop tokens in this set (checked after lowercasing).
   std::unordered_set<std::string> stopwords;
 };
 
 /// Splits text on non-alphanumeric characters, normalizes per the options,
-/// and interns the surviving tokens into a vocabulary.
+/// and interns the surviving tokens into a vocabulary. Total on any byte
+/// stream: bytes outside [0, 127] (invalid UTF-8, binary blobs, embedded
+/// NULs) are ordinary non-alphanumeric separators — never UB, never an
+/// error — and memory stays bounded by max_token_length per in-flight
+/// token.
 class Tokenizer {
  public:
   explicit Tokenizer(TokenizerOptions options = {});

@@ -263,6 +263,118 @@ TEST(CollectionRetention, AddStreamAfterEvictionCoversTheWindow) {
   EXPECT_EQ(c->DocumentsAt(late, 5).size(), 1u);
 }
 
+// Checks every observable field two collections share.
+void ExpectSameState(const Collection& a, const Collection& b) {
+  ASSERT_EQ(a.timeline_length(), b.timeline_length());
+  ASSERT_EQ(a.window_start(), b.window_start());
+  ASSERT_EQ(a.doc_id_base(), b.doc_id_base());
+  ASSERT_EQ(a.num_documents(), b.num_documents());
+  for (size_t i = 0; i < a.documents().size(); ++i) {
+    const Document& da = a.documents()[i];
+    const Document& db = b.documents()[i];
+    EXPECT_EQ(da.id, db.id);
+    EXPECT_EQ(da.stream, db.stream);
+    EXPECT_EQ(da.time, db.time);
+    EXPECT_EQ(da.tokens, db.tokens);
+  }
+  for (StreamId s = 0; s < a.num_streams(); ++s) {
+    for (Timestamp t = a.window_start(); t < a.timeline_length(); ++t) {
+      EXPECT_EQ(a.DocumentsAt(s, t), b.DocumentsAt(s, t));
+    }
+  }
+}
+
+Collection MakeRollbackFixture() {
+  auto c = Collection::Create(2);
+  EXPECT_TRUE(c.ok());
+  StreamId s0 = c->AddStream("A", {}, {});
+  StreamId s1 = c->AddStream("B", {}, {});
+  TermId w = c->mutable_vocabulary()->Intern("w");
+  TermId v = c->mutable_vocabulary()->Intern("v");
+  EXPECT_TRUE(c->AddDocument(s0, 0, {w}).ok());
+  EXPECT_TRUE(c->AddDocument(s1, 1, {w, v}).ok());
+  Snapshot snap;
+  snap.push_back(SnapshotDocument{s0, {v}});
+  EXPECT_TRUE(c->Append(std::move(snap)).ok());
+  return std::move(*c);
+}
+
+TEST(CollectionRollback, AppendRoundTripRestoresEverything) {
+  Collection c = MakeRollbackFixture();
+  const Collection before = c;
+  const Timestamp old_timeline = c.timeline_length();
+  const size_t old_docs = c.num_documents();
+
+  Snapshot snap;
+  snap.push_back(SnapshotDocument{0, {0, 1}});
+  snap.push_back(SnapshotDocument{1, {1}});
+  ASSERT_TRUE(c.Append(std::move(snap)).ok());
+  ASSERT_TRUE(c.Append({}).ok());  // rollback spans multiple appends too
+
+  c.RollbackAppend(old_timeline, old_docs);
+  ExpectSameState(c, before);
+}
+
+TEST(CollectionRollback, EvictRoundTripFastPath) {
+  Collection c = MakeRollbackFixture();
+  const Collection before = c;
+
+  CollectionEvictUndo undo;
+  EvictionReport report;
+  ASSERT_TRUE(c.EvictBefore(2, &report, &undo).ok());
+  ASSERT_TRUE(report.ids_preserved);
+  ASSERT_EQ(c.num_documents(), 1u);
+  ASSERT_TRUE(undo.applied);
+
+  c.RollbackEvict(std::move(undo));
+  ExpectSameState(c, before);
+}
+
+TEST(CollectionRollback, EvictRoundTripRenumberingPath) {
+  auto created = Collection::Create(4);
+  ASSERT_TRUE(created.ok());
+  Collection c = std::move(*created);
+  StreamId s = c.AddStream("A", {}, {});
+  TermId w = c.mutable_vocabulary()->Intern("w");
+  // Out-of-order history forces the full-copy undo.
+  ASSERT_TRUE(c.AddDocument(s, 3, {w}).ok());
+  ASSERT_TRUE(c.AddDocument(s, 0, {w, w}).ok());
+  ASSERT_TRUE(c.AddDocument(s, 2, {w}).ok());
+  const Collection before = c;
+
+  CollectionEvictUndo undo;
+  EvictionReport report;
+  ASSERT_TRUE(c.EvictBefore(2, &report, &undo).ok());
+  ASSERT_FALSE(report.ids_preserved);
+  ASSERT_TRUE(undo.full_copy);
+
+  c.RollbackEvict(std::move(undo));
+  ExpectSameState(c, before);
+}
+
+TEST(CollectionRollback, UnappliedUndoIsANoOp) {
+  Collection c = MakeRollbackFixture();
+  const Collection before = c;
+  CollectionEvictUndo undo;  // never handed to an eviction
+  c.RollbackEvict(std::move(undo));
+  ExpectSameState(c, before);
+}
+
+TEST(CollectionRetention, OutOfRangeCutoffLeavesStateUntouched) {
+  Collection c = MakeRollbackFixture();
+  const Collection before = c;
+  CollectionEvictUndo undo;
+  EvictionReport report;
+  ASSERT_TRUE(c.EvictBefore(c.timeline_length() + 1, &report, &undo)
+                  .IsOutOfRange());
+  // A defined no-op: coherent "nothing moved" report, unapplied undo, and
+  // bitwise-unchanged state.
+  EXPECT_EQ(report.evicted_documents, 0u);
+  EXPECT_TRUE(report.ids_preserved);
+  EXPECT_FALSE(undo.applied);
+  ExpectSameState(c, before);
+}
+
 TEST(Collection, MdsProjectionRequiresStreams) {
   auto c = Collection::Create(2);
   ASSERT_TRUE(c.ok());

@@ -543,5 +543,191 @@ TEST(FeedRuntime, CreateRejectsNegativeWindow) {
   EXPECT_TRUE(runtime.status().IsInvalidArgument());
 }
 
+TEST(FeedRuntimeValidation, RejectTickIsAtomic) {
+  // The strict default: one malformed document fails the whole tick with
+  // InvalidArgument and nothing — timeline included — moves.
+  auto runtime = FeedRuntime::Create(MakeSeedCollection(2, 2, 6),
+                                     BaseOptions(1));
+  ASSERT_TRUE(runtime.ok());
+  const Timestamp before = runtime->collection().timeline_length();
+
+  Snapshot bad_stream;
+  bad_stream.push_back(SnapshotDocument{0, {TermId{1}}});
+  bad_stream.push_back(SnapshotDocument{77, {TermId{1}}});
+  EXPECT_TRUE(runtime->Tick(std::move(bad_stream)).status().IsInvalidArgument());
+
+  Snapshot bad_token;
+  bad_token.push_back(SnapshotDocument{0, {TermId{6}}});  // vocab is [0, 6)
+  EXPECT_TRUE(runtime->Tick(std::move(bad_token)).status().IsInvalidArgument());
+
+  Snapshot bad_sentinel;
+  bad_sentinel.push_back(SnapshotDocument{0, {kInvalidTerm}});
+  EXPECT_TRUE(
+      runtime->Tick(std::move(bad_sentinel)).status().IsInvalidArgument());
+
+  EXPECT_EQ(runtime->collection().timeline_length(), before);
+  EXPECT_EQ(runtime->collection().num_documents(), 0u);
+
+  // The rejected ticks left no residue: a clean tick proceeds normally.
+  Snapshot good;
+  good.push_back(SnapshotDocument{0, {TermId{1}}});
+  auto stats = runtime->Tick(std::move(good));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->documents, 1u);
+  EXPECT_EQ(runtime->collection().timeline_length(), before + 1);
+}
+
+TEST(FeedRuntimeValidation, DropDocumentQuarantinesAndIngestsTheRest) {
+  FeedRuntimeOptions opts = BaseOptions(1);
+  opts.on_invalid = InvalidDocPolicy::kDropDocument;
+  auto quarantining = FeedRuntime::Create(MakeSeedCollection(2, 2, 6), opts);
+  ASSERT_TRUE(quarantining.ok());
+  auto control = FeedRuntime::Create(MakeSeedCollection(2, 2, 6),
+                                     BaseOptions(1));
+  ASSERT_TRUE(control.ok());
+
+  Snapshot dirty;
+  dirty.push_back(SnapshotDocument{0, {TermId{1}, TermId{2}}});
+  dirty.push_back(SnapshotDocument{77, {TermId{1}}});       // unknown stream
+  dirty.push_back(SnapshotDocument{1, {TermId{6}}});        // out of vocab
+  dirty.push_back(SnapshotDocument{1, {TermId{3}}});
+  auto stats = quarantining->Tick(std::move(dirty));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->rejected_documents, 2u);
+  EXPECT_EQ(stats->documents, 2u);
+
+  // The surviving documents ingest exactly as a clean snapshot would.
+  Snapshot clean;
+  clean.push_back(SnapshotDocument{0, {TermId{1}, TermId{2}}});
+  clean.push_back(SnapshotDocument{1, {TermId{3}}});
+  auto control_stats = control->Tick(std::move(clean));
+  ASSERT_TRUE(control_stats.ok());
+  EXPECT_EQ(control_stats->rejected_documents, 0u);
+  ExpectIdenticalPostings(quarantining->index(), control->index());
+  ExpectIdenticalResults(quarantining->result(), control->result());
+}
+
+TEST(FeedRuntimeValidation, DuplicateEventReportsAreInvalid) {
+  // The same stream re-reporting the same explicit event id in one snapshot
+  // is a duplicate; documents without an event id never are, and different
+  // streams may report the same event.
+  FeedRuntimeOptions opts = BaseOptions(1);
+  opts.on_invalid = InvalidDocPolicy::kDropDocument;
+  auto runtime = FeedRuntime::Create(MakeSeedCollection(2, 2, 6), opts);
+  ASSERT_TRUE(runtime.ok());
+
+  Snapshot snap;
+  snap.push_back(SnapshotDocument{0, {TermId{1}}, 9});
+  snap.push_back(SnapshotDocument{0, {TermId{2}}, 9});   // duplicate
+  snap.push_back(SnapshotDocument{1, {TermId{3}}, 9});   // other stream: fine
+  snap.push_back(SnapshotDocument{0, {TermId{1}}});      // no id: fine
+  snap.push_back(SnapshotDocument{0, {TermId{1}}});      // no id: fine
+  auto stats = runtime->Tick(std::move(snap));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->rejected_documents, 1u);
+  EXPECT_EQ(stats->documents, 4u);
+
+  auto strict = FeedRuntime::Create(MakeSeedCollection(2, 2, 6),
+                                    BaseOptions(1));
+  ASSERT_TRUE(strict.ok());
+  Snapshot dup;
+  dup.push_back(SnapshotDocument{0, {TermId{1}}, 4});
+  dup.push_back(SnapshotDocument{0, {TermId{2}}, 4});
+  EXPECT_TRUE(strict->Tick(std::move(dup)).status().IsInvalidArgument());
+}
+
+TEST(FeedRuntime, EmptySnapshotTickIsDefined) {
+  // An empty snapshot is a quiet timestamp, not an error: the timeline
+  // advances, nothing is mined, and every stat reads zero.
+  auto runtime = FeedRuntime::Create(MakeSeedCollection(2, 2, 6),
+                                     BaseOptions(1));
+  ASSERT_TRUE(runtime.ok());
+  const Timestamp before = runtime->collection().timeline_length();
+  auto stats = runtime->Tick(Snapshot{});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->time, before);
+  EXPECT_EQ(stats->documents, 0u);
+  EXPECT_EQ(stats->dirty_terms, 0u);
+  EXPECT_EQ(stats->rejected_documents, 0u);
+  EXPECT_FALSE(stats->evicted);
+  EXPECT_FALSE(stats->degraded);
+  EXPECT_EQ(runtime->collection().timeline_length(), before + 1);
+}
+
+TEST(FeedRuntimeDeadline, LadderShedsRefreshThenDefersSearch) {
+  constexpr size_t kStreams = 3;
+  constexpr size_t kVocab = 12;
+
+  FeedRuntimeOptions opts = BaseOptions(1);
+  opts.refresh_budget = 3;
+  opts.search_serving = SearchServing::kCombinatorial;
+  opts.tick_deadline_seconds = 1.0;
+  // Scripted clock: reads 0.0 once (the first tick's start), then 100.0
+  // forever — so the first tick is over deadline at every later check and
+  // every subsequent tick (start 100, checks 100) has headroom.
+  auto calls = std::make_shared<int>(0);
+  opts.clock = [calls]() { return (*calls)++ == 0 ? 0.0 : 100.0; };
+
+  // Seed history so the first tick has dirty terms to re-mine and quiet
+  // terms the sweep would want.
+  Collection seed = MakeSeedCollection(kStreams, 3, kVocab);
+  for (Timestamp t = 0; t < 3; ++t) {
+    for (StreamId s = 0; s < kStreams; ++s) {
+      for (TermId term = 0; term < kVocab; ++term) {
+        ASSERT_TRUE(seed.AddDocument(s, t, {term}).ok());
+      }
+    }
+  }
+  auto runtime = FeedRuntime::Create(std::move(seed), opts);
+  ASSERT_TRUE(runtime.ok());
+  const uint64_t created_generation = runtime->search_index()->generation();
+
+  // Over-deadline tick: correctness work (append + dirty re-mine) runs;
+  // the refresh sweep is shed and search re-scoring deferred.
+  Snapshot snap;
+  snap.push_back(SnapshotDocument{0, {TermId{0}, TermId{0}}});
+  auto degraded = runtime->Tick(std::move(snap));
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_TRUE(degraded->degraded);
+  EXPECT_EQ(degraded->dirty_terms, 1u);       // correctness always runs
+  EXPECT_EQ(degraded->refreshed_terms, 0u);   // ladder step 1: shed
+  EXPECT_EQ(degraded->search_terms, 0u);      // ladder step 2: deferred
+  EXPECT_EQ(runtime->search_index()->generation(), created_generation);
+
+  // The next tick has headroom: the deferred term is scored (catch-up),
+  // the sweep runs again, and the index is back at full-rebuild parity.
+  auto catchup = runtime->Tick(Snapshot{});
+  ASSERT_TRUE(catchup.ok());
+  EXPECT_FALSE(catchup->degraded);
+  EXPECT_GE(catchup->search_terms, 1u);
+  EXPECT_GT(runtime->search_index()->generation(), created_generation);
+  ExpectIdenticalIndexes(
+      *runtime->search_index(),
+      RebuildReferenceSearchIndex(*runtime, SearchServing::kCombinatorial));
+}
+
+TEST(FeedRuntime, SearchEdgeCasesAreDefined) {
+  FeedRuntimeOptions opts = BaseOptions(1);
+  opts.search_serving = SearchServing::kCombinatorial;
+  Collection seed = MakeSeedCollection(2, 3, 6);
+  for (Timestamp t = 0; t < 3; ++t) {
+    for (StreamId s = 0; s < 2; ++s) {
+      ASSERT_TRUE(seed.AddDocument(s, t, {TermId{0}, TermId{1}}).ok());
+    }
+  }
+  auto runtime = FeedRuntime::Create(std::move(seed), opts);
+  ASSERT_TRUE(runtime.ok());
+
+  // Empty query, k = 0, unknown-words-only, and out-of-range term ids all
+  // return an empty (not crashed, not partial) result.
+  EXPECT_TRUE(runtime->Search(std::string(""), 5).docs.empty());
+  EXPECT_TRUE(runtime->Search("...!!!", 5).docs.empty());
+  EXPECT_TRUE(runtime->Search("neverinterned words", 5).docs.empty());
+  EXPECT_TRUE(runtime->Search(std::vector<TermId>{}, 5).docs.empty());
+  EXPECT_TRUE(runtime->Search(std::vector<TermId>{TermId{0}}, 0).docs.empty());
+  EXPECT_TRUE(
+      runtime->Search(std::vector<TermId>{TermId{9999}}, 5).docs.empty());
+}
+
 }  // namespace
 }  // namespace stburst

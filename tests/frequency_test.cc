@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -356,6 +357,69 @@ TEST(FrequencyIndex, PostingsSortedByStreamThenTime) {
                    (p[i - 1].stream == p[i].stream && p[i - 1].time < p[i].time);
     EXPECT_TRUE(ordered);
   }
+}
+
+TEST(FrequencyIndexRollback, AppendRoundTripRestoresPostings) {
+  Collection c = MakeRandomCorpus(51, 6, 10, 80, 300);
+  FrequencyIndex idx = FrequencyIndex::Build(c);
+  const FrequencyIndex before = idx;
+
+  const auto checkpoint = idx.CheckpointBeforeAppend();
+  Rng rng(52);
+  for (int round = 0; round < 3; ++round) {
+    Snapshot snap;
+    for (size_t d = 0; d < 8; ++d) {
+      SnapshotDocument doc;
+      doc.stream = static_cast<StreamId>(rng.NextUint64(c.num_streams()));
+      doc.tokens.push_back(static_cast<TermId>(rng.NextUint64(80)));
+      // Mid-flight vocabulary growth must roll back too.
+      doc.tokens.push_back(c.mutable_vocabulary()->Intern(
+          "new" + std::to_string(rng.NextUint64(20))));
+      snap.push_back(std::move(doc));
+    }
+    ASSERT_TRUE(c.Append(std::move(snap)).ok());
+    ASSERT_TRUE(idx.AppendSnapshot(c).ok());
+  }
+  ASSERT_GT(idx.num_terms(), before.num_terms());
+
+  idx.RollbackAppend(checkpoint);
+  ExpectIdenticalIndexes(before, idx);
+}
+
+TEST(FrequencyIndexRollback, EvictRoundTripRestoresPostings) {
+  Collection c = MakeRandomCorpus(61, 6, 12, 80, 500);
+  for (size_t threads : {0u, 3u}) {
+    FrequencyIndex idx = FrequencyIndex::Build(c);
+    const FrequencyIndex before = idx;
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+
+    FrequencyEvictUndo undo;
+    ASSERT_TRUE(idx.EvictBefore(7, pool.get(), &undo).ok());
+    ASSERT_EQ(idx.window_start(), 7);
+    ASSERT_FALSE(undo.removed.empty());
+
+    idx.RollbackEvict(std::move(undo));
+    ExpectIdenticalIndexes(before, idx);
+    EXPECT_EQ(idx.window_start(), before.window_start());
+  }
+}
+
+TEST(FrequencyIndexRetention, EvictToEmptyWindowStillMines) {
+  // Evicting every retained timestamp leaves L = 0 term series; the miner
+  // must treat that as "nothing to mine", not a checked crash.
+  auto c = Collection::Create(2);
+  ASSERT_TRUE(c.ok());
+  StreamId s = c->AddStream("A", {}, {});
+  TermId w = c->mutable_vocabulary()->Intern("w");
+  ASSERT_TRUE(c->AddDocument(s, 0, {w}).ok());
+  ASSERT_TRUE(c->AddDocument(s, 1, {w}).ok());
+  FrequencyIndex idx = FrequencyIndex::Build(*c);
+  ASSERT_TRUE(c->EvictBefore(2).ok());
+  ASSERT_TRUE(idx.EvictBefore(2).ok());
+  EXPECT_TRUE(idx.postings(w).empty());
+  EXPECT_EQ(idx.window_length(), 0);
+  EXPECT_DOUBLE_EQ(idx.TotalCount(w), 0.0);
 }
 
 }  // namespace

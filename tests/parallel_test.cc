@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <new>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace stburst {
@@ -95,6 +97,63 @@ TEST(ParallelFor, PropagatesFirstException) {
                     if (i == 537) throw std::runtime_error("boom");
                   }),
       std::runtime_error);
+}
+
+TEST(ParallelFor, ExactlyOneExceptionPropagatesWhenManyThrow) {
+  // Every index throws; the loop must rethrow exactly one (the first
+  // captured), quiesce the rest, and leave the count proving no index ran
+  // twice.
+  std::atomic<size_t> attempts{0};
+  try {
+    ParallelFor(size_t{4}, 0, 64, [&](size_t, size_t i) {
+      attempts.fetch_add(1);
+      throw std::runtime_error("worker " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("worker"), std::string::npos);
+  }
+  EXPECT_LE(attempts.load(), 64u);
+  EXPECT_GE(attempts.load(), 1u);
+}
+
+TEST(ParallelFor, SerialPathPropagatesToo) {
+  // The null-pool inline path takes a different code route than the pooled
+  // one; its exception contract must match.
+  EXPECT_THROW(ParallelFor(static_cast<ThreadPool*>(nullptr), 0, 10,
+                           [&](size_t, size_t i) {
+                             if (i == 7) throw std::runtime_error("inline");
+                           }),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, PropagatesBadAllocFromWorkers) {
+  ThreadPool pool(3);
+  EXPECT_THROW(ParallelFor(&pool, 0, 100,
+                           [&](size_t, size_t i) {
+                             if (i == 37) throw std::bad_alloc();
+                           }),
+               std::bad_alloc);
+}
+
+TEST(ParallelFor, PoolStaysUsableAfterAnException) {
+  // FeedRuntime reuses one standing pool across ticks; a tick that died on
+  // a worker exception must leave the pool fully serviceable.
+  ThreadPool pool(3);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(ParallelFor(&pool, 0, 50,
+                             [&](size_t, size_t i) {
+                               if (i % 2 == 0) {
+                                 throw std::runtime_error("boom");
+                               }
+                             }),
+                 std::runtime_error);
+    std::atomic<long> sum{0};
+    ParallelFor(&pool, 0, 100, [&](size_t, size_t i) {
+      sum.fetch_add(static_cast<long>(i));
+    });
+    EXPECT_EQ(sum.load(), 99L * 100L / 2);
+  }
 }
 
 TEST(ParallelFor, SharedPoolRunsMultipleLoops) {

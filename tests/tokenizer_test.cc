@@ -4,6 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <string>
+
+#include "stburst/common/random.h"
+
 namespace stburst {
 namespace {
 
@@ -77,6 +82,84 @@ TEST(Tokenizer, EmptyAndPunctuationOnly) {
   Tokenizer tok;
   EXPECT_TRUE(tok.Tokenize("", &vocab).empty());
   EXPECT_TRUE(tok.Tokenize("..., --- !!!", &vocab).empty());
+}
+
+TEST(Tokenizer, OverlongRunsAreDroppedNotTruncated) {
+  Vocabulary vocab;
+  Tokenizer tok;  // default max_token_length = 64
+  std::string text = "ok " + std::string(1 << 20, 'a') + " fine";
+  auto ids = tok.Tokenize(text, &vocab);
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(vocab.TermOf(ids[0]), "ok");
+  EXPECT_EQ(vocab.TermOf(ids[1]), "fine");
+  // Dropped, not truncated: no 64-byte prefix was interned.
+  EXPECT_EQ(vocab.Lookup(std::string(64, 'a')), kInvalidTerm);
+}
+
+TEST(Tokenizer, MaxTokenLengthBoundaryIsInclusive) {
+  Vocabulary vocab;
+  TokenizerOptions opts;
+  opts.max_token_length = 4;
+  Tokenizer tok(opts);
+  auto ids = tok.Tokenize("abcd abcde abc", &vocab);
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(vocab.TermOf(ids[0]), "abcd");
+  EXPECT_EQ(vocab.TermOf(ids[1]), "abc");
+}
+
+TEST(Tokenizer, ZeroMaxTokenLengthIsUnbounded) {
+  Vocabulary vocab;
+  TokenizerOptions opts;
+  opts.max_token_length = 0;
+  Tokenizer tok(opts);
+  std::string big(500, 'z');
+  auto ids = tok.Tokenize(big, &vocab);
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(vocab.TermOf(ids[0]), big);
+}
+
+TEST(Tokenizer, EveryByteValueIsSafe) {
+  // All 256 byte values, embedded NUL included: bytes outside the ASCII
+  // alphanumerics are separators, never UB (<cctype> with a negative plain
+  // char is undefined — the ASan leg of CI would catch a regression here).
+  std::string all_bytes;
+  for (int b = 0; b < 256; ++b) all_bytes.push_back(static_cast<char>(b));
+  Vocabulary vocab;
+  Tokenizer tok;
+  for (TermId id : tok.Tokenize(all_bytes, &vocab)) {
+    for (char c : vocab.TermOf(id)) {
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)));
+    }
+  }
+  EXPECT_TRUE(tok.Tokenize(std::string("\x80\xff\xfe\x01", 4), &vocab).empty());
+  EXPECT_EQ(tok.Tokenize(std::string("a\0b", 3), &vocab).size(), 2u);
+}
+
+TEST(Tokenizer, RandomBinaryStreamsNeverProduceInvalidTokens) {
+  // Fuzz-shaped: arbitrary binary garbage must yield only bounded,
+  // alphanumeric, stopword-free tokens — and identical results via the
+  // frozen path.
+  Rng rng(97);
+  TokenizerOptions opts;
+  opts.max_token_length = 16;
+  opts.stopwords = Tokenizer::DefaultStopwords();
+  Tokenizer tok(opts);
+  Vocabulary vocab;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string bytes;
+    size_t len = rng.NextUint64(2048);
+    for (size_t i = 0; i < len; ++i) {
+      bytes.push_back(static_cast<char>(rng.NextUint64(256)));
+    }
+    auto ids = tok.Tokenize(bytes, &vocab);
+    for (TermId id : ids) {
+      const std::string& term = vocab.TermOf(id);
+      EXPECT_FALSE(term.empty());
+      EXPECT_LE(term.size(), opts.max_token_length);
+      EXPECT_EQ(opts.stopwords.count(term), 0u);
+    }
+    EXPECT_EQ(tok.TokenizeFrozen(bytes, vocab), ids);
+  }
 }
 
 }  // namespace
