@@ -6,6 +6,10 @@
 # Usage: ./ci.sh [build-dir]             (default: build; build-sanitize when SANITIZE=1)
 #        BUILD_TYPE=Debug ./ci.sh        set CMAKE_BUILD_TYPE (default: RelWithDebInfo)
 #        SANITIZE=1 ./ci.sh              ASan+UBSan build (-DSTBURST_SANITIZE=ON)
+#        TSAN=1 ./ci.sh                  ThreadSanitizer build
+#                                        (-DSTBURST_TSAN=ON) for the
+#                                        read-plane concurrency leg; mutually
+#                                        exclusive with SANITIZE=1
 #        FAULT_INJECTION=1 ./ci.sh       compile in the deterministic fault
 #                                        sites (-DSTBURST_FAULT_INJECTION=ON)
 #                                        so the recovery sweep in
@@ -27,10 +31,18 @@
 # CC/CXX are honored as usual (the CI matrix sets gcc/clang through them).
 set -euo pipefail
 
+if [[ "${TSAN:-0}" == "1" && "${SANITIZE:-0}" == "1" ]]; then
+  echo "TSAN=1 and SANITIZE=1 are mutually exclusive (TSan cannot share a" >&2
+  echo "process with ASan); pick one" >&2
+  exit 1
+fi
+
 if [[ "${FAULT_INJECTION:-0}" == "1" ]]; then
   DEFAULT_DIR="build-fault"
 elif [[ "${SANITIZE:-0}" == "1" ]]; then
   DEFAULT_DIR="build-sanitize"
+elif [[ "${TSAN:-0}" == "1" ]]; then
+  DEFAULT_DIR="build-tsan"
 else
   DEFAULT_DIR="build"
 fi
@@ -43,6 +55,9 @@ if [[ -n "${BUILD_TYPE:-}" ]]; then
 fi
 if [[ "${SANITIZE:-0}" == "1" ]]; then
   CMAKE_ARGS+=("-DSTBURST_SANITIZE=ON")
+fi
+if [[ "${TSAN:-0}" == "1" ]]; then
+  CMAKE_ARGS+=("-DSTBURST_TSAN=ON")
 fi
 if [[ "${FAULT_INJECTION:-0}" == "1" ]]; then
   CMAKE_ARGS+=("-DSTBURST_FAULT_INJECTION=ON")

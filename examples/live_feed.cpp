@@ -9,8 +9,9 @@
 //  3. Go live for 18 weeks. Every Tick: parallel append splice, retention
 //     eviction beyond the 36-week window, dirty-term re-mining, a
 //     background refresh sweep that re-mines the stalest quiet terms
-//     (mass x staleness, 16 terms/tick), and the in-place search-index
-//     update. Two watchlists follow the same index, evicted in lockstep:
+//     (mass x staleness, 16 terms/tick), and the atomic publication of a
+//     freshly built search-index snapshot (readers keep serving the old
+//     one). Two watchlists follow the same index, evicted in lockstep:
 //     an OnlineStComb (combinatorial) and an OnlineRegionalMiner
 //     (regional, bounded to the window by EvictBefore).
 //  4. Verify: the runtime's windowed index matches a from-scratch rebuild
@@ -180,8 +181,9 @@ int main() {
       // Sites that fire on every ingesting tick; the eviction sites join
       // once the window starts sliding (timeline after this tick > window).
       std::vector<std::string> eligible = {
-          "collection.append", "frequency.append_splice",
-          "batch_miner.mine_term", "runtime.remine", "runtime.search_update"};
+          "collection.append",   "frequency.append_splice",
+          "batch_miner.mine_term", "runtime.remine",
+          "runtime.search_update", "runtime.publish"};
       if (week + 1 > kRetentionWeeks) {
         eligible.insert(eligible.end(),
                         {"collection.evict", "frequency.evict", "index.evict"});

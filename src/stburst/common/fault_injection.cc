@@ -36,9 +36,12 @@ SiteState g_sites[] = {
     {"batch_miner.mine_term"},    // per-term mining worker (MineAllTerms /
                                   // RemineTerms / staged re-mines)
     {"runtime.remine"},           // FeedRuntime staging, before the re-mine
-    {"runtime.search_update"},    // per-term search-posting staging
+    {"runtime.search_update"},    // per-term search-posting staging (pool
+                                  // workers in StageSearchPostings)
     {"index.evict"},              // InvertedIndex::EvictBefore, before any
                                   // mutation
+    {"runtime.publish"},          // after the next search snapshot is fully
+                                  // built, before its publication swap
 };
 
 SiteState* FindSite(std::string_view name) {

@@ -1,0 +1,72 @@
+#include "stburst/index/query_cache.h"
+
+#include <utility>
+
+#include "stburst/common/logging.h"
+
+namespace stburst {
+
+namespace {
+// Boost-style hash combine; good enough for a bounded cache.
+inline size_t Combine(size_t seed, size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+}  // namespace
+
+size_t QueryResultCache::KeyHash::operator()(const Key& key) const {
+  size_t h = Combine(std::hash<uint64_t>{}(key.generation),
+                     std::hash<size_t>{}(key.k));
+  for (TermId term : key.terms) h = Combine(h, std::hash<TermId>{}(term));
+  return h;
+}
+
+QueryResultCache::QueryResultCache(size_t max_entries)
+    : max_entries_(max_entries) {
+  STB_CHECK(max_entries_ > 0) << "QueryResultCache needs a positive capacity";
+}
+
+bool QueryResultCache::Lookup(uint64_t generation,
+                              const std::vector<TermId>& terms, size_t k,
+                              TopKResult* out) {
+  Key key{generation, k, terms};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  *out = it->second->result;
+  return true;
+}
+
+void QueryResultCache::Insert(uint64_t generation,
+                              const std::vector<TermId>& terms, size_t k,
+                              const TopKResult& result) {
+  Key key{generation, k, terms};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Lost a benign insert race: same deterministic payload, just touch.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= max_entries_) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(Entry{std::move(key), result});
+  map_.emplace(lru_.front().key, lru_.begin());
+  ++stats_.insertions;
+}
+
+QueryCacheStats QueryResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  QueryCacheStats out = stats_;
+  out.entries = lru_.size();
+  return out;
+}
+
+}  // namespace stburst

@@ -1,0 +1,92 @@
+// Bounded LRU cache for top-k query results, keyed on
+// (index generation, query terms, k).
+//
+// The generation in the key is the whole invalidation story: a tick that
+// publishes a new snapshot bumps the generation, so every entry cached
+// against the old one becomes unreachable — no flush, no epoch scan — and
+// ages out of the LRU as fresh-generation entries displace it. k is part
+// of the key too: a top-5 result is not a prefix oracle for top-10 (TA
+// early-terminates at different depths), so a k mismatch is a miss, never
+// a truncated hit.
+//
+// Thread-safety: Lookup/Insert/stats take one internal mutex, shared by
+// readers only — the tick path never touches the cache, so a slow tick
+// cannot block a cached query (and an uncached runtime skips this class
+// entirely; see FeedRuntimeOptions::search_cache_entries).
+
+#ifndef STBURST_INDEX_QUERY_CACHE_H_
+#define STBURST_INDEX_QUERY_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "stburst/index/threshold_algorithm.h"
+#include "stburst/stream/types.h"
+
+namespace stburst {
+
+/// Counters for cache observability; `entries` is the current size, the
+/// rest are monotone since construction.
+struct QueryCacheStats {
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t insertions = 0;
+  size_t evictions = 0;
+  size_t entries = 0;
+};
+
+class QueryResultCache {
+ public:
+  /// `max_entries` must be positive; the cache never grows past it (the
+  /// least recently used entry is evicted to make room).
+  explicit QueryResultCache(size_t max_entries);
+
+  QueryResultCache(const QueryResultCache&) = delete;
+  QueryResultCache& operator=(const QueryResultCache&) = delete;
+
+  /// True (and `*out` filled) iff an entry for exactly this
+  /// (generation, terms, k) exists; refreshes its LRU position.
+  bool Lookup(uint64_t generation, const std::vector<TermId>& terms, size_t k,
+              TopKResult* out);
+
+  /// Caches `result` under (generation, terms, k), evicting the LRU tail
+  /// if full. Two readers racing the same miss may both Insert; the
+  /// second simply refreshes the entry (results are deterministic, so the
+  /// payloads are identical).
+  void Insert(uint64_t generation, const std::vector<TermId>& terms, size_t k,
+              const TopKResult& result);
+
+  QueryCacheStats stats() const;
+
+ private:
+  struct Key {
+    uint64_t generation = 0;
+    size_t k = 0;
+    std::vector<TermId> terms;
+
+    friend bool operator==(const Key& a, const Key& b) {
+      return a.generation == b.generation && a.k == b.k && a.terms == b.terms;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const;
+  };
+  struct Entry {
+    Key key;
+    TopKResult result;
+  };
+
+  mutable std::mutex mu_;
+  const size_t max_entries_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_;
+  QueryCacheStats stats_;
+};
+
+}  // namespace stburst
+
+#endif  // STBURST_INDEX_QUERY_CACHE_H_

@@ -24,7 +24,9 @@ const TermPatterns kEmptyPatterns;
 // still rolled back; the per-structure rollbacks are built to clean up
 // partial applications. `committing` flips once the commit tail starts
 // publishing staged state — past that point rollback is impossible and a
-// failure wedges the runtime instead.
+// failure wedges the runtime instead. The search read plane needs no undo
+// entry at all: its next generation is built entirely off to the side and
+// an unpublished IndexSnapshot is simply dropped.
 struct FeedRuntime::FeedTickUndo {
   Timestamp old_timeline = 0;
   size_t old_num_documents = 0;
@@ -36,7 +38,6 @@ struct FeedRuntime::FeedTickUndo {
   bool collection_evicted = false;
   bool freq_evicted = false;
   bool bookkeeping_resized = false;
-  bool search_reopened = false;
   bool committing = false;
   CollectionEvictUndo collection_undo;
   FrequencyEvictUndo freq_undo;
@@ -75,6 +76,12 @@ StatusOr<FeedRuntime> FeedRuntime::Create(Collection collection,
     return Status::InvalidArgument(
         "search_serving = kRegional requires miner.mine_regional");
   }
+  // A cache with nothing to cache points at a misconfigured caller.
+  if (options.search_cache_entries > 0 &&
+      options.search_serving == SearchServing::kNone) {
+    return Status::InvalidArgument(
+        "search_cache_entries requires search_serving");
+  }
   FeedRuntime runtime(std::move(collection), std::move(options));
 
   // Apply retention to the history before the initial sweep, so the sweep
@@ -112,11 +119,28 @@ StatusOr<FeedRuntime> FeedRuntime::Create(Collection collection,
     runtime.mass_[t] = runtime.index_.TotalCount(t);
   }
 
-  // Initial search build: retention was already applied above, so the index
-  // covers exactly the retained window and every DocId it holds is live.
+  // Initial search snapshot (generation 1): retention was already applied
+  // above, so the postings cover exactly the retained window and every
+  // DocId is live. Scored across the pool like every later tick.
   if (runtime.options_.search_serving != SearchServing::kNone) {
-    runtime.RebuildSearchIndex();
-    runtime.search_index_.Finalize();
+    std::vector<TermId> all(runtime.index_.num_terms());
+    for (size_t t = 0; t < all.size(); ++t) all[t] = static_cast<TermId>(t);
+    std::vector<std::vector<Posting>> staged = runtime.StageSearchPostings(
+        all,
+        [&](TermId term) -> const TermPatterns& { return runtime.patterns(term); });
+    auto first = std::make_shared<IndexSnapshot>();
+    for (size_t i = 0; i < all.size(); ++i) {
+      first->index.ReplaceTerm(all[i], std::move(staged[i]));
+    }
+    first->index.Finalize();
+    first->generation = first->index.generation();
+    first->window_start = runtime.index_.window_start();
+    first->doc_id_base = runtime.collection_.doc_id_base();
+    runtime.search_snapshot_.Publish(std::move(first));
+    if (runtime.options_.search_cache_entries > 0) {
+      runtime.search_cache_ = std::make_unique<QueryResultCache>(
+          runtime.options_.search_cache_entries);
+    }
   }
   return runtime;
 }
@@ -280,7 +304,8 @@ Status FeedRuntime::TickGuarded(Snapshot snapshot, FeedTickStats* stats,
   const bool search = options_.search_serving != SearchServing::kNone;
   const bool rebuild_all = search && stats->evicted && !eviction.ids_preserved;
   std::vector<TermId> deferred_next;
-  std::vector<std::pair<TermId, std::vector<Posting>>> staged_search;
+  std::vector<TermId> score_terms;
+  std::vector<std::vector<Posting>> staged_postings;
   if (search) {
     // The score set: this tick's re-mined terms, plus any scoring a
     // previous degraded tick deferred — or every term after a renumbering
@@ -305,9 +330,9 @@ Status FeedRuntime::TickGuarded(Snapshot snapshot, FeedTickStats* stats,
     if (!rebuild_all && !want.empty() && over_deadline()) {
       // Degradation ladder, step 2: defer search re-scoring — the terms
       // carry over and the next tick with headroom scores them. Search
-      // *eviction* still runs in the commit tail (a deferred drop would
-      // serve dead DocIds), and a renumbering rebuild is never deferred
-      // for the same reason.
+      // *eviction* still publishes below (a deferred drop would serve dead
+      // DocIds), and a renumbering rebuild is never deferred for the same
+      // reason.
       stats->degraded = true;
       deferred_next = std::move(want);
     } else {
@@ -328,14 +353,39 @@ Status FeedRuntime::TickGuarded(Snapshot snapshot, FeedTickStats* stats,
         if (term < result_.terms.size()) return result_.terms[term];
         return kEmptyPatterns;
       };
-      staged_search.reserve(want.size());
-      for (TermId term : want) {
-        STBURST_FAULT_POINT("runtime.search_update");
-        std::vector<Posting> scored;
-        ScoreSearchTerm(term, slot_for(term), &scored);
-        staged_search.emplace_back(term, std::move(scored));
-      }
+      score_terms = std::move(want);
+      staged_postings = StageSearchPostings(score_terms, slot_for);
     }
+  }
+
+  // ---- staged snapshot build: the next read-plane generation, entirely
+  // off to the side. A private copy of the published index goes through the
+  // incremental fast path (Reopen → EvictBefore → ReplaceTerm → Finalize);
+  // readers keep loading the current snapshot untouched, and on any failure
+  // up to and including the runtime.publish fault point the half-built
+  // successor is simply dropped — no undo entry needed.
+  std::shared_ptr<IndexSnapshot> next_snapshot;
+  const bool touch_search = search && (stats->evicted || !score_terms.empty());
+  if (touch_search) {
+    const std::shared_ptr<const IndexSnapshot> current =
+        search_snapshot_.Load();
+    next_snapshot = std::make_shared<IndexSnapshot>();
+    next_snapshot->index = current->index;
+    next_snapshot->index.Reopen();
+    if (stats->evicted && eviction.ids_preserved) {
+      next_snapshot->index.EvictBefore(eviction.doc_id_base);
+    }
+    for (size_t i = 0; i < score_terms.size(); ++i) {
+      next_snapshot->index.ReplaceTerm(score_terms[i],
+                                       std::move(staged_postings[i]));
+    }
+    // The copy carried the published generation, so this Finalize lands on
+    // exactly generation + 1: one bump per editing tick, as before.
+    next_snapshot->index.Finalize();
+    next_snapshot->generation = next_snapshot->index.generation();
+    next_snapshot->window_start = index_.window_start();
+    next_snapshot->doc_id_base = collection_.doc_id_base();
+    STBURST_FAULT_POINT("runtime.publish");
   }
 
   // ---- commit tail ----
@@ -359,25 +409,10 @@ Status FeedRuntime::TickGuarded(Snapshot snapshot, FeedTickStats* stats,
   last_window_.resize(num_terms, window_len);
   mass_.resize(num_terms, 0.0);
 
-  // Search structural edits are still revertible: Reopen + the in-place
-  // eviction precede any term replacement, and an eviction failure (the
-  // index.evict fault site fires before it mutates; its body is
-  // allocation-free) leaves an edit-free reopened index that AbortReopen
-  // re-freezes without a generation bump.
-  const bool touch_search =
-      search && (stats->evicted || !staged_search.empty());
-  if (touch_search) {
-    undo->search_reopened = true;
-    search_index_.Reopen();
-    if (stats->evicted && eviction.ids_preserved) {
-      search_index_.EvictBefore(eviction.doc_id_base);
-    }
-  }
-
   // Point of no return: staged state starts publishing. Everything below
-  // is no-throw or allocation-light (moves, in-place stamps, the refreeze);
-  // a failure past here — in practice only a true OOM inside the refreeze —
-  // wedges the runtime.
+  // is no-throw or allocation-light (moves, in-place stamps, one atomic
+  // snapshot swap); a failure past here — in practice only a true OOM
+  // inside the bookkeeping moves — wedges the runtime.
   undo->committing = true;
 
   for (size_t i = 0; i < dirty_todo.size(); ++i) {
@@ -404,11 +439,11 @@ Status FeedRuntime::TickGuarded(Snapshot snapshot, FeedTickStats* stats,
   }
 
   if (touch_search) {
-    for (auto& [term, scored] : staged_search) {
-      search_index_.ReplaceTerm(term, std::move(scored));
-    }
-    stats->search_terms = staged_search.size();
-    search_index_.Finalize();
+    stats->search_terms = score_terms.size();
+    // The publication swap: readers that loaded the old snapshot keep it
+    // alive; every later load sees the new generation complete (release
+    // store / acquire load pair — see common/published_ptr.h).
+    search_snapshot_.Publish(std::move(next_snapshot));
   }
   deferred_search_terms_ = std::move(deferred_next);
 
@@ -418,8 +453,9 @@ Status FeedRuntime::TickGuarded(Snapshot snapshot, FeedTickStats* stats,
 
 void FeedRuntime::RollbackTick(FeedTickUndo* undo) {
   // Reverse order of the tick's mutations. Each rollback is a no-op when
-  // its mutation never started (or never got to mutate anything).
-  if (undo->search_reopened) search_index_.AbortReopen();
+  // its mutation never started (or never got to mutate anything). The
+  // search snapshot never appears here: a failed tick's successor was
+  // never published, so readers stayed on the old generation throughout.
   if (undo->bookkeeping_resized) {
     result_.terms.resize(undo->old_result_terms);
     last_mined_.resize(undo->old_bookkeeping_terms);
@@ -486,36 +522,44 @@ std::vector<TermId> FeedRuntime::PickRefreshTargets(
 }
 
 void FeedRuntime::ScoreSearchTerm(TermId term, const TermPatterns& slot,
-                                  std::vector<Posting>* out) {
-  term_patterns_scratch_.clear();
+                                  std::vector<TermPattern>* scratch,
+                                  std::vector<Posting>* out) const {
+  scratch->clear();
   if (options_.search_serving == SearchServing::kCombinatorial) {
     for (const CombinatorialPattern& p : slot.combinatorial) {
-      term_patterns_scratch_.push_back(
-          TermPattern{p.streams, p.timeframe, p.score});
+      scratch->push_back(TermPattern{p.streams, p.timeframe, p.score});
     }
   } else {
     for (const SpatiotemporalWindow& w : slot.regional) {
-      term_patterns_scratch_.push_back(
-          TermPattern{w.streams, w.timeframe, w.score});
+      scratch->push_back(TermPattern{w.streams, w.timeframe, w.score});
     }
   }
   // TermPattern's overlap test binary-searches the stream list; the
   // miners already emit sorted stream sets, but sort defensively — the
   // lists are tiny and Build (via PatternIndex::Add) does the same.
-  for (TermPattern& p : term_patterns_scratch_) {
+  for (TermPattern& p : *scratch) {
     std::sort(p.streams.begin(), p.streams.end());
   }
-  ScoreTermDocuments(collection_, index_, term, term_patterns_scratch_, out);
+  ScoreTermDocuments(collection_, index_, term, *scratch, out);
 }
 
-void FeedRuntime::UpdateSearchTerm(TermId term) {
-  std::vector<Posting> scored;
-  ScoreSearchTerm(term, patterns(term), &scored);
-  search_index_.ReplaceTerm(term, std::move(scored));
-}
-
-void FeedRuntime::RebuildSearchIndex() {
-  for (TermId t = 0; t < index_.num_terms(); ++t) UpdateSearchTerm(t);
+std::vector<std::vector<Posting>> FeedRuntime::StageSearchPostings(
+    const std::vector<TermId>& terms,
+    const std::function<const TermPatterns&(TermId)>& slot_for) const {
+  // Sharded across the standing pool: per-worker pattern scratch (the
+  // calling thread takes the highest worker id), results into
+  // index-addressed slots — schedule-independent output at any thread
+  // count. Reads only frozen state (collection, frequency index, standing
+  // + staged slots), so workers share it without synchronization.
+  std::vector<std::vector<Posting>> staged(terms.size());
+  const size_t workers = pool_ != nullptr ? pool_->num_threads() + 1 : 1;
+  std::vector<std::vector<TermPattern>> scratch(workers);
+  ParallelFor(pool_.get(), 0, terms.size(), [&](size_t worker, size_t i) {
+    STBURST_FAULT_POINT_THROW("runtime.search_update");
+    ScoreSearchTerm(terms[i], slot_for(terms[i]), &scratch[worker],
+                    &staged[i]);
+  });
+  return staged;
 }
 
 TopKResult FeedRuntime::Search(const std::string& query, size_t k) const {
@@ -526,7 +570,33 @@ TopKResult FeedRuntime::Search(const std::vector<TermId>& query,
                                size_t k) const {
   STB_CHECK(options_.search_serving != SearchServing::kNone)
       << "Search requires FeedRuntimeOptions::search_serving";
-  return ThresholdTopK(search_index_, query, k);
+  // One acquire load pins the generation this query answers from; the
+  // snapshot stays alive (and bit-identical) through the TA run however
+  // many ticks publish meanwhile.
+  const std::shared_ptr<const IndexSnapshot> snapshot =
+      search_snapshot_.Load();
+  if (search_cache_ != nullptr) {
+    TopKResult cached;
+    if (search_cache_->Lookup(snapshot->generation, query, k, &cached)) {
+      return cached;
+    }
+    TopKResult fresh = ThresholdTopK(snapshot->index, query, k);
+    search_cache_->Insert(snapshot->generation, query, k, fresh);
+    return fresh;
+  }
+  return ThresholdTopK(snapshot->index, query, k);
+}
+
+const InvertedIndex* FeedRuntime::search_index() const {
+  if (options_.search_serving == SearchServing::kNone) return nullptr;
+  // The slot's own strong reference keeps the pointee alive past this
+  // call's temporary; the pointer stays valid until the next publishing
+  // tick (see the header contract).
+  return &search_snapshot_.Load()->index;
+}
+
+QueryCacheStats FeedRuntime::search_cache_stats() const {
+  return search_cache_ != nullptr ? search_cache_->stats() : QueryCacheStats{};
 }
 
 const TermPatterns& FeedRuntime::patterns(TermId term) const {

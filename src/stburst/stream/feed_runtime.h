@@ -19,22 +19,25 @@
 //     5. background refresh sweep         re-mine the stalest quiet terms,
 //                                         prioritized by mass × staleness,
 //                                         under the per-tick budget
-//     6. search-index maintenance         [optional] drop evicted documents'
-//                                         postings in place and re-derive
-//                                         the postings of every term
-//                                         re-mined this tick, in one
-//                                         Reopen→Finalize generation bump
+//     6. search snapshot build + publish  [optional] the next read-plane
+//                                         generation, built off to the side
+//                                         on a private copy of the current
+//                                         index (per-term re-scoring fanned
+//                                         across the pool) and published to
+//                                         readers with one atomic swap
 //
 // Every tick is transactional (the failure and recovery contract in
-// docs/ARCHITECTURE.md): steps 4–6 mine and score into staging buffers and
-// publish in one commit tail, while steps 1–3 record undo state that a
-// failure — a Status error or an exception (std::bad_alloc included) out of
-// any step, on any pool worker — rolls back exactly. After a failed Tick
-// every accessor (result(), search_index() and its generation(),
-// collection(), index()) answers bit-identically to a runtime that never
-// saw the snapshot, and the next clean Tick converges to batch parity.
-// Under a tick deadline the runtime degrades instead of falling behind:
-// the refresh sweep is shed first, search re-scoring deferred second (see
+// docs/ARCHITECTURE.md): steps 4–6 mine, score, and build into staging
+// state — including the entire next search snapshot — and publish in one
+// commit tail, while steps 1–3 record undo state that a failure — a Status
+// error or an exception (std::bad_alloc included) out of any step, on any
+// pool worker — rolls back exactly. After a failed Tick every accessor
+// (result(), search_snapshot() and its generation, collection(), index())
+// answers bit-identically to a runtime that never saw the snapshot — an
+// unpublished snapshot is simply dropped, readers never knew it existed —
+// and the next clean Tick converges to batch parity. Under a tick deadline
+// the runtime degrades instead of falling behind: the refresh sweep is
+// shed first, search re-scoring deferred second (see
 // FeedRuntimeOptions::tick_deadline_seconds).
 //
 // With a retention window W, live memory is O(V + W · active terms) and a
@@ -43,9 +46,10 @@
 // Every step is deterministic: the standing result after any tick is
 // bit-identical at any thread count (tested at 1/2/4/8).
 //
-// docs/ARCHITECTURE.md covers the retention/eviction contract and the
-// refresh scheduling policy; examples/live_feed.cpp runs the runtime end to
-// end.
+// docs/ARCHITECTURE.md covers the retention/eviction contract, the refresh
+// scheduling policy, and the read plane (snapshot lifecycle, memory
+// ordering, cache invalidation); examples/live_feed.cpp runs the runtime
+// end to end.
 
 #ifndef STBURST_STREAM_FEED_RUNTIME_H_
 #define STBURST_STREAM_FEED_RUNTIME_H_
@@ -56,10 +60,13 @@
 #include <vector>
 
 #include "stburst/common/parallel.h"
+#include "stburst/common/published_ptr.h"
 #include "stburst/common/statusor.h"
 #include "stburst/core/batch_miner.h"
+#include "stburst/index/index_snapshot.h"
 #include "stburst/index/inverted_index.h"
 #include "stburst/index/pattern_index.h"
+#include "stburst/index/query_cache.h"
 #include "stburst/index/threshold_algorithm.h"
 #include "stburst/stream/collection.h"
 #include "stburst/stream/frequency.h"
@@ -99,7 +106,8 @@ struct FeedRuntimeOptions {
 
   /// Workers of the persistent pool (0 = hardware concurrency, 1 = fully
   /// serial on the calling thread). Shared by the index build, the append
-  /// splice, eviction, and every re-mine — no per-tick thread spawn/join.
+  /// splice, eviction, every re-mine, and the search-snapshot build — no
+  /// per-tick thread spawn/join.
   size_t num_threads = 1;
 
   /// Retention window W in timestamps: after each tick, timestamps older
@@ -109,16 +117,27 @@ struct FeedRuntimeOptions {
   /// (unbounded memory — the PR-2 behavior).
   Timestamp retention_window = 0;
 
-  /// Maintain a bursty-document search index (paper §5) over the standing
-  /// result, updated on every tick: evicted documents' postings are dropped
-  /// in place (InvertedIndex::EvictBefore — DocIds survive eviction on the
-  /// Append-driven fast path), and exactly the terms whose slots were
-  /// re-mined this tick (dirty + refreshed) get their postings re-derived —
-  /// so Search() is always window-consistent with result() (tested: equal
-  /// to a from-scratch BurstySearchEngine build over the retained
-  /// collection and standing patterns). Each tick's update is one
-  /// Reopen→edit→Finalize cycle, bumping search_index()->generation() once.
+  /// Maintain a bursty-document search read plane (paper §5) over the
+  /// standing result. Each tick that changes search state builds the next
+  /// immutable IndexSnapshot off to the side — a private copy of the
+  /// current index, edited on the incremental fast path (evicted
+  /// documents' postings dropped, exactly the terms re-mined this tick
+  /// re-derived) — and publishes it with one atomic swap; Search() is
+  /// always window-consistent with result() (tested: equal to a
+  /// from-scratch BurstySearchEngine build over the retained collection
+  /// and standing patterns). Readers hold snapshots across ticks without
+  /// blocking either side; each published generation bumps
+  /// search_snapshot()->generation by one.
   SearchServing search_serving = SearchServing::kNone;
+
+  /// Capacity (entries) of the query-result cache; 0 disables it. Entries
+  /// are keyed on (snapshot generation, query terms, k), so a published
+  /// tick invalidates the whole cache for free — stale generations can
+  /// never be looked up again and age out of the LRU. Cached lookups take
+  /// one reader-only mutex the tick path never touches; leave 0 for the
+  /// mutex-free query path (PublishedPtr slot + frozen data only).
+  /// Requires search_serving.
+  size_t search_cache_entries = 0;
 
   /// Background refresh budget: quiet terms re-mined per tick, stalest
   /// first (priority = total windowed mass × ticks since last mine, ties to
@@ -166,9 +185,15 @@ struct FeedTickStats {
   double seconds = 0.0;        ///< wall time of the whole tick
 };
 
-/// The long-running runtime. Single-writer: Tick (and the accessors during
-/// it) must be externally serialized; between ticks all const accessors are
-/// safe to call concurrently (the standing pool is idle then).
+/// The long-running runtime. Single-writer: Tick must be externally
+/// serialized against itself and against non-read-plane accessors
+/// (result(), collection(), index(), mutable_vocabulary()). The read plane
+/// is the exception: search_snapshot(), search_index(), and Search() with
+/// pre-resolved TermIds are safe from any number of threads concurrently
+/// with a running Tick — readers see the last published snapshot until the
+/// tick's single publication swap, never intermediate state. (String-query
+/// Search only reads the frozen vocabulary, so it too is tick-safe; it
+/// must not overlap a mutable_vocabulary()->Intern burst.)
 class FeedRuntime {
  public:
   /// Takes ownership of the historical collection, builds the sharded
@@ -185,12 +210,13 @@ class FeedRuntime {
   /// (validation under kRejectTick, a Status failure from any step, or an
   /// exception — std::bad_alloc included — thrown on any pool worker) the
   /// snapshot's effects are rolled back and every accessor keeps answering
-  /// from the pre-tick state — result(), search_index() (generation
-  /// unchanged), collection(), index() are bit-identical to a runtime that
-  /// never saw the snapshot — and the next clean Tick converges to batch
-  /// parity. The narrow exception: a failure inside the final commit tail
-  /// (after staged state started publishing — in practice only a true OOM
-  /// during the search-index refreeze) wedges the runtime, and every later
+  /// from the pre-tick state — result(), search_snapshot() (the same
+  /// object, generation unchanged; the half-built successor is dropped
+  /// unpublished), collection(), index() are bit-identical to a runtime
+  /// that never saw the snapshot — and the next clean Tick converges to
+  /// batch parity. The narrow exception: a failure inside the final commit
+  /// tail (after staged state started publishing — in practice only a true
+  /// OOM during the bookkeeping moves) wedges the runtime, and every later
   /// Tick returns FailedPrecondition; rebuild via Create. The
   /// fault-injection sweep (tests/fault_injection_test.cc) proves the
   /// rollback contract for every registered failure site.
@@ -212,23 +238,39 @@ class FeedRuntime {
   /// search-index rebuild); nullptr when the runtime is serial.
   ThreadPool* pool() { return pool_.get(); }
 
-  /// The maintained search index — window-consistent with result() after
-  /// every Tick; nullptr when options.search_serving is kNone. Cached query
-  /// results are keyed by its generation(), which moves once per tick that
-  /// edited the index.
-  const InvertedIndex* search_index() const {
-    return options_.search_serving == SearchServing::kNone ? nullptr
-                                                           : &search_index_;
+  /// The currently published search snapshot — one atomic acquire load, no
+  /// locks. Hold it as long as you like: it stays bit-identical while
+  /// ticks publish successors, and is freed when the last holder releases
+  /// it. Window-consistent with result() as of the tick that published it;
+  /// null when search serving is off. Safe from any thread concurrently
+  /// with Tick.
+  std::shared_ptr<const IndexSnapshot> search_snapshot() const {
+    return search_snapshot_.Load();
   }
 
+  /// Compatibility view of the current snapshot's index; nullptr when
+  /// search serving is off. The pointee is pinned by the runtime's own
+  /// reference, so the pointer stays valid at least until the next
+  /// publishing Tick — callers that hold results across ticks should hold
+  /// search_snapshot() instead. Cached query results are keyed by its
+  /// generation(), which moves once per tick that edited search state.
+  const InvertedIndex* search_index() const;
+
   /// Top-k bursty documents for a raw query string (tokenized against the
-  /// collection's vocabulary; unknown words are dropped) over the
-  /// maintained search index. Requires search serving; safe to call
-  /// concurrently between ticks.
+  /// collection's vocabulary; unknown words are dropped) over the current
+  /// search snapshot. Requires search serving; safe concurrently with Tick
+  /// (but not with vocabulary interning — see the class comment).
   TopKResult Search(const std::string& query, size_t k) const;
 
-  /// Top-k for pre-resolved term ids.
+  /// Top-k for pre-resolved term ids: one atomic snapshot load + TA over
+  /// the immutable snapshot (plus one cache mutex when
+  /// search_cache_entries > 0). Safe from any number of threads
+  /// concurrently with Tick; the result's generation tells which snapshot
+  /// answered.
   TopKResult Search(const std::vector<TermId>& query, size_t k) const;
+
+  /// Query-cache counters; all-zero when the cache is disabled.
+  QueryCacheStats search_cache_stats() const;
 
   Timestamp window_start() const { return index_.window_start(); }
 
@@ -266,19 +308,19 @@ class FeedRuntime {
       const std::vector<TermId>& exclude) const;
 
   /// Scores `term`'s retained documents against `slot`, appending the
-  /// positive search postings to `out` — the staging half of a search-term
-  /// update (committed later with InvertedIndex::ReplaceTerm).
+  /// positive search postings to `out`. Const and scratch-parameterized so
+  /// StageSearchPostings can run it on pool workers.
   void ScoreSearchTerm(TermId term, const TermPatterns& slot,
-                       std::vector<Posting>* out);
+                       std::vector<TermPattern>* scratch,
+                       std::vector<Posting>* out) const;
 
-  /// Replaces the open search index's postings of one term, scoring the
-  /// term's retained documents against its standing slot (Create-time
-  /// build path; Tick stages via ScoreSearchTerm instead).
-  void UpdateSearchTerm(TermId term);
-
-  /// Re-derives every term's search postings (Create's initial build). The
-  /// index object is edited, not replaced, so generation() stays monotone.
-  void RebuildSearchIndex();
+  /// Scores every term in `terms` (slot via `slot_for`) across the
+  /// standing pool into index-addressed result slots — deterministic at
+  /// any thread count. The staging half of the search update; the builder
+  /// commits each list with InvertedIndex::ReplaceTerm.
+  std::vector<std::vector<Posting>> StageSearchPostings(
+      const std::vector<TermId>& terms,
+      const std::function<const TermPatterns&(TermId)>& slot_for) const;
 
   FeedRuntimeOptions options_;
   Collection collection_;
@@ -289,12 +331,13 @@ class FeedRuntime {
   std::unique_ptr<SpatialBinning> binning_;
   FrequencyIndex index_;
   BatchMineResult result_;
-  // Search serving (options_.search_serving != kNone): the maintained
-  // score-sorted index, the tokenizer for string queries, and a scratch
-  // pattern list reused across per-term updates.
-  InvertedIndex search_index_;
+  // The read plane (options_.search_serving != kNone): the published
+  // snapshot slot readers load from, the optional query-result cache
+  // (null when search_cache_entries == 0), and the tokenizer for string
+  // queries.
+  PublishedPtr<IndexSnapshot> search_snapshot_;
+  std::unique_ptr<QueryResultCache> search_cache_;
   Tokenizer tokenizer_;
-  std::vector<TermPattern> term_patterns_scratch_;
   // Per-term bookkeeping for the refresh policy, indexed by TermId.
   std::vector<Timestamp> last_mined_;   // timeline length at last (re-)mine
   std::vector<Timestamp> last_window_;  // window length at last (re-)mine

@@ -262,6 +262,42 @@ TEST(FaultRegistry, SweepConfigurationHitsEverySite) {
   fault::DisarmAll();
 }
 
+// runtime.publish fires after the next snapshot is fully built but before
+// the publication swap: readers must stay on the exact old snapshot object
+// (pointer identity, not merely equal contents — the failed tick's
+// successor was dropped unpublished), and the next clean tick publishes a
+// fresh successor exactly one generation up.
+TEST(FaultRegistry, PublishFailureLeavesReadersOnOldSnapshot) {
+  fault::DisarmAll();
+  auto runtime = FeedRuntime::Create(MakeSeedCollection(), SweepOptions());
+  ASSERT_TRUE(runtime.ok()) << runtime.status().ToString();
+  Rng rng(99);
+  for (int i = 0; i < kWarmupTicks; ++i) {
+    ASSERT_TRUE(runtime->Tick(MakeSnapshot(rng)).ok());
+  }
+  const std::shared_ptr<const IndexSnapshot> before =
+      runtime->search_snapshot();
+  ASSERT_NE(before, nullptr);
+
+  fault::Arm("runtime.publish", /*nth_hit=*/1);
+  auto failed = runtime->Tick(MakeSnapshot(rng));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(fault::HitCount("runtime.publish"), 1u);
+  fault::DisarmAll();
+
+  const std::shared_ptr<const IndexSnapshot> after = runtime->search_snapshot();
+  EXPECT_EQ(after.get(), before.get());
+  EXPECT_EQ(after->generation, before->generation);
+
+  // The dropped successor leaks no generation number: the next clean tick
+  // lands on exactly generation + 1.
+  ASSERT_TRUE(runtime->Tick(MakeSnapshot(rng)).ok());
+  const std::shared_ptr<const IndexSnapshot> recovered =
+      runtime->search_snapshot();
+  EXPECT_NE(recovered.get(), before.get());
+  EXPECT_EQ(recovered->generation, before->generation + 1);
+}
+
 // Re-arming resets the counter; a later hit index delays the failure.
 TEST(FaultRegistry, NthHitArmsOnTheNthHit) {
   fault::DisarmAll();

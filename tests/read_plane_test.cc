@@ -1,0 +1,314 @@
+// Deterministic read-plane tests: snapshot lifetime (a reader holding an
+// old generation reads bit-identical results while ticks publish
+// successors, and the snapshot frees exactly on last release) and the
+// query-result cache (hit/miss/eviction accounting, generation-keyed
+// invalidation, k-mismatch bypass, cached == uncached). The concurrent
+// half of the proof — readers hammering Search() against live ticks —
+// lives in read_plane_concurrency_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "index_test_util.h"
+#include "stburst/common/random.h"
+#include "stburst/index/query_cache.h"
+#include "stburst/stream/feed_runtime.h"
+
+namespace stburst {
+namespace {
+
+constexpr size_t kStreams = 5;
+constexpr size_t kVocab = 40;
+constexpr Timestamp kWindow = 5;
+
+Collection MakeSeedCollection() {
+  auto c = Collection::Create(2);
+  EXPECT_TRUE(c.ok());
+  for (size_t s = 0; s < kStreams; ++s) {
+    c->AddStream("s" + std::to_string(s), {},
+                 Point2D{static_cast<double>(s % 3),
+                         static_cast<double>(s / 3)});
+  }
+  Vocabulary* v = c->mutable_vocabulary();
+  for (size_t t = 0; t < kVocab; ++t) v->Intern("term" + std::to_string(t));
+  return std::move(*c);
+}
+
+Snapshot MakeSnapshot(Rng& rng) {
+  Snapshot snap;
+  for (StreamId s = 0; s < kStreams; ++s) {
+    const size_t docs = 1 + rng.NextUint64(2);
+    for (size_t d = 0; d < docs; ++d) {
+      SnapshotDocument doc;
+      doc.stream = s;
+      const size_t len = 2 + rng.NextUint64(4);
+      for (size_t i = 0; i < len; ++i) {
+        TermId tok = static_cast<TermId>(rng.NextUint64(kVocab));
+        if (rng.Bernoulli(0.5)) {
+          tok = static_cast<TermId>(tok % (kVocab / 4 + 1));
+        }
+        doc.tokens.push_back(tok);
+      }
+      snap.push_back(std::move(doc));
+    }
+  }
+  return snap;
+}
+
+FeedRuntimeOptions ServingOptions(size_t cache_entries = 0) {
+  FeedRuntimeOptions opts;
+  opts.num_threads = 2;
+  opts.retention_window = kWindow;
+  opts.search_serving = SearchServing::kCombinatorial;
+  opts.search_cache_entries = cache_entries;
+  opts.miner.stcomb.min_interval_burstiness = 0.05;
+  return opts;
+}
+
+// A query with a decent chance of postings in the sweep corpus: the low
+// term ids, which MakeSnapshot biases half its tokens into.
+std::vector<TermId> ProbeQuery() { return {0, 1, 2, 3}; }
+
+TEST(ReadPlane, HeldSnapshotStaysBitIdenticalAcrossGenerations) {
+  auto runtime = FeedRuntime::Create(MakeSeedCollection(), ServingOptions());
+  ASSERT_TRUE(runtime.ok()) << runtime.status().ToString();
+  Rng rng(7);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(runtime->Tick(MakeSnapshot(rng)).ok());
+  }
+
+  const std::shared_ptr<const IndexSnapshot> held = runtime->search_snapshot();
+  ASSERT_NE(held, nullptr);
+  const TopKResult before = ThresholdTopK(held->index, ProbeQuery(), 5);
+  // Deep copies to compare bit-for-bit after the runtime moves on.
+  const std::vector<Posting> postings_before = held->index.postings(0);
+  const size_t total_before = held->index.total_postings();
+
+  // Every ingesting tick publishes a successor; the held snapshot must not
+  // move with them.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(runtime->Tick(MakeSnapshot(rng)).ok());
+  }
+  const std::shared_ptr<const IndexSnapshot> current =
+      runtime->search_snapshot();
+  ASSERT_NE(current.get(), held.get());
+  EXPECT_EQ(current->generation, held->generation + 3);
+
+  const TopKResult after = ThresholdTopK(held->index, ProbeQuery(), 5);
+  EXPECT_EQ(after.generation, before.generation);
+  EXPECT_EQ(after.docs, before.docs);
+  const std::vector<Posting>& postings_after = held->index.postings(0);
+  ASSERT_EQ(postings_after.size(), postings_before.size());
+  for (size_t i = 0; i < postings_after.size(); ++i) {
+    EXPECT_EQ(postings_after[i].doc, postings_before[i].doc);
+    EXPECT_EQ(postings_after[i].score, postings_before[i].score);
+  }
+  EXPECT_EQ(held->index.total_postings(), total_before);
+  EXPECT_EQ(held->generation, before.generation);
+}
+
+TEST(ReadPlane, SnapshotFreesOnlyOnLastRelease) {
+  auto runtime = FeedRuntime::Create(MakeSeedCollection(), ServingOptions());
+  ASSERT_TRUE(runtime.ok()) << runtime.status().ToString();
+  Rng rng(11);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(runtime->Tick(MakeSnapshot(rng)).ok());
+  }
+
+  std::shared_ptr<const IndexSnapshot> first_holder =
+      runtime->search_snapshot();
+  std::shared_ptr<const IndexSnapshot> second_holder = first_holder;
+  std::weak_ptr<const IndexSnapshot> watcher = first_holder;
+
+  // Two published generations later the runtime holds only the successor;
+  // the old snapshot lives purely on the readers' references.
+  ASSERT_TRUE(runtime->Tick(MakeSnapshot(rng)).ok());
+  ASSERT_TRUE(runtime->Tick(MakeSnapshot(rng)).ok());
+  first_holder.reset();
+  EXPECT_FALSE(watcher.expired()) << "snapshot freed while still held";
+  second_holder.reset();
+  EXPECT_TRUE(watcher.expired()) << "snapshot leaked past its last release";
+
+  // The current snapshot is pinned by the runtime itself even with no
+  // outside holders.
+  std::weak_ptr<const IndexSnapshot> current_watcher =
+      runtime->search_snapshot();
+  EXPECT_FALSE(current_watcher.expired());
+}
+
+TEST(ReadPlane, SearchIndexAccessorTracksThePublishedSnapshot) {
+  auto runtime = FeedRuntime::Create(MakeSeedCollection(), ServingOptions());
+  ASSERT_TRUE(runtime.ok()) << runtime.status().ToString();
+  Rng rng(13);
+  ASSERT_TRUE(runtime->Tick(MakeSnapshot(rng)).ok());
+
+  const std::shared_ptr<const IndexSnapshot> snapshot =
+      runtime->search_snapshot();
+  EXPECT_EQ(runtime->search_index(), &snapshot->index);
+  EXPECT_EQ(snapshot->generation, snapshot->index.generation());
+  EXPECT_EQ(snapshot->doc_id_base, runtime->collection().doc_id_base());
+  EXPECT_EQ(snapshot->window_start, runtime->window_start());
+
+  ASSERT_TRUE(runtime->Tick(MakeSnapshot(rng)).ok());
+  EXPECT_NE(runtime->search_index(), &snapshot->index);
+}
+
+TEST(ReadPlane, ServingDisabledYieldsNullSnapshot) {
+  FeedRuntimeOptions opts;
+  opts.num_threads = 1;
+  auto runtime = FeedRuntime::Create(MakeSeedCollection(), opts);
+  ASSERT_TRUE(runtime.ok()) << runtime.status().ToString();
+  EXPECT_EQ(runtime->search_snapshot(), nullptr);
+  EXPECT_EQ(runtime->search_index(), nullptr);
+  const QueryCacheStats stats = runtime->search_cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST(ReadPlane, CreateRejectsCacheWithoutServing) {
+  FeedRuntimeOptions opts;
+  opts.search_cache_entries = 16;
+  auto runtime = FeedRuntime::Create(MakeSeedCollection(), opts);
+  EXPECT_FALSE(runtime.ok());
+  EXPECT_EQ(runtime.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---- QueryResultCache unit tests (no runtime) ----
+
+TopKResult FakeResult(uint64_t generation, DocId doc) {
+  TopKResult r;
+  r.docs.push_back(ScoredDoc{doc, 1.0});
+  r.generation = generation;
+  return r;
+}
+
+TEST(QueryCache, HitMissInsertAccounting) {
+  QueryResultCache cache(4);
+  TopKResult out;
+  EXPECT_FALSE(cache.Lookup(1, {5, 6}, 3, &out));
+  cache.Insert(1, {5, 6}, 3, FakeResult(1, 42));
+  EXPECT_TRUE(cache.Lookup(1, {5, 6}, 3, &out));
+  EXPECT_EQ(out.docs.size(), 1u);
+  EXPECT_EQ(out.docs[0].doc, 42u);
+
+  const QueryCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(QueryCache, EvictsLeastRecentlyUsed) {
+  QueryResultCache cache(2);
+  TopKResult out;
+  cache.Insert(1, {1}, 3, FakeResult(1, 1));
+  cache.Insert(1, {2}, 3, FakeResult(1, 2));
+  // Touch {1}: {2} becomes the LRU tail and the next insert evicts it.
+  EXPECT_TRUE(cache.Lookup(1, {1}, 3, &out));
+  cache.Insert(1, {3}, 3, FakeResult(1, 3));
+  EXPECT_TRUE(cache.Lookup(1, {1}, 3, &out));
+  EXPECT_FALSE(cache.Lookup(1, {2}, 3, &out));
+  EXPECT_TRUE(cache.Lookup(1, {3}, 3, &out));
+
+  const QueryCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(QueryCache, GenerationAndKArePartOfTheKey) {
+  QueryResultCache cache(8);
+  TopKResult out;
+  cache.Insert(1, {1, 2}, 3, FakeResult(1, 1));
+  EXPECT_FALSE(cache.Lookup(2, {1, 2}, 3, &out)) << "stale generation served";
+  EXPECT_FALSE(cache.Lookup(1, {1, 2}, 5, &out)) << "k mismatch served";
+  EXPECT_FALSE(cache.Lookup(1, {2, 1}, 3, &out)) << "term order ignored";
+  EXPECT_TRUE(cache.Lookup(1, {1, 2}, 3, &out));
+}
+
+// ---- cache behavior through the runtime ----
+
+TEST(ReadPlane, CacheHitsRepeatsAndInvalidatesOnPublish) {
+  auto runtime = FeedRuntime::Create(MakeSeedCollection(), ServingOptions(16));
+  ASSERT_TRUE(runtime.ok()) << runtime.status().ToString();
+  Rng rng(17);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(runtime->Tick(MakeSnapshot(rng)).ok());
+  }
+
+  const TopKResult first = runtime->Search(ProbeQuery(), 5);
+  const TopKResult second = runtime->Search(ProbeQuery(), 5);
+  EXPECT_EQ(second.docs, first.docs);
+  EXPECT_EQ(second.generation, first.generation);
+  QueryCacheStats stats = runtime->search_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+
+  // A publishing tick moves the generation: the cached entry is
+  // unreachable (its key embeds the old generation) and the next Search
+  // answers from the new snapshot, never the stale entry.
+  ASSERT_TRUE(runtime->Tick(MakeSnapshot(rng)).ok());
+  const TopKResult fresh = runtime->Search(ProbeQuery(), 5);
+  EXPECT_EQ(fresh.generation, first.generation + 1);
+  EXPECT_EQ(fresh.generation, runtime->search_snapshot()->generation);
+  stats = runtime->search_cache_stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+
+  // Uncached reference over the same snapshot: the cache changed nothing.
+  const TopKResult reference =
+      ThresholdTopK(runtime->search_snapshot()->index, ProbeQuery(), 5);
+  EXPECT_EQ(fresh.docs, reference.docs);
+}
+
+TEST(ReadPlane, CacheKMismatchBypassesTheEntry) {
+  auto runtime = FeedRuntime::Create(MakeSeedCollection(), ServingOptions(16));
+  ASSERT_TRUE(runtime.ok()) << runtime.status().ToString();
+  Rng rng(19);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(runtime->Tick(MakeSnapshot(rng)).ok());
+  }
+
+  const TopKResult top3 = runtime->Search(ProbeQuery(), 3);
+  const TopKResult top5 = runtime->Search(ProbeQuery(), 5);
+  const QueryCacheStats stats = runtime->search_cache_stats();
+  EXPECT_EQ(stats.hits, 0u) << "a top-3 entry must not answer a top-5 query";
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.insertions, 2u);
+  EXPECT_LE(top3.docs.size(), 3u);
+  // The top-3 list is the top-5 prefix — same index, same ordering.
+  for (size_t i = 0; i < top3.docs.size(); ++i) {
+    EXPECT_EQ(top3.docs[i], top5.docs[i]);
+  }
+}
+
+TEST(ReadPlane, CachedRuntimeMatchesUncachedTickForTick) {
+  auto cached = FeedRuntime::Create(MakeSeedCollection(), ServingOptions(8));
+  ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+  auto plain = FeedRuntime::Create(MakeSeedCollection(), ServingOptions(0));
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+
+  Rng cached_rng(23), plain_rng(23);
+  const std::vector<std::vector<TermId>> queries = {
+      {0, 1}, {2, 3, 4}, {1, 5, 9}, {0, 1}, {7}, {0, 1, 2, 3}};
+  for (int tick = 0; tick < 10; ++tick) {
+    ASSERT_TRUE(cached->Tick(MakeSnapshot(cached_rng)).ok());
+    ASSERT_TRUE(plain->Tick(MakeSnapshot(plain_rng)).ok());
+    for (const auto& q : queries) {
+      const TopKResult a = cached->Search(q, 4);
+      const TopKResult b = plain->Search(q, 4);
+      EXPECT_EQ(a.docs, b.docs) << "tick " << tick;
+      EXPECT_EQ(a.generation, b.generation) << "tick " << tick;
+    }
+  }
+  // The repeated queries actually exercised the hit path.
+  EXPECT_GT(cached->search_cache_stats().hits, 0u);
+}
+
+}  // namespace
+}  // namespace stburst
