@@ -67,7 +67,13 @@ def diff(baseline, candidate, threshold, include_naive=False):
                      "(not gated; refresh the baseline if intentional)"
                      % (len(only_base), ", ".join(only_base)))
     if only_cand:
-        lines.append("ops only in candidate (skipped): " + ", ".join(only_cand))
+        # Symmetric with the vanished-op case: an op the baseline has never
+        # seen runs ungated, so a silently passing new benchmark would stay
+        # ungated forever if this stayed quiet.
+        lines.append("WARNING: %d op(s) in the candidate are missing from the "
+                     "baseline: %s — new benchmark running ungated? "
+                     "(not gated; refresh the baseline to start gating it)"
+                     % (len(only_cand), ", ".join(only_cand)))
     return lines, regressions
 
 
@@ -79,12 +85,17 @@ def self_test():
     assert regressions == ["b"], regressions          # 2x slower: flagged
     assert all("c_naive" not in r for r in regressions)  # naive ops ignored
     # A vanished op warns loudly (names the op) but never gates: the warning
-    # is how baseline drift surfaces a deleted benchmark.
-    vanished = [l for l in lines if l.startswith("WARNING")]
-    assert len(vanished) == 1, lines
-    assert "gone" in vanished[0] and "missing from the candidate" in vanished[0]
+    # is how baseline drift surfaces a deleted benchmark. A candidate-only
+    # op warns just as loudly — it is running ungated until the baseline is
+    # refreshed — and never gates either.
+    warnings = [l for l in lines if l.startswith("WARNING")]
+    assert len(warnings) == 2, lines
+    vanished = [l for l in warnings if "missing from the candidate" in l]
+    assert len(vanished) == 1 and "gone" in vanished[0], lines
     assert "gone" not in regressions
-    assert any("only in candidate" in l for l in lines)
+    ungated = [l for l in warnings if "missing from the baseline" in l]
+    assert len(ungated) == 1 and "new" in ungated[0], lines
+    assert "new" not in regressions
 
     warn_all, none = diff(baseline, {"a": 109.0}, threshold=0.10)
     assert none == [], none                           # within threshold: ok

@@ -1,0 +1,227 @@
+// Sharded live feed: the same snapshot stream driven through a K=4
+// ShardedRuntime and an unsharded FeedRuntime control, week by week, with
+// the bit-identity contract checked at every tick (docs/ARCHITECTURE.md,
+// "Sharded runtime").
+//
+//  1. Ingest a 30-week historical corpus (same generator as live_feed).
+//  2. Bring up both runtimes over copies of the same collection: the
+//     control owns the whole vocabulary; the sharded runtime splits it
+//     hash(term) % 4 ways behind one coordinator pool.
+//  3. Go live for 18 weeks with a storm burst in the clustered streams.
+//     Every week both runtimes tick the same snapshot; the example then
+//     verifies that tick stats (all but wall time), the watched term's
+//     standing patterns, and the top-10 search answer for "storm" —
+//     documents, scores, access counts, early termination — are identical.
+//     Any divergence prints the week and exits nonzero.
+//
+// Run: ./build/examples/sharded_feed
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "stburst/common/random.h"
+#include "stburst/stream/feed_runtime.h"
+#include "stburst/stream/sharded_runtime.h"
+
+using namespace stburst;
+
+namespace {
+
+constexpr Timestamp kHistoryWeeks = 30;
+constexpr Timestamp kLiveWeeks = 18;
+constexpr Timestamp kRetentionWeeks = 36;
+constexpr size_t kBackgroundVocab = 400;
+constexpr size_t kNumShards = 4;
+
+std::vector<TermId> BackgroundTokens(Rng& rng) {
+  std::vector<TermId> tokens;
+  size_t len = 3 + rng.NextUint64(6);
+  for (size_t i = 0; i < len; ++i) {
+    TermId tok = static_cast<TermId>(rng.NextUint64(kBackgroundVocab));
+    if (rng.Bernoulli(0.5)) {
+      tok = static_cast<TermId>(tok % (kBackgroundVocab / 8 + 1));
+    }
+    tokens.push_back(tok);
+  }
+  return tokens;
+}
+
+StatusOr<Collection> BuildCorpus() {
+  STB_ASSIGN_OR_RETURN(Collection collection,
+                       Collection::Create(kHistoryWeeks));
+  Rng rng(2012);
+  for (int s = 0; s < 12; ++s) {
+    double x = s < 4 ? 1.0 + 0.5 * s : 10.0 + 3.0 * s;
+    double y = s < 4 ? 1.0 + 0.4 * s : 2.0 * (s % 5);
+    collection.AddStream("city" + std::to_string(s), {}, Point2D{x, y});
+  }
+  Vocabulary* vocab = collection.mutable_vocabulary();
+  for (size_t t = 0; t < kBackgroundVocab; ++t) {
+    vocab->Intern("bg" + std::to_string(t));
+  }
+  const TermId storm = vocab->Intern("storm");
+  for (Timestamp week = 0; week < kHistoryWeeks; ++week) {
+    for (StreamId s = 0; s < collection.num_streams(); ++s) {
+      size_t docs = 2 + rng.NextUint64(3);
+      for (size_t d = 0; d < docs; ++d) {
+        std::vector<TermId> tokens = BackgroundTokens(rng);
+        if (rng.Bernoulli(0.05)) tokens.push_back(storm);
+        STB_RETURN_NOT_OK(
+            collection.AddDocument(s, week, std::move(tokens)).status());
+      }
+    }
+  }
+  return collection;
+}
+
+bool SamePatterns(const TermPatterns& a, const TermPatterns& b) {
+  if (a.term != b.term || a.mined != b.mined ||
+      a.combinatorial.size() != b.combinatorial.size() ||
+      a.regional.size() != b.regional.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.combinatorial.size(); ++i) {
+    const CombinatorialPattern& x = a.combinatorial[i];
+    const CombinatorialPattern& y = b.combinatorial[i];
+    if (x.streams != y.streams || !(x.timeframe == y.timeframe) ||
+        x.score != y.score) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < a.regional.size(); ++i) {
+    const SpatiotemporalWindow& x = a.regional[i];
+    const SpatiotemporalWindow& y = b.regional[i];
+    if (!(x.region == y.region) || x.streams != y.streams ||
+        !(x.timeframe == y.timeframe) || x.score != y.score) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SameSearch(const TopKResult& a, const TopKResult& b) {
+  // Generation schemes differ (shard-sum vs single index); everything the
+  // caller can act on must match.
+  return a.docs == b.docs && a.sorted_accesses == b.sorted_accesses &&
+         a.random_accesses == b.random_accesses &&
+         a.early_terminated == b.early_terminated;
+}
+
+}  // namespace
+
+int main() {
+  auto control_corpus = BuildCorpus();
+  auto sharded_corpus = BuildCorpus();  // same seed: identical corpus
+  if (!control_corpus.ok() || !sharded_corpus.ok()) return 1;
+  const TermId storm = control_corpus->vocabulary().Lookup("storm");
+
+  FeedRuntimeOptions opts;
+  opts.miner.stcomb.min_interval_burstiness = 0.1;
+  opts.num_threads = 4;
+  opts.retention_window = kRetentionWeeks;
+  opts.refresh_budget = 16;
+  opts.search_serving = SearchServing::kCombinatorial;
+
+  auto control = FeedRuntime::Create(std::move(*control_corpus), opts);
+  if (!control.ok()) {
+    std::fprintf(stderr, "FeedRuntime::Create: %s\n",
+                 control.status().ToString().c_str());
+    return 1;
+  }
+  ShardedRuntimeOptions sharded_opts;
+  sharded_opts.runtime = opts;
+  sharded_opts.num_shards = kNumShards;
+  auto sharded =
+      ShardedRuntime::Create(std::move(*sharded_corpus), sharded_opts);
+  if (!sharded.ok()) {
+    std::fprintf(stderr, "ShardedRuntime::Create: %s\n",
+                 sharded.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("control up: %zu documents, %zu terms\n",
+              control->collection().num_documents(),
+              control->collection().vocabulary().size());
+  size_t shard_docs = 0;
+  for (size_t s = 0; s < sharded->num_shards(); ++s) {
+    shard_docs += sharded->shard(s).collection().num_documents();
+  }
+  std::printf("sharded up: %zu shards, %zu routed document copies\n\n",
+              sharded->num_shards(), shard_docs);
+
+  Rng rng(777);
+  std::printf("live parity run (%d weeks, window %d weeks):\n", kLiveWeeks,
+              kRetentionWeeks);
+  std::printf("%6s %6s %7s %9s %7s %12s %12s\n", "week", "docs", "dirty",
+              "refresh", "evict", "control(ms)", "sharded(ms)");
+  for (Timestamp week = kHistoryWeeks; week < kHistoryWeeks + kLiveWeeks;
+       ++week) {
+    const bool bursting = week >= 36 && week <= 40;
+    Snapshot snap;
+    for (StreamId s = 0; s < control->collection().num_streams(); ++s) {
+      size_t docs = 2 + rng.NextUint64(3);
+      for (size_t d = 0; d < docs; ++d) {
+        SnapshotDocument doc;
+        doc.stream = s;
+        doc.tokens = BackgroundTokens(rng);
+        if (rng.Bernoulli(0.05)) doc.tokens.push_back(storm);
+        snap.push_back(std::move(doc));
+      }
+      if (bursting && s < 4) {
+        SnapshotDocument doc;
+        doc.stream = s;
+        doc.tokens = {storm, storm, storm, storm};
+        snap.push_back(std::move(doc));
+      }
+    }
+
+    auto control_stats = control->Tick(Snapshot(snap));
+    auto sharded_stats = sharded->Tick(std::move(snap));
+    if (!control_stats.ok() || !sharded_stats.ok()) {
+      std::fprintf(stderr, "tick failed week %d: control=%s sharded=%s\n",
+                   week, control_stats.status().ToString().c_str(),
+                   sharded_stats.status().ToString().c_str());
+      return 1;
+    }
+    if (control_stats->time != sharded_stats->time ||
+        control_stats->documents != sharded_stats->documents ||
+        control_stats->rejected_documents !=
+            sharded_stats->rejected_documents ||
+        control_stats->dirty_terms != sharded_stats->dirty_terms ||
+        control_stats->refreshed_terms != sharded_stats->refreshed_terms ||
+        control_stats->search_terms != sharded_stats->search_terms ||
+        control_stats->evicted != sharded_stats->evicted ||
+        control_stats->degraded != sharded_stats->degraded) {
+      std::fprintf(stderr, "tick stats diverged at week %d\n", week);
+      return 1;
+    }
+    if (!SamePatterns(control->patterns(storm), sharded->patterns(storm))) {
+      std::fprintf(stderr, "standing patterns diverged at week %d\n", week);
+      return 1;
+    }
+    if (!SameSearch(control->Search("storm", 10),
+                    sharded->Search("storm", 10))) {
+      std::fprintf(stderr, "search answers diverged at week %d\n", week);
+      return 1;
+    }
+    std::printf("%6d %6zu %7zu %9zu %7s %12.1f %12.1f\n", week,
+                control_stats->documents, control_stats->dirty_terms,
+                control_stats->refreshed_terms,
+                control_stats->evicted ? "yes" : "no",
+                control_stats->seconds * 1e3, sharded_stats->seconds * 1e3);
+  }
+
+  // Spot-check the full standing state once more at the end: every term's
+  // patterns must match, whichever shard owns it.
+  for (TermId t = 0; t < control->collection().vocabulary().size(); ++t) {
+    if (!SamePatterns(control->patterns(t), sharded->patterns(t))) {
+      std::fprintf(stderr, "final patterns diverged for term %u\n", t);
+      return 1;
+    }
+  }
+
+  std::printf("\n%d live weeks bit-identical across %zu shards "
+              "(stats, standing patterns, search top-10)\n",
+              kLiveWeeks, sharded->num_shards());
+  return 0;
+}

@@ -42,6 +42,10 @@ SiteState g_sites[] = {
                                   // mutation
     {"runtime.publish"},          // after the next search snapshot is fully
                                   // built, before its publication swap
+    {"sharded.commit"},           // ShardedRuntime::Tick, after every shard
+                                  // staged cleanly and before the first
+                                  // shard commits (never hit by an
+                                  // unsharded FeedRuntime::Tick)
 };
 
 SiteState* FindSite(std::string_view name) {

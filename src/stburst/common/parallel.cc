@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <memory>
 
@@ -36,6 +37,22 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+bool ThreadPool::TryRunOneTask() {
+  std::function<void()> task;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop();
+  }
+  task();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (--in_flight_ == 0) all_done_.notify_all();
+  }
+  return true;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -125,9 +142,22 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
   }
   // The calling thread participates with the highest worker id.
   RunChunks(state.get(), helpers, body);
-  {
+  // Helping wait: while this loop's helper tasks are outstanding, run other
+  // queued pool tasks instead of blocking. A helper of *this* loop may be
+  // queued behind tasks of a sibling loop (nested fan-out on a shared
+  // pool); executing whatever is at the head keeps every loop progressing.
+  // The timed wait covers the gap where the queue is empty but a nested
+  // body is about to submit — our own helpers' completion still notifies
+  // promptly through `done`.
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(state->mu);
+      if (state->outstanding == 0) break;
+    }
+    if (pool->TryRunOneTask()) continue;
     std::unique_lock<std::mutex> lock(state->mu);
-    state->done.wait(lock, [&] { return state->outstanding == 0; });
+    state->done.wait_for(lock, std::chrono::milliseconds(1),
+                         [&] { return state->outstanding == 0; });
   }
   if (state->error) std::rethrow_exception(state->error);
 }

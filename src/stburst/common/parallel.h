@@ -50,6 +50,14 @@ class ThreadPool {
   /// Blocks until every submitted task has completed.
   void Wait();
 
+  /// Pops and runs one queued task on the calling thread, if any; returns
+  /// whether a task ran. This is how a thread that must wait for other work
+  /// on the same pool lends its cycles instead of blocking: ParallelFor's
+  /// completion wait calls it, which makes *nested* loops on one pool safe
+  /// — an outer loop's workers drain the inner loops' queued chunks rather
+  /// than deadlocking with every worker parked in an inner wait.
+  bool TryRunOneTask();
+
  private:
   void WorkerLoop();
 
@@ -74,6 +82,11 @@ size_t ResolveThreadCount(size_t requested);
 ///
 /// The first exception thrown by any invocation is rethrown on the calling
 /// thread once the loop has quiesced; remaining chunks are abandoned.
+///
+/// Reentrancy: the body may itself call ParallelFor on the same pool. The
+/// completion wait is a helping wait (ThreadPool::TryRunOneTask), so nested
+/// fan-out — e.g. a loop over runtime shards whose bodies fan per-term work
+/// across the same standing pool — cannot deadlock on a saturated pool.
 ///
 /// Thread-safety: `body` runs concurrently on multiple threads and must be
 /// safe for that; per-worker scratch indexed by the worker id is the

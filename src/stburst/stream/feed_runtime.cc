@@ -45,17 +45,81 @@ struct FeedRuntime::FeedTickUndo {
   size_t old_bookkeeping_terms = 0;
 };
 
+// Everything one in-flight tick stages between PrepareTickIngest and
+// CommitTick/AbortTick: the undo log, the running stats, the deadline
+// clock, and the staged mining / scoring / snapshot state. Lives behind
+// TickTransaction's pimpl so the header stays free of the undo types.
+struct FeedRuntime::TickTransaction::Impl {
+  FeedTickUndo undo;
+  FeedTickStats stats;
+  Timer timer;                 // starts at PrepareTickIngest
+  double clock_start = 0.0;    // options_.clock() at PrepareTickIngest
+  EvictionReport eviction;
+  std::vector<TermId> dirty_todo;
+  std::vector<TermPatterns> staged_dirty;
+  std::vector<TermId> refresh_todo;
+  std::vector<TermPatterns> staged_refresh;
+  std::vector<TermId> score_terms;
+  std::vector<std::vector<Posting>> staged_postings;
+  std::vector<TermId> deferred_next;
+  std::shared_ptr<IndexSnapshot> next_snapshot;
+  bool touch_search = false;
+};
+
+FeedRuntime::TickTransaction::TickTransaction() = default;
+FeedRuntime::TickTransaction::TickTransaction(TickTransaction&&) noexcept =
+    default;
+FeedRuntime::TickTransaction& FeedRuntime::TickTransaction::operator=(
+    TickTransaction&&) noexcept = default;
+FeedRuntime::TickTransaction::~TickTransaction() = default;
+
+namespace {
+
+// The tick phases' shared exception-to-Status mapping: every phase body may
+// throw (std::bad_alloc from any container, an injected fault from a pool
+// worker), and every phase must surface the identical Status a monolithic
+// Tick always produced.
+template <typename Fn>
+Status GuardTickPhase(Fn&& fn) {
+  try {
+    return fn();
+  } catch (const std::bad_alloc&) {
+    return Status::Internal("allocation failure during tick");
+  }
+#ifdef STBURST_FAULT_INJECTION
+  catch (const fault::FaultInjected& e) {
+    return Status::Internal(e.what());
+  }
+#endif
+  catch (const std::exception& e) {
+    return Status::Internal(
+        StringPrintf("exception during tick: %s", e.what()));
+  }
+}
+
+}  // namespace
+
 FeedRuntime::FeedRuntime(Collection collection, FeedRuntimeOptions options)
     : options_(std::move(options)), collection_(std::move(collection)) {
-  const size_t threads = ResolveThreadCount(options_.num_threads);
-  // The calling thread participates in every ParallelFor, so threads - 1
-  // pool workers give the requested parallelism; serial runtimes hold no
-  // pool at all (ParallelFor(nullptr, ...) runs inline).
-  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads - 1);
+  if (options_.shared_pool != nullptr) {
+    // Borrowed pool: the coordinator that lent it sizes the parallelism;
+    // spawning our own workers on top would oversubscribe the machine once
+    // per shard.
+    pool_ = options_.shared_pool;
+  } else {
+    const size_t threads = ResolveThreadCount(options_.num_threads);
+    // The calling thread participates in every ParallelFor, so threads - 1
+    // pool workers give the requested parallelism; serial runtimes hold no
+    // pool at all (ParallelFor(nullptr, ...) runs inline).
+    if (threads > 1) {
+      owned_pool_ = std::make_unique<ThreadPool>(threads - 1);
+      pool_ = owned_pool_.get();
+    }
+  }
   // The miner always runs on the standing pool (or inline when serial);
   // a caller-supplied transient-pool configuration would reintroduce the
   // per-tick spawn/join this runtime exists to remove.
-  options_.miner.pool = pool_.get();
+  options_.miner.pool = pool_;
   options_.miner.num_threads = 1;
 }
 
@@ -106,7 +170,7 @@ StatusOr<FeedRuntime> FeedRuntime::Create(Collection collection,
   }
 
   runtime.index_ = FrequencyIndex::BuildWithPool(runtime.collection_,
-                                                 runtime.pool_.get());
+                                                 runtime.pool_);
   STB_ASSIGN_OR_RETURN(runtime.result_,
                        MineAllTerms(runtime.index_, runtime.options_.miner));
 
@@ -146,29 +210,58 @@ StatusOr<FeedRuntime> FeedRuntime::Create(Collection collection,
 }
 
 StatusOr<FeedTickStats> FeedRuntime::Tick(Snapshot snapshot) {
+  // Exactly the phase protocol a coordinator drives, with this runtime as
+  // the only participant. Each phase maps its own exceptions, so the error
+  // surface is identical to the old monolithic tick.
+  STB_ASSIGN_OR_RETURN(TickTransaction tx,
+                       PrepareTickIngest(std::move(snapshot)));
+  std::vector<TermId> refresh_targets;
+  if (options_.refresh_budget > 0) {
+    refresh_targets =
+        SelectRefreshTargets(RefreshCandidates(tx), options_.refresh_budget);
+  }
+  const Status staged = StageTickDerived(&tx, std::move(refresh_targets));
+  if (!staged.ok()) {
+    AbortTick(std::move(tx));
+    return staged;
+  }
+  return CommitTick(std::move(tx));
+}
+
+StatusOr<FeedRuntime::TickTransaction> FeedRuntime::PrepareTickIngest(
+    Snapshot snapshot) {
   if (wedged_) {
     return Status::FailedPrecondition(
         "runtime wedged by a commit-tail failure; rebuild via Create");
   }
-  FeedTickStats stats;
-  FeedTickUndo undo;
-  Status status = Status::OK();
-  try {
-    status = TickGuarded(std::move(snapshot), &stats, &undo);
-  } catch (const std::bad_alloc&) {
-    status = Status::Internal("allocation failure during tick");
+  TickTransaction tx;
+  tx.impl_ = std::make_unique<TickTransaction::Impl>();
+  const Status status = GuardTickPhase([&] {
+    return PrepareIngestGuarded(std::move(snapshot), tx.impl_.get());
+  });
+  if (!status.ok()) {
+    // A prepare failure never reaches the commit tail, so rollback is
+    // always possible: the caller gets a clean error and an untouched
+    // runtime, with no transaction to dispose of.
+    RollbackTick(&tx.impl_->undo);
+    return status;
   }
-#ifdef STBURST_FAULT_INJECTION
-  catch (const fault::FaultInjected& e) {
-    status = Status::Internal(e.what());
-  }
-#endif
-  catch (const std::exception& e) {
-    status =
-        Status::Internal(StringPrintf("exception during tick: %s", e.what()));
-  }
-  if (status.ok()) return stats;
-  if (undo.committing) {
+  return tx;
+}
+
+Status FeedRuntime::StageTickDerived(TickTransaction* tx,
+                                     std::vector<TermId> refresh_targets) {
+  return GuardTickPhase([&] {
+    return StageDerivedGuarded(tx->impl_.get(), std::move(refresh_targets));
+  });
+}
+
+StatusOr<FeedTickStats> FeedRuntime::CommitTick(TickTransaction tx) {
+  TickTransaction::Impl* impl = tx.impl_.get();
+  const Status status =
+      GuardTickPhase([&] { return CommitGuarded(impl); });
+  if (status.ok()) return std::move(impl->stats);
+  if (impl->undo.committing) {
     // Staged state was partially published; there is no pre-tick state left
     // to restore. Refuse all further work instead of serving a mix.
     wedged_ = true;
@@ -176,14 +269,19 @@ StatusOr<FeedTickStats> FeedRuntime::Tick(Snapshot snapshot) {
         "commit tail failed (%.*s); runtime wedged — rebuild via Create",
         static_cast<int>(status.message().size()), status.message().data()));
   }
-  RollbackTick(&undo);
+  RollbackTick(&impl->undo);
   return status;
 }
 
-Status FeedRuntime::ValidateSnapshot(Snapshot* snapshot,
-                                     FeedTickStats* stats) const {
-  const size_t num_streams = collection_.num_streams();
-  const size_t vocab = collection_.vocabulary().size();
+void FeedRuntime::AbortTick(TickTransaction tx) {
+  if (tx.impl_ == nullptr) return;
+  RollbackTick(&tx.impl_->undo);
+}
+
+Status ValidateSnapshotDocuments(size_t num_streams, size_t vocabulary_size,
+                                 InvalidDocPolicy policy, Snapshot* snapshot,
+                                 size_t* rejected) {
+  const size_t vocab = vocabulary_size;
   // Duplicate = the same stream re-reporting the same explicit event id
   // within one snapshot. Documents without an event id are never flagged
   // (identical content from a no-id producer is plausible, a repeated event
@@ -206,7 +304,7 @@ Status FeedRuntime::ValidateSnapshot(Snapshot* snapshot,
     return nullptr;
   };
 
-  if (options_.on_invalid == InvalidDocPolicy::kRejectTick) {
+  if (policy == InvalidDocPolicy::kRejectTick) {
     for (size_t i = 0; i < snapshot->size(); ++i) {
       const char* reason = invalid_reason((*snapshot)[i]);
       if (reason != nullptr) {
@@ -224,22 +322,34 @@ Status FeedRuntime::ValidateSnapshot(Snapshot* snapshot,
       ++out;
     }
   }
-  stats->rejected_documents = snapshot->size() - out;
+  *rejected += snapshot->size() - out;
   snapshot->resize(out);
   return Status::OK();
 }
 
-Status FeedRuntime::TickGuarded(Snapshot snapshot, FeedTickStats* stats,
-                                FeedTickUndo* undo) {
-  Timer timer;
-  const bool has_deadline = options_.tick_deadline_seconds > 0.0;
-  const double start = options_.clock ? options_.clock() : 0.0;
-  const auto over_deadline = [&]() {
-    if (!has_deadline) return false;
-    const double elapsed =
-        options_.clock ? options_.clock() - start : timer.ElapsedSeconds();
-    return elapsed > options_.tick_deadline_seconds;
-  };
+Status FeedRuntime::ValidateSnapshot(Snapshot* snapshot,
+                                     FeedTickStats* stats) const {
+  return ValidateSnapshotDocuments(collection_.num_streams(),
+                                   collection_.vocabulary().size(),
+                                   options_.on_invalid, snapshot,
+                                   &stats->rejected_documents);
+}
+
+bool FeedRuntime::TickOverDeadline(const TickTransaction::Impl& tx) const {
+  if (options_.tick_deadline_seconds <= 0.0) return false;
+  const double elapsed = options_.clock
+                             ? options_.clock() - tx.clock_start
+                             : tx.timer.ElapsedSeconds();
+  return elapsed > options_.tick_deadline_seconds;
+}
+
+Status FeedRuntime::PrepareIngestGuarded(Snapshot snapshot,
+                                         TickTransaction::Impl* tx) {
+  // The deadline clock starts with the tick, before validation — exactly
+  // where the monolithic tick started it.
+  tx->clock_start = options_.clock ? options_.clock() : 0.0;
+  FeedTickUndo* undo = &tx->undo;
+  FeedTickStats* stats = &tx->stats;
 
   // Step 0: validation is pure — a rejected tick never touched the runtime.
   STB_RETURN_NOT_OK(ValidateSnapshot(&snapshot, stats));
@@ -255,57 +365,58 @@ Status FeedRuntime::TickGuarded(Snapshot snapshot, FeedTickStats* stats,
   undo->collection_appended = true;
   STB_ASSIGN_OR_RETURN(stats->time, collection_.Append(std::move(snapshot)));
   undo->index_appended = true;
-  STB_RETURN_NOT_OK(index_.AppendSnapshot(collection_, pool_.get()));
+  STB_RETURN_NOT_OK(index_.AppendSnapshot(collection_, pool_));
 
   const Timestamp window = options_.retention_window;
-  EvictionReport eviction;
   if (window > 0 && collection_.timeline_length() > window) {
     const Timestamp cutoff = collection_.timeline_length() - window;
     if (cutoff > index_.window_start()) {
       undo->collection_evicted = true;
-      STB_RETURN_NOT_OK(
-          collection_.EvictBefore(cutoff, &eviction, &undo->collection_undo));
+      STB_RETURN_NOT_OK(collection_.EvictBefore(cutoff, &tx->eviction,
+                                                &undo->collection_undo));
       undo->freq_evicted = true;
       STB_RETURN_NOT_OK(
-          index_.EvictBefore(cutoff, pool_.get(), &undo->freq_undo));
+          index_.EvictBefore(cutoff, pool_, &undo->freq_undo));
       stats->evicted = true;
     }
   }
 
-  // ---- staging phase: mine and score into buffers, publish nothing ----
+  // ---- staged dirty re-mine: into buffers, publish nothing ----
   // Terms with appended or evicted postings: their slots are wrong until
   // re-mined. Quiet terms' slots stay exact under the sliding window —
   // their windowed series content is unchanged and timeframes are absolute
   // (the retention contract).
   std::vector<TermId> dirty = index_.TakeDirtyTerms();
   STBURST_FAULT_POINT("runtime.remine");
-  std::vector<TermPatterns> staged_dirty;
   STB_ASSIGN_OR_RETURN(
-      const std::vector<TermId> dirty_todo,
-      StageRemineTerms(index_, dirty, options_.miner, &staged_dirty));
-  stats->dirty_terms = dirty_todo.size();
+      tx->dirty_todo,
+      StageRemineTerms(index_, dirty, options_.miner, &tx->staged_dirty));
+  stats->dirty_terms = tx->dirty_todo.size();
+  return Status::OK();
+}
 
-  std::vector<TermId> refresh_todo;
-  std::vector<TermPatterns> staged_refresh;
+Status FeedRuntime::StageDerivedGuarded(TickTransaction::Impl* tx,
+                                        std::vector<TermId> refresh_targets) {
+  FeedTickStats* stats = &tx->stats;
   if (options_.refresh_budget > 0) {
-    if (over_deadline()) {
+    if (TickOverDeadline(*tx)) {
       // Degradation ladder, step 1: shed the refresh sweep. Pure freshness
       // work — quiet slots just keep their standard staleness drift.
       stats->degraded = true;
     } else {
       STB_ASSIGN_OR_RETURN(
-          refresh_todo,
-          StageRemineTerms(index_, PickRefreshTargets(dirty_todo),
-                           options_.miner, &staged_refresh));
+          tx->refresh_todo,
+          StageRemineTerms(index_, refresh_targets, options_.miner,
+                           &tx->staged_refresh));
     }
   }
-  stats->refreshed_terms = refresh_todo.size();
+  stats->refreshed_terms = tx->refresh_todo.size();
 
+  const std::vector<TermId>& dirty_todo = tx->dirty_todo;
+  const std::vector<TermId>& refresh_todo = tx->refresh_todo;
   const bool search = options_.search_serving != SearchServing::kNone;
-  const bool rebuild_all = search && stats->evicted && !eviction.ids_preserved;
-  std::vector<TermId> deferred_next;
-  std::vector<TermId> score_terms;
-  std::vector<std::vector<Posting>> staged_postings;
+  const bool rebuild_all =
+      search && stats->evicted && !tx->eviction.ids_preserved;
   if (search) {
     // The score set: this tick's re-mined terms, plus any scoring a
     // previous degraded tick deferred — or every term after a renumbering
@@ -327,14 +438,14 @@ Status FeedRuntime::TickGuarded(Snapshot snapshot, FeedTickStats* stats,
       std::sort(want.begin(), want.end());
       want.erase(std::unique(want.begin(), want.end()), want.end());
     }
-    if (!rebuild_all && !want.empty() && over_deadline()) {
+    if (!rebuild_all && !want.empty() && TickOverDeadline(*tx)) {
       // Degradation ladder, step 2: defer search re-scoring — the terms
       // carry over and the next tick with headroom scores them. Search
       // *eviction* still publishes below (a deferred drop would serve dead
       // DocIds), and a renumbering rebuild is never deferred for the same
       // reason.
       stats->degraded = true;
-      deferred_next = std::move(want);
+      tx->deferred_next = std::move(want);
     } else {
       // A term staged this tick scores against its staged slot (its
       // standing slot is still pre-tick); deferred carry-overs score
@@ -343,18 +454,19 @@ Status FeedRuntime::TickGuarded(Snapshot snapshot, FeedTickStats* stats,
         auto it =
             std::lower_bound(dirty_todo.begin(), dirty_todo.end(), term);
         if (it != dirty_todo.end() && *it == term) {
-          return staged_dirty[static_cast<size_t>(it - dirty_todo.begin())];
+          return tx->staged_dirty[static_cast<size_t>(it -
+                                                      dirty_todo.begin())];
         }
         it = std::lower_bound(refresh_todo.begin(), refresh_todo.end(), term);
         if (it != refresh_todo.end() && *it == term) {
-          return staged_refresh[static_cast<size_t>(it -
-                                                    refresh_todo.begin())];
+          return tx->staged_refresh[static_cast<size_t>(
+              it - refresh_todo.begin())];
         }
         if (term < result_.terms.size()) return result_.terms[term];
         return kEmptyPatterns;
       };
-      score_terms = std::move(want);
-      staged_postings = StageSearchPostings(score_terms, slot_for);
+      tx->score_terms = std::move(want);
+      tx->staged_postings = StageSearchPostings(tx->score_terms, slot_for);
     }
   }
 
@@ -364,31 +476,38 @@ Status FeedRuntime::TickGuarded(Snapshot snapshot, FeedTickStats* stats,
   // readers keep loading the current snapshot untouched, and on any failure
   // up to and including the runtime.publish fault point the half-built
   // successor is simply dropped — no undo entry needed.
-  std::shared_ptr<IndexSnapshot> next_snapshot;
-  const bool touch_search = search && (stats->evicted || !score_terms.empty());
-  if (touch_search) {
+  tx->touch_search =
+      search && (stats->evicted || !tx->score_terms.empty());
+  if (tx->touch_search) {
     const std::shared_ptr<const IndexSnapshot> current =
         search_snapshot_.Load();
-    next_snapshot = std::make_shared<IndexSnapshot>();
-    next_snapshot->index = current->index;
-    next_snapshot->index.Reopen();
-    if (stats->evicted && eviction.ids_preserved) {
-      next_snapshot->index.EvictBefore(eviction.doc_id_base);
+    tx->next_snapshot = std::make_shared<IndexSnapshot>();
+    tx->next_snapshot->index = current->index;
+    tx->next_snapshot->index.Reopen();
+    if (stats->evicted && tx->eviction.ids_preserved) {
+      tx->next_snapshot->index.EvictBefore(tx->eviction.doc_id_base);
     }
-    for (size_t i = 0; i < score_terms.size(); ++i) {
-      next_snapshot->index.ReplaceTerm(score_terms[i],
-                                       std::move(staged_postings[i]));
+    for (size_t i = 0; i < tx->score_terms.size(); ++i) {
+      tx->next_snapshot->index.ReplaceTerm(tx->score_terms[i],
+                                           std::move(tx->staged_postings[i]));
     }
     // The copy carried the published generation, so this Finalize lands on
     // exactly generation + 1: one bump per editing tick, as before.
-    next_snapshot->index.Finalize();
-    next_snapshot->generation = next_snapshot->index.generation();
-    next_snapshot->window_start = index_.window_start();
-    next_snapshot->doc_id_base = collection_.doc_id_base();
+    tx->next_snapshot->index.Finalize();
+    tx->next_snapshot->generation = tx->next_snapshot->index.generation();
+    tx->next_snapshot->window_start = index_.window_start();
+    tx->next_snapshot->doc_id_base = collection_.doc_id_base();
     STBURST_FAULT_POINT("runtime.publish");
   }
+  return Status::OK();
+}
 
-  // ---- commit tail ----
+Status FeedRuntime::CommitGuarded(TickTransaction::Impl* tx) {
+  FeedTickUndo* undo = &tx->undo;
+  FeedTickStats* stats = &tx->stats;
+  const std::vector<TermId>& dirty_todo = tx->dirty_todo;
+  const std::vector<TermId>& refresh_todo = tx->refresh_todo;
+
   // Revertible prologue: container growth that can still fail cleanly — a
   // rollback just shrinks back to the recorded sizes (the grown slots are
   // defaults nobody read).
@@ -416,10 +535,10 @@ Status FeedRuntime::TickGuarded(Snapshot snapshot, FeedTickStats* stats,
   undo->committing = true;
 
   for (size_t i = 0; i < dirty_todo.size(); ++i) {
-    result_.terms[dirty_todo[i]] = std::move(staged_dirty[i]);
+    result_.terms[dirty_todo[i]] = std::move(tx->staged_dirty[i]);
   }
   for (size_t i = 0; i < refresh_todo.size(); ++i) {
-    result_.terms[refresh_todo[i]] = std::move(staged_refresh[i]);
+    result_.terms[refresh_todo[i]] = std::move(tx->staged_refresh[i]);
   }
   size_t mined = 0;
   for (const TermPatterns& slot : result_.terms) mined += slot.mined ? 1 : 0;
@@ -438,16 +557,16 @@ Status FeedRuntime::TickGuarded(Snapshot snapshot, FeedTickStats* stats,
     mass_[t] = index_.TotalCount(t);
   }
 
-  if (touch_search) {
-    stats->search_terms = score_terms.size();
+  if (tx->touch_search) {
+    stats->search_terms = tx->score_terms.size();
     // The publication swap: readers that loaded the old snapshot keep it
     // alive; every later load sees the new generation complete (release
     // store / acquire load pair — see common/published_ptr.h).
-    search_snapshot_.Publish(std::move(next_snapshot));
+    search_snapshot_.Publish(std::move(tx->next_snapshot));
   }
-  deferred_search_terms_ = std::move(deferred_next);
+  deferred_search_terms_ = std::move(tx->deferred_next);
 
-  stats->seconds = timer.ElapsedSeconds();
+  stats->seconds = tx->timer.ElapsedSeconds();
   return Status::OK();
 }
 
@@ -475,8 +594,8 @@ void FeedRuntime::RollbackTick(FeedTickUndo* undo) {
   }
 }
 
-std::vector<TermId> FeedRuntime::PickRefreshTargets(
-    const std::vector<TermId>& exclude) const {
+std::vector<RefreshCandidate> FeedRuntime::RefreshCandidates(
+    const TickTransaction& tx) const {
   // Priority = windowed mass × ticks since last mine: a heavy term drifting
   // for two ticks outranks a light one drifting for ten. mass_ is exact for
   // every quiet term (anything whose postings changed was re-mined and
@@ -490,9 +609,10 @@ std::vector<TermId> FeedRuntime::PickRefreshTargets(
   // once the window is full. Sub-threshold terms never qualify either: the
   // miner would skip them anyway, and cycling them through the budget
   // would starve real work.
+  const std::vector<TermId>& exclude = tx.impl_->dirty_todo;
   const Timestamp now = collection_.timeline_length();
   const Timestamp window = index_.window_length();
-  std::vector<std::pair<double, TermId>> candidates;
+  std::vector<RefreshCandidate> candidates;
   for (TermId t = 0; t < last_mined_.size(); ++t) {
     // The tick's dirty set is being re-mined anyway; spending budget on it
     // would be duplicate work (and before the staged redesign these terms
@@ -502,22 +622,30 @@ std::vector<TermId> FeedRuntime::PickRefreshTargets(
     if (stale <= 0 || mass_[t] <= 0.0) continue;
     if (last_window_[t] == window) continue;
     if (mass_[t] < options_.miner.min_term_total) continue;
-    candidates.emplace_back(mass_[t] * static_cast<double>(stale), t);
+    candidates.push_back(
+        RefreshCandidate{t, mass_[t] * static_cast<double>(stale)});
   }
-  const size_t budget = std::min(options_.refresh_budget, candidates.size());
+  return candidates;
+}
+
+std::vector<TermId> FeedRuntime::SelectRefreshTargets(
+    std::vector<RefreshCandidate> candidates, size_t budget) {
+  budget = std::min(budget, candidates.size());
   // Deterministic order: priority descending, TermId ascending on ties —
-  // the sweep must pick the same terms at any thread count.
+  // the sweep must pick the same terms at any thread count (and, merged
+  // across shards, the same terms at any shard count).
   std::partial_sort(candidates.begin(),
                     candidates.begin() + static_cast<ptrdiff_t>(budget),
                     candidates.end(),
-                    [](const std::pair<double, TermId>& a,
-                       const std::pair<double, TermId>& b) {
-                      if (a.first != b.first) return a.first > b.first;
-                      return a.second < b.second;
+                    [](const RefreshCandidate& a, const RefreshCandidate& b) {
+                      if (a.priority != b.priority) {
+                        return a.priority > b.priority;
+                      }
+                      return a.term < b.term;
                     });
   std::vector<TermId> targets;
   targets.reserve(budget);
-  for (size_t i = 0; i < budget; ++i) targets.push_back(candidates[i].second);
+  for (size_t i = 0; i < budget; ++i) targets.push_back(candidates[i].term);
   return targets;
 }
 
@@ -554,7 +682,7 @@ std::vector<std::vector<Posting>> FeedRuntime::StageSearchPostings(
   std::vector<std::vector<Posting>> staged(terms.size());
   const size_t workers = pool_ != nullptr ? pool_->num_threads() + 1 : 1;
   std::vector<std::vector<TermPattern>> scratch(workers);
-  ParallelFor(pool_.get(), 0, terms.size(), [&](size_t worker, size_t i) {
+  ParallelFor(pool_, 0, terms.size(), [&](size_t worker, size_t i) {
     STBURST_FAULT_POINT_THROW("runtime.search_update");
     ScoreSearchTerm(terms[i], slot_for(terms[i]), &scratch[worker],
                     &staged[i]);

@@ -107,8 +107,16 @@ struct FeedRuntimeOptions {
   /// Workers of the persistent pool (0 = hardware concurrency, 1 = fully
   /// serial on the calling thread). Shared by the index build, the append
   /// splice, eviction, every re-mine, and the search-snapshot build — no
-  /// per-tick thread spawn/join.
+  /// per-tick thread spawn/join. Ignored when `shared_pool` is set.
   size_t num_threads = 1;
+
+  /// Borrowed standing pool. When set, the runtime spawns no threads of its
+  /// own and fans every parallel phase across this pool instead — the way a
+  /// coordinator (ShardedRuntime) lets K shards share one pool rather than
+  /// oversubscribing the machine K times. Nested fan-out is safe: ParallelFor
+  /// waits by helping (see common/parallel.h). Not owned; must outlive the
+  /// runtime.
+  ThreadPool* shared_pool = nullptr;
 
   /// Retention window W in timestamps: after each tick, timestamps older
   /// than timeline_length - W are evicted from the collection, the index,
@@ -185,6 +193,29 @@ struct FeedTickStats {
   double seconds = 0.0;        ///< wall time of the whole tick
 };
 
+/// One quiet term the refresh sweep could re-mine this tick, with the
+/// priority the scheduling policy assigns it (windowed mass × ticks since
+/// its last mine). Produced by FeedRuntime::RefreshCandidates; a
+/// coordinator that owns several runtimes (ShardedRuntime) merges the
+/// per-shard candidate lists and selects one global budget with
+/// FeedRuntime::SelectRefreshTargets, so sharding never changes *which*
+/// terms the sweep refreshes.
+struct RefreshCandidate {
+  TermId term = kInvalidTerm;
+  double priority = 0.0;
+};
+
+/// The pure validation half of FeedRuntime's step 0, usable by any owner of
+/// a snapshot stream (ShardedRuntime validates once globally before
+/// splitting). kRejectTick returns InvalidArgument on the first malformed
+/// document; kDropDocument compacts the offenders out of `snapshot` and
+/// adds their count to `*rejected`. Malformed means: unknown stream id
+/// (>= num_streams), token outside [0, vocabulary_size), or the same stream
+/// re-reporting the same explicit event id within this snapshot.
+Status ValidateSnapshotDocuments(size_t num_streams, size_t vocabulary_size,
+                                 InvalidDocPolicy policy, Snapshot* snapshot,
+                                 size_t* rejected);
+
 /// The long-running runtime. Single-writer: Tick must be externally
 /// serialized against itself and against non-read-plane accessors
 /// (result(), collection(), index(), mutable_vocabulary()). The read plane
@@ -222,6 +253,74 @@ class FeedRuntime {
   /// rollback contract for every registered failure site.
   StatusOr<FeedTickStats> Tick(Snapshot snapshot);
 
+  /// One in-flight tick's staged state and undo log, opaque and move-only.
+  /// Produced by PrepareTickIngest and consumed by exactly one of
+  /// CommitTick or AbortTick; dropping one without either leaks no memory
+  /// but leaves the runtime with the tick's ingestion applied and nothing
+  /// staged — always finish the protocol.
+  class TickTransaction {
+   public:
+    TickTransaction(TickTransaction&&) noexcept;
+    TickTransaction& operator=(TickTransaction&&) noexcept;
+    ~TickTransaction();
+
+   private:
+    friend class FeedRuntime;
+    TickTransaction();
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+  };
+
+  /// Phase-split Tick, for coordinators that interleave several runtimes'
+  /// ticks into one transaction (ShardedRuntime). The protocol is
+  ///
+  ///   PrepareTickIngest → RefreshCandidates / SelectRefreshTargets →
+  ///   StageTickDerived → CommitTick | AbortTick
+  ///
+  /// and Tick() itself is exactly this composition, so a single-runtime
+  /// caller never needs it. Each phase is individually transactional: a
+  /// non-OK PrepareTickIngest has already rolled itself back; a non-OK
+  /// StageTickDerived leaves the transaction intact and the caller MUST
+  /// AbortTick it; CommitTick either commits, rolls back cleanly, or — on a
+  /// failure after publication began — wedges the runtime, exactly like
+  /// Tick.
+  ///
+  /// PrepareTickIngest runs validation and the mutation phase (append,
+  /// index splice, retention eviction) plus the dirty re-mine into staging.
+  StatusOr<TickTransaction> PrepareTickIngest(Snapshot snapshot);
+
+  /// Every quiet term the refresh sweep could touch this tick (the tick's
+  /// dirty set is excluded — it is being re-mined anyway), with priorities.
+  /// Pure; unordered. Pair with SelectRefreshTargets.
+  std::vector<RefreshCandidate> RefreshCandidates(
+      const TickTransaction& tx) const;
+
+  /// The deterministic selection rule of the refresh sweep: the `budget`
+  /// highest-priority candidates, ties to the smaller TermId. Static so a
+  /// coordinator can run it over merged per-shard candidate lists and get
+  /// the same global pick the unsharded runtime would make.
+  static std::vector<TermId> SelectRefreshTargets(
+      std::vector<RefreshCandidate> candidates, size_t budget);
+
+  /// Stages the tick's derived state: the refresh re-mine of
+  /// `refresh_targets` (deadline rung 1 may shed it), the search re-scoring
+  /// (rung 2 may defer it), and the next search snapshot — publishing
+  /// nothing. On failure the caller must AbortTick the transaction.
+  Status StageTickDerived(TickTransaction* tx,
+                          std::vector<TermId> refresh_targets);
+
+  /// Publishes the staged state and returns the tick's stats. On a clean
+  /// pre-publication failure the transaction is rolled back; a failure
+  /// after publication began wedges the runtime (see Tick).
+  StatusOr<FeedTickStats> CommitTick(TickTransaction tx);
+
+  /// Rolls the transaction back to the exact pre-tick state. No-throw.
+  void AbortTick(TickTransaction tx);
+
+  /// True once a commit-tail failure wedged the runtime (every further
+  /// Tick / PrepareTickIngest returns FailedPrecondition).
+  bool wedged() const { return wedged_; }
+
   const Collection& collection() const { return collection_; }
   const FrequencyIndex& index() const { return index_; }
   /// The standing mining result: one slot per TermId, timeframes absolute.
@@ -235,8 +334,9 @@ class FeedRuntime {
   Vocabulary* mutable_vocabulary() { return collection_.mutable_vocabulary(); }
 
   /// The standing pool, usable by callers between ticks (e.g. to fan a
-  /// search-index rebuild); nullptr when the runtime is serial.
-  ThreadPool* pool() { return pool_.get(); }
+  /// search-index rebuild); nullptr when the runtime is serial. The
+  /// borrowed pool when options.shared_pool was set.
+  ThreadPool* pool() { return pool_; }
 
   /// The currently published search snapshot — one atomic acquire load, no
   /// locks. Hold it as long as you like: it stays bit-identical while
@@ -291,21 +391,23 @@ class FeedRuntime {
   /// counts them into `stats->rejected_documents`.
   Status ValidateSnapshot(Snapshot* snapshot, FeedTickStats* stats) const;
 
-  /// The guarded tick body: stages every effect, records undo state as it
-  /// goes, and publishes in the commit tail. Exceptions escape to Tick,
-  /// which rolls back via `undo` (or wedges if the commit tail had begun).
-  Status TickGuarded(Snapshot snapshot, FeedTickStats* stats,
-                     FeedTickUndo* undo);
+  /// The guarded phase bodies: each stages or publishes its slice of the
+  /// tick, recording undo state before every mutation. Exceptions escape to
+  /// the public phase wrappers, which map them to Status (bad_alloc,
+  /// injected faults, everything else) exactly like Tick always did.
+  Status PrepareIngestGuarded(Snapshot snapshot, TickTransaction::Impl* tx);
+  Status StageDerivedGuarded(TickTransaction::Impl* tx,
+                             std::vector<TermId> refresh_targets);
+  Status CommitGuarded(TickTransaction::Impl* tx);
+
+  /// Whether the tick whose deadline clock `tx` carries is over
+  /// options_.tick_deadline_seconds; false with no deadline configured.
+  /// Calls options_.clock at most once (the scripted-clock contract).
+  bool TickOverDeadline(const TickTransaction::Impl& tx) const;
 
   /// Restores the exact pre-tick state recorded in `undo` (reverse order of
   /// the tick's mutations). No-throw.
   void RollbackTick(FeedTickUndo* undo);
-
-  /// Picks the refresh_budget stalest massy quiet terms, deterministically,
-  /// skipping `exclude` (sorted: the tick's dirty set, whose slots are
-  /// already being re-mined).
-  std::vector<TermId> PickRefreshTargets(
-      const std::vector<TermId>& exclude) const;
 
   /// Scores `term`'s retained documents against `slot`, appending the
   /// positive search postings to `out`. Const and scratch-parameterized so
@@ -324,7 +426,11 @@ class FeedRuntime {
 
   FeedRuntimeOptions options_;
   Collection collection_;
-  std::unique_ptr<ThreadPool> pool_;  // null when serial
+  // The standing pool: owned_pool_ holds the runtime's own workers (null
+  // when serial or borrowing); pool_ is the pool every phase actually uses —
+  // owned_pool_.get(), options_.shared_pool, or null when fully serial.
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;
   // Standing stream-position binning for regional mining (null otherwise):
   // built once at Create — stream positions never move — and lent to every
   // re-mine via options_.miner.binning, so no tick rebuilds the geometry.

@@ -1,0 +1,47 @@
+#include "stburst/stream/shard_map.h"
+
+#include "stburst/common/logging.h"
+
+namespace stburst {
+
+ShardMap::ShardMap(size_t num_shards) : num_shards_(num_shards) {
+  STB_CHECK(num_shards >= 1) << "ShardMap requires at least one shard";
+}
+
+void ShardMap::SplitSnapshot(const Snapshot& snapshot,
+                             std::vector<Snapshot>* per_shard,
+                             std::vector<std::vector<size_t>>* routed) const {
+  per_shard->assign(num_shards_, Snapshot{});
+  if (routed != nullptr) routed->assign(num_shards_, {});
+  // Per-document scratch: which shards already received this document, and
+  // the filtered token list under construction per shard. Sized once; the
+  // touched list resets only the shards actually hit, so a K-shard split of
+  // a snapshot costs O(tokens + routed copies), not O(docs · K).
+  std::vector<char> hit(num_shards_, 0);
+  std::vector<std::vector<TermId>> owned(num_shards_);
+  std::vector<size_t> touched;
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    const SnapshotDocument& doc = snapshot[i];
+    touched.clear();
+    for (TermId token : doc.tokens) {
+      const size_t s = shard_of(token);
+      if (!hit[s]) {
+        hit[s] = 1;
+        owned[s].clear();
+        touched.push_back(s);
+      }
+      owned[s].push_back(token);
+    }
+    for (size_t s : touched) {
+      hit[s] = 0;
+      SnapshotDocument copy;
+      copy.stream = doc.stream;
+      copy.event_id = doc.event_id;
+      copy.tokens = owned[s];
+      (*per_shard)[s].push_back(std::move(copy));
+      if (routed != nullptr) (*routed)[s].push_back(i);
+    }
+  }
+}
+
+}  // namespace stburst

@@ -1,0 +1,68 @@
+// Term-to-shard routing for the vocabulary-sharded runtime.
+//
+// ShardedRuntime partitions the write path by vocabulary: shard s owns
+// every term with shard_of(term) == s, and a document is carried to every
+// shard that owns at least one of its tokens (so each shard's collection
+// holds exactly the documents its terms occur in, with the tokens filtered
+// to the owned subset). The assignment is a fixed hash — splitmix64's
+// finalizer over the TermId, mod K — so it is deterministic across
+// platforms and processes, needs no routing table, and spreads a Zipfian
+// vocabulary evenly: the heavy head terms land on pseudo-random shards
+// instead of clustering by interning order.
+
+#ifndef STBURST_STREAM_SHARD_MAP_H_
+#define STBURST_STREAM_SHARD_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "stburst/stream/collection.h"
+#include "stburst/stream/types.h"
+
+namespace stburst {
+
+/// Stateless term router. Copyable; valid for any vocabulary (routing
+/// depends only on the TermId value, so a growing vocabulary never
+/// re-routes existing terms).
+class ShardMap {
+ public:
+  /// `num_shards` must be >= 1.
+  explicit ShardMap(size_t num_shards);
+
+  size_t num_shards() const { return num_shards_; }
+
+  /// The shard owning `term`. Constant-time, allocation-free.
+  size_t shard_of(TermId term) const {
+    // splitmix64 finalizer: full-avalanche mixing so consecutive TermIds
+    // (interning order) don't stripe across shards in lockstep.
+    uint64_t x = static_cast<uint64_t>(term);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<size_t>(x % num_shards_);
+  }
+
+  /// Splits one incoming snapshot into per-shard sub-snapshots:
+  /// `(*per_shard)[s]` holds, in input order, a copy of every document with
+  /// at least one token owned by shard s, its token list filtered to the
+  /// owned terms (order and multiplicity preserved; stream and event_id
+  /// kept). A document whose tokens are all unowned by s is absent from s;
+  /// a token-less document is routed nowhere. `routed`, when non-null,
+  /// receives per shard the ascending positions within `snapshot` of the
+  /// documents routed there — the coordinator's hook for mapping each
+  /// shard's new local DocIds back to global ones. Both outputs are
+  /// assigned (previous contents discarded).
+  void SplitSnapshot(const Snapshot& snapshot,
+                     std::vector<Snapshot>* per_shard,
+                     std::vector<std::vector<size_t>>* routed = nullptr) const;
+
+ private:
+  size_t num_shards_;
+};
+
+}  // namespace stburst
+
+#endif  // STBURST_STREAM_SHARD_MAP_H_

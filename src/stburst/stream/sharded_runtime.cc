@@ -1,0 +1,449 @@
+#include "stburst/stream/sharded_runtime.h"
+
+#include <algorithm>
+#include <new>
+#include <optional>
+#include <utility>
+
+#include "stburst/common/fault_injection.h"
+#include "stburst/common/logging.h"
+#include "stburst/common/string_util.h"
+#include "stburst/common/timer.h"
+
+namespace stburst {
+
+namespace {
+
+// The coordinator's single fault gate: after every shard staged cleanly,
+// before the first shard commits — the last point where one failure can
+// still roll the WHOLE sharded tick back. The enclosing try/catch mirrors
+// FeedRuntime's tick-phase exception mapping so an armed kBadAlloc here
+// surfaces the same Status an in-shard allocation failure would.
+Status ShardedCommitGate() {
+  STBURST_FAULT_POINT("sharded.commit");
+  return Status::OK();
+}
+
+Status GuardedShardedCommitGate() {
+  try {
+    return ShardedCommitGate();
+  } catch (const std::bad_alloc&) {
+    return Status::Internal("allocation failure during tick");
+  }
+#ifdef STBURST_FAULT_INJECTION
+  catch (const fault::FaultInjected& e) {
+    return Status::Internal(e.what());
+  }
+#endif
+}
+
+}  // namespace
+
+ShardedRuntime::ShardedRuntime(ShardedRuntimeOptions options)
+    : options_(std::move(options)), map_(options_.num_shards) {
+  const size_t threads = ResolveThreadCount(options_.runtime.num_threads);
+  // One pool for the whole fleet: the coordinator fans per-shard phases
+  // across it and every shard fans its per-term work across the same pool
+  // (safe: ParallelFor's completion wait is a helping wait). K private
+  // pools would oversubscribe the machine K times.
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads - 1);
+}
+
+StatusOr<ShardedRuntime> ShardedRuntime::Create(Collection collection,
+                                                ShardedRuntimeOptions options) {
+  if (options.num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  // Mirror FeedRuntime::Create's own option validation up front, so a
+  // misconfiguration never mutates the input collection.
+  if (options.runtime.retention_window < 0) {
+    return Status::InvalidArgument("retention window must be non-negative");
+  }
+  if (options.runtime.search_cache_entries > 0 &&
+      options.runtime.search_serving == SearchServing::kNone) {
+    return Status::InvalidArgument(
+        "search_cache_entries requires search_serving");
+  }
+  // The global ↔ shard-local DocId translation leans on evictions being
+  // id-preserving in every shard AND in the global numbering, which is the
+  // time-ordered (Append-driven) fast path. Out-of-order historical ingest
+  // would renumber survivors differently per shard — refuse it up front.
+  {
+    Timestamp prev = 0;
+    bool first = true;
+    for (const Document& doc : collection.documents()) {
+      if (!first && doc.time < prev) {
+        return Status::InvalidArgument(
+            "sharded runtime requires documents in nondecreasing time order "
+            "(evictions must preserve DocIds)");
+      }
+      prev = doc.time;
+      first = false;
+    }
+  }
+
+  // Apply retention to the history before splitting, exactly where the
+  // unsharded Create applies it, so every shard is built over the retained
+  // window only.
+  const Timestamp window = options.runtime.retention_window;
+  if (window > 0 && collection.timeline_length() > window) {
+    STB_RETURN_NOT_OK(
+        collection.EvictBefore(collection.timeline_length() - window));
+  }
+
+  ShardedRuntime runtime(std::move(options));
+  const size_t num_shards = runtime.map_.num_shards();
+  runtime.vocab_ = collection.vocabulary();
+  runtime.num_streams_ = collection.num_streams();
+  runtime.window_start_ = collection.window_start();
+  runtime.doc_id_base_ = collection.doc_id_base();
+  runtime.next_global_doc_ =
+      collection.doc_id_base() + static_cast<DocId>(collection.num_documents());
+
+  // The eviction ledger: accepted documents per retained timestamp, so the
+  // coordinator can advance doc_id_base_ in lockstep with the shards'
+  // evictions without holding a global collection.
+  runtime.docs_per_timestamp_.assign(
+      static_cast<size_t>(collection.timeline_length() -
+                          runtime.window_start_),
+      0);
+  for (const Document& doc : collection.documents()) {
+    ++runtime.docs_per_timestamp_[static_cast<size_t>(doc.time -
+                                                      runtime.window_start_)];
+  }
+
+  // Split the retained history: every shard gets the full stream table and
+  // the full vocabulary (interned in id order, so TermIds align globally —
+  // unowned terms simply never receive postings and are skipped by the
+  // miner exactly like any zero-mass term), and exactly the documents that
+  // carry at least one of its terms, tokens filtered to the owned subset.
+  std::vector<Collection> shard_collections;
+  shard_collections.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    STB_ASSIGN_OR_RETURN(Collection shard_collection,
+                         Collection::Create(collection.timeline_length()));
+    for (const StreamInfo& info : collection.streams()) {
+      shard_collection.AddStream(info.name, info.geo, info.position);
+    }
+    Vocabulary* vocab = shard_collection.mutable_vocabulary();
+    for (TermId t = 0; t < runtime.vocab_.size(); ++t) {
+      vocab->Intern(runtime.vocab_.TermOf(t));
+    }
+    shard_collections.push_back(std::move(shard_collection));
+  }
+
+  runtime.doc_maps_.assign(num_shards, {});
+  {
+    std::vector<char> hit(num_shards, 0);
+    std::vector<std::vector<TermId>> owned(num_shards);
+    std::vector<size_t> touched;
+    for (size_t i = 0; i < collection.documents().size(); ++i) {
+      const Document& doc = collection.documents()[i];
+      const DocId global = collection.doc_id_base() + static_cast<DocId>(i);
+      touched.clear();
+      for (TermId token : doc.tokens) {
+        const size_t s = runtime.map_.shard_of(token);
+        if (!hit[s]) {
+          hit[s] = 1;
+          owned[s].clear();
+          touched.push_back(s);
+        }
+        owned[s].push_back(token);
+      }
+      for (size_t s : touched) {
+        hit[s] = 0;
+        STB_RETURN_NOT_OK(shard_collections[s]
+                              .AddDocument(doc.stream, doc.time, owned[s],
+                                           doc.event_id)
+                              .status());
+        runtime.doc_maps_[s].push_back(global);
+      }
+    }
+  }
+
+  // Per-shard runtime options: one borrowed pool, no per-shard query cache
+  // (the coordinator caches composed results; per-shard caches would never
+  // be hit — shards are queried through the scatter-gather path only).
+  FeedRuntimeOptions shard_options = runtime.options_.runtime;
+  shard_options.shared_pool = runtime.pool_.get();
+  if (runtime.pool_ == nullptr) shard_options.num_threads = 1;
+  shard_options.search_cache_entries = 0;
+
+  runtime.shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    STB_ASSIGN_OR_RETURN(
+        FeedRuntime shard,
+        FeedRuntime::Create(std::move(shard_collections[s]), shard_options));
+    runtime.shards_.push_back(std::make_unique<FeedRuntime>(std::move(shard)));
+  }
+
+  if (runtime.options_.runtime.search_serving != SearchServing::kNone) {
+    runtime.PublishView();
+    if (runtime.options_.runtime.search_cache_entries > 0) {
+      runtime.search_cache_ = std::make_unique<QueryResultCache>(
+          runtime.options_.runtime.search_cache_entries);
+    }
+  }
+  return runtime;
+}
+
+void ShardedRuntime::SyncVocabularies() {
+  for (const std::unique_ptr<FeedRuntime>& shard : shards_) {
+    Vocabulary* vocab = shard->mutable_vocabulary();
+    for (TermId t = static_cast<TermId>(vocab->size()); t < vocab_.size();
+         ++t) {
+      vocab->Intern(vocab_.TermOf(t));
+    }
+  }
+}
+
+void ShardedRuntime::PublishView() {
+  auto view = std::make_shared<ShardedSearchView>();
+  const size_t num_shards = shards_.size();
+  view->shards.resize(num_shards);
+  view->doc_maps.resize(num_shards);
+  view->local_bases.resize(num_shards);
+  uint64_t generation = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    view->shards[s] = shards_[s]->search_snapshot();
+    generation += view->shards[s]->generation;
+    // Copy-on-write: the published map must stay frozen while readers hold
+    // the view, so each publication snapshots the coordinator's live map.
+    view->doc_maps[s] = std::make_shared<const std::vector<DocId>>(
+        doc_maps_[s]);
+    view->local_bases[s] = shards_[s]->collection().doc_id_base();
+  }
+  view->generation = generation;
+  view_.Publish(std::move(view));
+}
+
+StatusOr<FeedTickStats> ShardedRuntime::Tick(Snapshot snapshot) {
+  if (wedged_) {
+    return Status::FailedPrecondition(
+        "sharded runtime wedged by a partial cross-shard commit; rebuild via "
+        "Create");
+  }
+  Timer timer;
+  FeedTickStats stats;
+  const size_t num_shards = shards_.size();
+
+  // New terms the caller interned since the last tick reach every shard
+  // before validation, keeping all vocabularies (and the dense TermId
+  // space) aligned. Like unsharded interning, this survives a failed tick —
+  // interned-but-unseen terms carry no state.
+  SyncVocabularies();
+
+  // Validate ONCE, globally: the policy (reject vs quarantine) applies to
+  // the snapshot as a whole, and the per-shard sub-snapshots below are
+  // valid by construction.
+  STB_RETURN_NOT_OK(ValidateSnapshotDocuments(
+      num_streams_, vocab_.size(), options_.runtime.on_invalid, &snapshot,
+      &stats.rejected_documents));
+  stats.documents = snapshot.size();
+
+  std::vector<Snapshot> parts;
+  std::vector<std::vector<size_t>> routed;
+  map_.SplitSnapshot(snapshot, &parts, &routed);
+
+  // Phase 1: fan PrepareTickIngest across the pool. Each shard appends its
+  // sub-snapshot (empty ones still advance the shard timeline — the
+  // lockstep invariant), evicts in lockstep, and stages its dirty re-mine.
+  // PrepareTickIngest maps its own exceptions and rolls itself back on
+  // failure, so the fan-out body never throws for shard-internal reasons.
+  std::vector<std::optional<StatusOr<FeedRuntime::TickTransaction>>> prepared(
+      num_shards);
+  ParallelFor(pool_.get(), 0, num_shards, [&](size_t, size_t s) {
+    prepared[s].emplace(shards_[s]->PrepareTickIngest(std::move(parts[s])));
+  });
+  Status failure = Status::OK();
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (!prepared[s]->ok()) {
+      failure = prepared[s]->status();
+      break;
+    }
+  }
+  if (!failure.ok()) {
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (prepared[s]->ok()) {
+        shards_[s]->AbortTick(std::move(prepared[s]->value()));
+      }
+    }
+    return failure;
+  }
+  std::vector<FeedRuntime::TickTransaction> txs;
+  txs.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    txs.push_back(std::move(prepared[s]->value()));
+  }
+
+  // Phase 2: ONE global refresh selection. Candidate sets are disjoint
+  // across shards (an unowned term has no mass), priorities are identical
+  // to the unsharded runtime's, and SelectRefreshTargets is the same
+  // deterministic rule — so the sweep refreshes exactly the terms the
+  // unsharded runtime would, whatever K is.
+  std::vector<std::vector<TermId>> targets(num_shards);
+  if (options_.runtime.refresh_budget > 0) {
+    std::vector<RefreshCandidate> merged;
+    for (size_t s = 0; s < num_shards; ++s) {
+      std::vector<RefreshCandidate> candidates =
+          shards_[s]->RefreshCandidates(txs[s]);
+      merged.insert(merged.end(), candidates.begin(), candidates.end());
+    }
+    for (TermId t : FeedRuntime::SelectRefreshTargets(
+             std::move(merged), options_.runtime.refresh_budget)) {
+      targets[map_.shard_of(t)].push_back(t);
+    }
+  }
+
+  // Phase 3: fan StageTickDerived. Everything is staged, nothing published.
+  std::vector<Status> staged(num_shards, Status::OK());
+  ParallelFor(pool_.get(), 0, num_shards, [&](size_t, size_t s) {
+    staged[s] = shards_[s]->StageTickDerived(&txs[s], std::move(targets[s]));
+  });
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (!staged[s].ok()) {
+      failure = staged[s];
+      break;
+    }
+  }
+  if (!failure.ok()) {
+    for (size_t s = 0; s < num_shards; ++s) {
+      shards_[s]->AbortTick(std::move(txs[s]));
+    }
+    return failure;
+  }
+
+  // The cross-shard atomicity gate: a failure here (fault-injected in the
+  // sweep) aborts every shard — one shard's rollback rolls the whole
+  // sharded tick, proving the all-or-nothing contract.
+  failure = GuardedShardedCommitGate();
+  if (!failure.ok()) {
+    for (size_t s = 0; s < num_shards; ++s) {
+      shards_[s]->AbortTick(std::move(txs[s]));
+    }
+    return failure;
+  }
+
+  // Phase 4: commit serially. Shard 0's clean failure can still roll the
+  // whole tick back (nothing committed yet); any later failure — or a
+  // shard wedging inside its own commit tail — leaves shards divergent,
+  // which wedges the coordinator exactly like a FeedRuntime commit-tail
+  // failure wedges it.
+  std::vector<FeedTickStats> shard_stats(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    StatusOr<FeedTickStats> committed =
+        shards_[s]->CommitTick(std::move(txs[s]));
+    if (!committed.ok()) {
+      for (size_t j = s + 1; j < num_shards; ++j) {
+        shards_[j]->AbortTick(std::move(txs[j]));
+      }
+      if (s == 0 && !shards_[0]->wedged()) return committed.status();
+      wedged_ = true;
+      const Status& cause = committed.status();
+      return Status::Internal(StringPrintf(
+          "sharded commit failed at shard %zu (%.*s); runtime wedged — "
+          "rebuild via Create",
+          s, static_cast<int>(cause.message().size()),
+          cause.message().data()));
+    }
+    shard_stats[s] = std::move(committed).value();
+  }
+
+  // Post-commit coordinator bookkeeping: global ids for this tick's
+  // accepted documents (token-less ones consume an id but live in no
+  // shard, exactly as one global Collection would number them), then the
+  // eviction ledger and the per-shard doc maps.
+  for (size_t s = 0; s < num_shards; ++s) {
+    for (size_t pos : routed[s]) {
+      doc_maps_[s].push_back(next_global_doc_ + static_cast<DocId>(pos));
+    }
+  }
+  next_global_doc_ += static_cast<DocId>(stats.documents);
+  docs_per_timestamp_.push_back(stats.documents);
+  const Timestamp new_window_start = shards_[0]->window_start();
+  while (window_start_ < new_window_start) {
+    doc_id_base_ += static_cast<DocId>(docs_per_timestamp_.front());
+    docs_per_timestamp_.pop_front();
+    ++window_start_;
+  }
+  for (size_t s = 0; s < num_shards; ++s) {
+    const size_t live = shards_[s]->collection().num_documents();
+    STB_DCHECK(doc_maps_[s].size() >= live);
+    doc_maps_[s].erase(doc_maps_[s].begin(),
+                       doc_maps_[s].end() - static_cast<ptrdiff_t>(live));
+  }
+
+  stats.time = shard_stats[0].time;
+  stats.evicted = shard_stats[0].evicted;
+  for (size_t s = 0; s < num_shards; ++s) {
+    stats.dirty_terms += shard_stats[s].dirty_terms;
+    stats.refreshed_terms += shard_stats[s].refreshed_terms;
+    stats.search_terms += shard_stats[s].search_terms;
+    stats.degraded = stats.degraded || shard_stats[s].degraded;
+  }
+
+  if (options_.runtime.search_serving != SearchServing::kNone) PublishView();
+
+  stats.seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+const TermPatterns& ShardedRuntime::patterns(TermId term) const {
+  return shard_for(term).patterns(term);
+}
+
+Timestamp ShardedRuntime::staleness(TermId term) const {
+  return shard_for(term).staleness(term);
+}
+
+Timestamp ShardedRuntime::timeline_length() const {
+  return shards_[0]->collection().timeline_length();
+}
+
+Timestamp ShardedRuntime::window_start() const {
+  return shards_[0]->window_start();
+}
+
+TopKResult ShardedRuntime::Search(const std::string& query, size_t k) const {
+  return Search(tokenizer_.TokenizeFrozen(query, vocab_), k);
+}
+
+TopKResult ShardedRuntime::Search(const std::vector<TermId>& query,
+                                  size_t k) const {
+  STB_CHECK(options_.runtime.search_serving != SearchServing::kNone)
+      << "Search requires ShardedRuntimeOptions::runtime.search_serving";
+  const std::shared_ptr<const ShardedSearchView> view = view_.Load();
+  const auto compute = [&] {
+    // Dedupe exactly like ThresholdTopK, then route each term to its
+    // owning shard's published snapshot. Scatter-gather with per-posting
+    // translation; results carry global DocIds.
+    std::vector<TermId> terms = query;
+    std::sort(terms.begin(), terms.end());
+    terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+    std::vector<ShardedTermList> lists;
+    lists.reserve(terms.size());
+    for (TermId t : terms) {
+      const size_t s = map_.shard_of(t);
+      lists.push_back(ShardedTermList{t, &view->shards[s]->index,
+                                      view->doc_maps[s].get(),
+                                      view->local_bases[s]});
+    }
+    return ShardedThresholdTopK(lists, k, view->generation);
+  };
+  if (search_cache_ != nullptr) {
+    TopKResult cached;
+    if (search_cache_->Lookup(view->generation, query, k, &cached)) {
+      return cached;
+    }
+    TopKResult fresh = compute();
+    search_cache_->Insert(view->generation, query, k, fresh);
+    return fresh;
+  }
+  return compute();
+}
+
+QueryCacheStats ShardedRuntime::search_cache_stats() const {
+  return search_cache_ != nullptr ? search_cache_->stats() : QueryCacheStats{};
+}
+
+}  // namespace stburst

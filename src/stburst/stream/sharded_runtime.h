@@ -1,0 +1,210 @@
+// ShardedRuntime — K vocabulary shards behind one FeedRuntime-shaped API.
+//
+// One FeedRuntime owning the whole vocabulary is the last single-owner
+// bottleneck of the live path: every tick's re-mine, splice, and search
+// re-scoring funnels through one runtime's state. ShardedRuntime splits the
+// WRITE path by vocabulary — K independent FeedRuntime shards, terms
+// assigned by hash(term) % K (ShardMap), each incoming snapshot split so a
+// shard sees exactly the documents that carry its terms (tokens filtered to
+// the owned subset) — and composes the READ path by scatter-gather: search
+// runs the threshold algorithm across the shards' published snapshots with
+// per-posting id translation, merging per-shard frontiers into the global
+// termination threshold (index/threshold_algorithm.h,
+// ShardedThresholdTopK).
+//
+// The invariant everything here is built around, enforced by tests at every
+// K: a ShardedRuntime is BIT-IDENTICAL to the unsharded FeedRuntime fed the
+// same snapshots — tick stats, standing patterns (patterns(t) routes to the
+// owning shard), and search results including access counts. Why it holds:
+//  - term disjointness: a term's postings, dirty transitions, and mined
+//    patterns live wholly in its owning shard, and per-term mining reads
+//    nothing but that term's windowed series + fixed stream geometry;
+//  - lockstep timelines: every shard appends every snapshot (possibly
+//    empty — an empty Append still extends the timeline), so window
+//    arithmetic, staleness, and burstiness normalization agree everywhere;
+//  - global refresh selection: the coordinator gathers every shard's
+//    refresh candidates and runs the one global SelectRefreshTargets the
+//    unsharded runtime would run, so sharding never changes which quiet
+//    terms the sweep touches;
+//  - monotone id translation: shard-local DocIds map to global ids through
+//    an ascending per-shard doc map, so score-sorted postings translate
+//    element-for-element and the TA run is access-for-access identical.
+//
+// Ticks are transactional across shards: the coordinator fans
+// PrepareTickIngest / StageTickDerived across the standing pool (nested
+// fan-out rides ParallelFor's helping wait), and any shard's failure aborts
+// every shard's transaction — one shard's rollback rolls the whole sharded
+// tick (fault-injected at "sharded.commit"). Commits run serially; a
+// failure after the first shard committed cannot be rolled back and wedges
+// the coordinator, mirroring FeedRuntime's own commit-tail contract.
+//
+// docs/ARCHITECTURE.md ("Sharded runtime") covers routing, snapshot
+// splitting, threshold composition, and the rollback contract;
+// examples/sharded_feed.cpp runs K=4 against an unsharded control.
+
+#ifndef STBURST_STREAM_SHARDED_RUNTIME_H_
+#define STBURST_STREAM_SHARDED_RUNTIME_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stburst/common/parallel.h"
+#include "stburst/common/published_ptr.h"
+#include "stburst/common/statusor.h"
+#include "stburst/index/index_snapshot.h"
+#include "stburst/index/query_cache.h"
+#include "stburst/index/threshold_algorithm.h"
+#include "stburst/stream/feed_runtime.h"
+#include "stburst/stream/shard_map.h"
+#include "stburst/stream/tokenizer.h"
+
+namespace stburst {
+
+struct ShardedRuntimeOptions {
+  /// Per-shard runtime configuration, applied to every shard. num_threads
+  /// sizes ONE pool the coordinator owns and lends to all shards
+  /// (shared_pool and search_cache_entries are overridden: the coordinator
+  /// runs the pool and the query cache itself). tick_deadline_seconds is
+  /// evaluated per shard against its own share of the tick.
+  FeedRuntimeOptions runtime;
+
+  /// Vocabulary shards. 1 degenerates to a single FeedRuntime behind the
+  /// coordinator API (the parity baseline).
+  size_t num_shards = 1;
+};
+
+/// One published generation of the sharded read plane: each shard's
+/// IndexSnapshot plus the local → global DocId translation frozen at the
+/// same tick. Immutable after publication; readers hold it across ticks.
+struct ShardedSearchView {
+  /// Sum of the shard snapshot generations: strictly increases whenever any
+  /// shard published, which is what keys the coordinator's query cache.
+  uint64_t generation = 0;
+  std::vector<std::shared_ptr<const IndexSnapshot>> shards;
+  /// Per shard: ascending global ids of its live documents, indexed by
+  /// local_id - local_base.
+  std::vector<std::shared_ptr<const std::vector<DocId>>> doc_maps;
+  std::vector<DocId> local_bases;
+};
+
+/// The sharded coordinator. Single-writer like FeedRuntime: Tick must be
+/// externally serialized against itself and the non-read-plane accessors;
+/// search_view() and Search() with pre-resolved TermIds are safe from any
+/// thread concurrently with a running Tick.
+class ShardedRuntime {
+ public:
+  /// Takes ownership of the historical collection, applies the retention
+  /// window, and splits the retained history into per-shard collections
+  /// (every shard gets the full stream table and vocabulary, so ids align
+  /// globally; unowned terms simply never carry postings). Requires the
+  /// collection's documents in nondecreasing time order — the Append-driven
+  /// invariant that keeps evictions id-preserving, which the global DocId
+  /// translation depends on.
+  static StatusOr<ShardedRuntime> Create(Collection collection,
+                                         ShardedRuntimeOptions options);
+
+  ShardedRuntime(ShardedRuntime&&) = default;
+  ShardedRuntime& operator=(ShardedRuntime&&) = default;
+
+  /// One transactional tick across all shards: validate globally, split,
+  /// fan prepares and stagings across the pool, then commit every shard —
+  /// or roll every shard back on any failure (bit-identical to a
+  /// coordinator that never saw the snapshot). A failure after the first
+  /// shard committed wedges the runtime (FailedPrecondition from then on);
+  /// rebuild via Create. Returned stats aggregate the shards: documents /
+  /// rejected are global, dirty/refreshed/search terms sum (term sets are
+  /// disjoint), degraded ORs, time/evicted come from shard 0's lockstep
+  /// timeline, seconds is the coordinator's wall clock.
+  StatusOr<FeedTickStats> Tick(Snapshot snapshot);
+
+  size_t num_shards() const { return shards_.size(); }
+  const ShardMap& shard_map() const { return map_; }
+  bool wedged() const { return wedged_; }
+
+  /// The shard owning `term` (valid for any TermId).
+  const FeedRuntime& shard_for(TermId term) const {
+    return *shards_[map_.shard_of(term)];
+  }
+  const FeedRuntime& shard(size_t s) const { return *shards_[s]; }
+
+  /// The standing pattern slot of `term`, answered by its owning shard —
+  /// bit-identical to the unsharded FeedRuntime::patterns(term).
+  const TermPatterns& patterns(TermId term) const;
+
+  /// Ticks since `term` was last (re-)mined; owning shard's answer.
+  Timestamp staleness(TermId term) const;
+
+  /// Interning point for tokenizing snapshots before Tick. New terms are
+  /// synced to every shard at the start of the next Tick.
+  Vocabulary* mutable_vocabulary() { return &vocab_; }
+  const Vocabulary& vocabulary() const { return vocab_; }
+
+  /// Lockstep timeline accessors (every shard agrees; shard 0 answers).
+  Timestamp timeline_length() const;
+  Timestamp window_start() const;
+
+  /// Smallest live global DocId (advanced by retention in lockstep with the
+  /// shards' evictions).
+  DocId doc_id_base() const { return doc_id_base_; }
+
+  /// The coordinator's standing pool; nullptr when serial.
+  ThreadPool* pool() { return pool_.get(); }
+
+  /// The currently published composed read-plane view; null when search
+  /// serving is off. One atomic load; safe from any thread.
+  std::shared_ptr<const ShardedSearchView> search_view() const {
+    return view_.Load();
+  }
+
+  /// Scatter-gather top-k over the composed view; results carry GLOBAL
+  /// DocIds and are bit-identical to the unsharded FeedRuntime::Search
+  /// (docs, scores, access counts, early termination) apart from the
+  /// generation stamp, which is the view's. Requires search serving; safe
+  /// concurrently with Tick.
+  TopKResult Search(const std::string& query, size_t k) const;
+  TopKResult Search(const std::vector<TermId>& query, size_t k) const;
+
+  /// Coordinator query-cache counters; all-zero when disabled.
+  QueryCacheStats search_cache_stats() const;
+
+ private:
+  ShardedRuntime(ShardedRuntimeOptions options);
+
+  /// Interns coordinator-vocabulary terms the shards haven't seen yet
+  /// (dense ids, so interning in id order keeps every shard aligned).
+  void SyncVocabularies();
+
+  /// Rebuilds and publishes the composed view from the shards' current
+  /// snapshots and the coordinator's doc maps.
+  void PublishView();
+
+  ShardedRuntimeOptions options_;
+  ShardMap map_;
+  std::unique_ptr<ThreadPool> pool_;  // lent to every shard; null if serial
+  std::vector<std::unique_ptr<FeedRuntime>> shards_;
+  // Master vocabulary + stream count for global validation and string
+  // queries (the shards hold aligned copies).
+  Vocabulary vocab_;
+  size_t num_streams_ = 0;
+  Tokenizer tokenizer_;
+  // Global DocId accounting: ids are assigned to every accepted document
+  // (token-less ones included) exactly as one global Collection would.
+  DocId next_global_doc_ = 0;
+  DocId doc_id_base_ = 0;
+  Timestamp window_start_ = 0;
+  // Accepted documents per retained timestamp — the eviction ledger that
+  // advances doc_id_base_ when the window slides.
+  std::deque<size_t> docs_per_timestamp_;
+  // Per shard: ascending global ids of its live local docs (index:
+  // local_id - shard collection doc_id_base()).
+  std::vector<std::vector<DocId>> doc_maps_;
+  PublishedPtr<ShardedSearchView> view_;
+  std::unique_ptr<QueryResultCache> search_cache_;
+  bool wedged_ = false;
+};
+
+}  // namespace stburst
+
+#endif  // STBURST_STREAM_SHARDED_RUNTIME_H_

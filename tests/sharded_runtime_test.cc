@@ -1,0 +1,620 @@
+// ShardedRuntime bit-identity proofs: at every shard count a ShardedRuntime
+// fed the same snapshots as an unsharded FeedRuntime must expose identical
+// tick stats (wall time aside), identical standing patterns and staleness
+// for every term, and identical Search() answers — documents, scores,
+// access counts, early termination, tie resolution — plus the cross-shard
+// transactionality sweep: any shard's failure (and the dedicated
+// "sharded.commit" gate) rolls the WHOLE sharded tick back.
+//
+// The shard counts under test come from STBURST_TEST_SHARDS when set (the
+// CI shard matrix exports it via `SHARDS=K ./ci.sh`), else {1,2,3,4,8}.
+
+#include "stburst/stream/sharded_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "stburst/common/fault_injection.h"
+#include "stburst/common/random.h"
+#include "stburst/stream/feed_runtime.h"
+
+namespace stburst {
+namespace {
+
+constexpr size_t kStreams = 6;
+constexpr size_t kVocab = 60;
+constexpr Timestamp kHistoryWeeks = 4;
+constexpr Timestamp kWindow = 6;
+constexpr int kLiveTicks = 12;  // overfills the window: evicting ticks
+
+std::vector<size_t> TestShardCounts() {
+  if (const char* env = std::getenv("STBURST_TEST_SHARDS");
+      env != nullptr && *env != '\0') {
+    const size_t k = static_cast<size_t>(std::strtoul(env, nullptr, 10));
+    if (k >= 1) return {k};
+  }
+  return {1, 2, 3, 4, 8};
+}
+
+FeedRuntimeOptions BaseOptions() {
+  FeedRuntimeOptions opts;
+  opts.num_threads = 4;
+  opts.retention_window = kWindow;
+  opts.refresh_budget = 4;
+  opts.search_serving = SearchServing::kCombinatorial;
+  opts.miner.stcomb.min_interval_burstiness = 0.05;
+  return opts;
+}
+
+Collection MakeSeedCollection(Timestamp weeks = kHistoryWeeks) {
+  auto c = Collection::Create(weeks);
+  EXPECT_TRUE(c.ok());
+  for (size_t s = 0; s < kStreams; ++s) {
+    c->AddStream("s" + std::to_string(s), {},
+                 Point2D{static_cast<double>(s % 3),
+                         static_cast<double>(s / 3)});
+  }
+  Vocabulary* v = c->mutable_vocabulary();
+  for (size_t t = 0; t < kVocab; ++t) v->Intern("term" + std::to_string(t));
+  Rng rng(7);
+  for (Timestamp w = 0; w < weeks; ++w) {
+    for (StreamId s = 0; s < kStreams; ++s) {
+      size_t docs = 1 + rng.NextUint64(2);
+      for (size_t d = 0; d < docs; ++d) {
+        std::vector<TermId> tokens;
+        size_t len = 2 + rng.NextUint64(4);
+        for (size_t i = 0; i < len; ++i) {
+          tokens.push_back(static_cast<TermId>(rng.NextUint64(kVocab)));
+        }
+        EXPECT_TRUE(c->AddDocument(s, w, std::move(tokens)).ok());
+      }
+    }
+  }
+  return std::move(*c);
+}
+
+// Random snapshot over `vocab_size` terms; ~10% of documents carry no
+// tokens at all, so the global DocId numbering of unrouted documents is
+// exercised (they consume an id but live in no shard).
+Snapshot MakeSnapshot(Rng& rng, size_t vocab_size) {
+  Snapshot snap;
+  for (StreamId s = 0; s < kStreams; ++s) {
+    size_t docs = 1 + rng.NextUint64(2);
+    for (size_t d = 0; d < docs; ++d) {
+      SnapshotDocument doc;
+      doc.stream = s;
+      if (!rng.Bernoulli(0.1)) {
+        size_t len = 2 + rng.NextUint64(4);
+        for (size_t i = 0; i < len; ++i) {
+          TermId tok = static_cast<TermId>(rng.NextUint64(vocab_size));
+          if (rng.Bernoulli(0.5)) {
+            tok = static_cast<TermId>(tok % (vocab_size / 4 + 1));
+          }
+          doc.tokens.push_back(tok);
+        }
+      }
+      snap.push_back(std::move(doc));
+    }
+  }
+  return snap;
+}
+
+void ExpectSamePatterns(const TermPatterns& a, const TermPatterns& b,
+                        TermId term) {
+  ASSERT_EQ(a.mined, b.mined) << "term " << term;
+  ASSERT_EQ(a.combinatorial.size(), b.combinatorial.size()) << "term " << term;
+  for (size_t i = 0; i < a.combinatorial.size(); ++i) {
+    EXPECT_EQ(a.combinatorial[i].streams, b.combinatorial[i].streams);
+    EXPECT_EQ(a.combinatorial[i].timeframe, b.combinatorial[i].timeframe);
+    EXPECT_EQ(a.combinatorial[i].score, b.combinatorial[i].score);
+  }
+  ASSERT_EQ(a.regional.size(), b.regional.size()) << "term " << term;
+  for (size_t i = 0; i < a.regional.size(); ++i) {
+    EXPECT_EQ(a.regional[i].region, b.regional[i].region);
+    EXPECT_EQ(a.regional[i].streams, b.regional[i].streams);
+    EXPECT_EQ(a.regional[i].timeframe, b.regional[i].timeframe);
+    EXPECT_EQ(a.regional[i].score, b.regional[i].score);
+  }
+}
+
+// Everything the caller can act on; the generation stamp is the one field
+// with a sharding-specific scheme (sum of shard generations) and is
+// checked separately for monotonicity.
+void ExpectSameSearch(const TopKResult& a, const TopKResult& b,
+                      const char* what) {
+  EXPECT_EQ(a.docs, b.docs) << what;
+  EXPECT_EQ(a.sorted_accesses, b.sorted_accesses) << what;
+  EXPECT_EQ(a.random_accesses, b.random_accesses) << what;
+  EXPECT_EQ(a.early_terminated, b.early_terminated) << what;
+}
+
+// The full observable parity surface between a sharded runtime and its
+// unsharded control.
+void ExpectShardedMatchesUnsharded(const ShardedRuntime& sharded,
+                                   const FeedRuntime& control) {
+  EXPECT_EQ(sharded.timeline_length(),
+            control.collection().timeline_length());
+  EXPECT_EQ(sharded.window_start(), control.window_start());
+  EXPECT_EQ(sharded.doc_id_base(), control.collection().doc_id_base());
+  ASSERT_EQ(sharded.vocabulary().size(),
+            control.collection().vocabulary().size());
+  for (TermId t = 0; t < sharded.vocabulary().size(); ++t) {
+    ExpectSamePatterns(sharded.patterns(t), control.patterns(t), t);
+    EXPECT_EQ(sharded.staleness(t), control.staleness(t)) << "term " << t;
+  }
+}
+
+void ExpectSameTickStats(const FeedTickStats& a, const FeedTickStats& b) {
+  EXPECT_EQ(a.time, b.time);
+  EXPECT_EQ(a.documents, b.documents);
+  EXPECT_EQ(a.rejected_documents, b.rejected_documents);
+  EXPECT_EQ(a.dirty_terms, b.dirty_terms);
+  EXPECT_EQ(a.refreshed_terms, b.refreshed_terms);
+  EXPECT_EQ(a.search_terms, b.search_terms);
+  EXPECT_EQ(a.evicted, b.evicted);
+  EXPECT_EQ(a.degraded, b.degraded);
+}
+
+ShardedRuntimeOptions ShardedOptions(size_t num_shards,
+                                     FeedRuntimeOptions base = BaseOptions()) {
+  ShardedRuntimeOptions opts;
+  opts.runtime = base;
+  opts.num_shards = num_shards;
+  return opts;
+}
+
+// ------------------------------------------------------------- ShardMap
+
+TEST(ShardMapTest, AssignmentIsStableAndInRange) {
+  ShardMap map(4);
+  EXPECT_EQ(map.num_shards(), 4u);
+  for (TermId t = 0; t < 1000; ++t) {
+    const size_t s = map.shard_of(t);
+    EXPECT_LT(s, 4u);
+    EXPECT_EQ(s, map.shard_of(t));  // pure function of (term, K)
+  }
+  ShardMap one(1);
+  for (TermId t = 0; t < 100; ++t) EXPECT_EQ(one.shard_of(t), 0u);
+}
+
+TEST(ShardMapTest, AssignmentSpreadsTheVocabulary) {
+  ShardMap map(4);
+  std::vector<size_t> counts(4, 0);
+  for (TermId t = 0; t < 4096; ++t) ++counts[map.shard_of(t)];
+  for (size_t s = 0; s < 4; ++s) {
+    // A grossly lopsided split would defeat the sharding; the splitmix64
+    // finalizer keeps every shard within a loose band of the mean.
+    EXPECT_GT(counts[s], 4096u / 8) << "shard " << s;
+    EXPECT_LT(counts[s], 4096u / 2) << "shard " << s;
+  }
+}
+
+TEST(ShardMapTest, SplitRoutesEveryTokenToItsOwnerOnce) {
+  ShardMap map(3);
+  Snapshot snap;
+  Rng rng(11);
+  for (StreamId s = 0; s < 4; ++s) {
+    for (int d = 0; d < 5; ++d) {
+      SnapshotDocument doc;
+      doc.stream = s;
+      size_t len = rng.NextUint64(6);  // includes token-less documents
+      for (size_t i = 0; i < len; ++i) {
+        doc.tokens.push_back(static_cast<TermId>(rng.NextUint64(40)));
+      }
+      snap.push_back(std::move(doc));
+    }
+  }
+
+  std::vector<Snapshot> parts;
+  std::vector<std::vector<size_t>> routed;
+  map.SplitSnapshot(snap, &parts, &routed);
+  ASSERT_EQ(parts.size(), 3u);
+  ASSERT_EQ(routed.size(), 3u);
+
+  size_t total_tokens = 0;
+  for (size_t s = 0; s < 3; ++s) {
+    ASSERT_EQ(parts[s].size(), routed[s].size());
+    for (size_t i = 0; i < parts[s].size(); ++i) {
+      const SnapshotDocument& piece = parts[s][i];
+      const SnapshotDocument& original = snap[routed[s][i]];
+      EXPECT_EQ(piece.stream, original.stream);
+      EXPECT_EQ(piece.event_id, original.event_id);
+      EXPECT_FALSE(piece.tokens.empty());  // routed iff it carries a term
+      for (TermId tok : piece.tokens) {
+        EXPECT_EQ(map.shard_of(tok), s);
+      }
+      total_tokens += piece.tokens.size();
+      if (i > 0) EXPECT_LT(routed[s][i - 1], routed[s][i]);  // ascending
+    }
+  }
+  size_t input_tokens = 0;
+  for (const SnapshotDocument& doc : snap) input_tokens += doc.tokens.size();
+  EXPECT_EQ(total_tokens, input_tokens);  // every token lands exactly once
+}
+
+// --------------------------------------------------------- construction
+
+TEST(ShardedRuntimeTest, CreateRejectsZeroShards) {
+  auto runtime = ShardedRuntime::Create(MakeSeedCollection(),
+                                        ShardedOptions(0));
+  ASSERT_FALSE(runtime.ok());
+  EXPECT_EQ(runtime.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardedRuntimeTest, CreateRejectsOutOfOrderDocuments) {
+  auto c = Collection::Create(4);
+  ASSERT_TRUE(c.ok());
+  c->AddStream("s0", {}, Point2D{0, 0});
+  c->mutable_vocabulary()->Intern("a");
+  ASSERT_TRUE(c->AddDocument(0, 2, {0}).ok());
+  ASSERT_TRUE(c->AddDocument(0, 1, {0}).ok());  // time goes backwards
+  auto runtime = ShardedRuntime::Create(std::move(*c), ShardedOptions(2));
+  ASSERT_FALSE(runtime.ok());
+  EXPECT_EQ(runtime.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --------------------------------------------------------------- parity
+
+class ShardedParityTest : public testing::TestWithParam<size_t> {};
+
+// The headline invariant: tick-by-tick bit identity with the unsharded
+// runtime across evicting ticks, a refresh sweep, token-less documents,
+// and terms interned mid-run.
+TEST_P(ShardedParityTest, TicksMatchUnshardedBitForBit) {
+  const size_t num_shards = GetParam();
+  auto control = FeedRuntime::Create(MakeSeedCollection(), BaseOptions());
+  ASSERT_TRUE(control.ok()) << control.status().ToString();
+  auto sharded = ShardedRuntime::Create(MakeSeedCollection(),
+                                        ShardedOptions(num_shards));
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  ASSERT_EQ(sharded->num_shards(), num_shards);
+
+  ExpectShardedMatchesUnsharded(*sharded, *control);
+
+  Rng control_rng(4242), sharded_rng(4242);
+  size_t vocab_size = kVocab;
+  for (int tick = 0; tick < kLiveTicks; ++tick) {
+    if (tick % 3 == 1) {
+      // New term mid-run, used immediately: the coordinator syncs it to
+      // every shard at the next tick.
+      const std::string name = "live" + std::to_string(tick);
+      const TermId a = control->mutable_vocabulary()->Intern(name);
+      const TermId b = sharded->mutable_vocabulary()->Intern(name);
+      ASSERT_EQ(a, b);
+      vocab_size = control->collection().vocabulary().size();
+    }
+    Snapshot control_snap = MakeSnapshot(control_rng, vocab_size);
+    Snapshot sharded_snap = MakeSnapshot(sharded_rng, vocab_size);
+
+    auto control_stats = control->Tick(std::move(control_snap));
+    auto sharded_stats = sharded->Tick(std::move(sharded_snap));
+    ASSERT_TRUE(control_stats.ok()) << control_stats.status().ToString();
+    ASSERT_TRUE(sharded_stats.ok()) << sharded_stats.status().ToString();
+    ExpectSameTickStats(*sharded_stats, *control_stats);
+    ExpectShardedMatchesUnsharded(*sharded, *control);
+  }
+}
+
+TEST_P(ShardedParityTest, SearchMatchesUnshardedIncludingAccessCounts) {
+  const size_t num_shards = GetParam();
+  auto control = FeedRuntime::Create(MakeSeedCollection(), BaseOptions());
+  ASSERT_TRUE(control.ok()) << control.status().ToString();
+  auto sharded = ShardedRuntime::Create(MakeSeedCollection(),
+                                        ShardedOptions(num_shards));
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+
+  Rng control_rng(99), sharded_rng(99), query_rng(1234);
+  uint64_t last_generation = 0;
+  for (int tick = 0; tick < kLiveTicks; ++tick) {
+    ASSERT_TRUE(control->Tick(MakeSnapshot(control_rng, kVocab)).ok());
+    ASSERT_TRUE(sharded->Tick(MakeSnapshot(sharded_rng, kVocab)).ok());
+
+    // Random single- and multi-term queries at several k, including k=1
+    // (tightest tie boundary) and a k past every match (no early exit).
+    for (int q = 0; q < 6; ++q) {
+      std::vector<TermId> query;
+      const size_t terms = 1 + query_rng.NextUint64(3);
+      for (size_t i = 0; i < terms; ++i) {
+        query.push_back(static_cast<TermId>(query_rng.NextUint64(kVocab)));
+      }
+      for (size_t k : {size_t{1}, size_t{5}, size_t{200}}) {
+        ExpectSameSearch(sharded->Search(query, k), control->Search(query, k),
+                         "random query");
+      }
+    }
+    // Duplicated terms dedupe identically.
+    ExpectSameSearch(sharded->Search(std::vector<TermId>{3, 3, 7, 3}, 5),
+                     control->Search(std::vector<TermId>{3, 3, 7, 3}, 5), "duplicate terms");
+    // k = 0 and unknown-term queries degenerate identically.
+    ExpectSameSearch(sharded->Search(std::vector<TermId>{5}, 0), control->Search(std::vector<TermId>{5}, 0),
+                     "k=0");
+
+    // The composed generation (sum of shard generations) must strictly
+    // increase whenever any shard republished.
+    const auto view = sharded->search_view();
+    ASSERT_NE(view, nullptr);
+    EXPECT_GE(view->generation, last_generation);
+    last_generation = view->generation;
+  }
+}
+
+// Ties must resolve by GLOBAL document id whatever shard the tied
+// documents live in: a corpus where every document carries the same single
+// term yields score-tied postings, so top-k is decided purely by the
+// tie-break.
+TEST_P(ShardedParityTest, TieBoundariesResolveByGlobalDocId) {
+  const size_t num_shards = GetParam();
+  auto seed = [] {
+    auto c = Collection::Create(3);
+    EXPECT_TRUE(c.ok());
+    for (size_t s = 0; s < 4; ++s) {
+      c->AddStream("s" + std::to_string(s), {},
+                   Point2D{static_cast<double>(s), 0.0});
+    }
+    Vocabulary* v = c->mutable_vocabulary();
+    for (size_t t = 0; t < 8; ++t) v->Intern("t" + std::to_string(t));
+    for (Timestamp w = 0; w < 3; ++w) {
+      for (StreamId s = 0; s < 4; ++s) {
+        EXPECT_TRUE(c->AddDocument(s, w, {0}).ok());
+        EXPECT_TRUE(c->AddDocument(s, w, {0, 1}).ok());
+      }
+    }
+    return std::move(*c);
+  };
+  FeedRuntimeOptions base = BaseOptions();
+  base.retention_window = 5;
+  auto control = FeedRuntime::Create(seed(), base);
+  ASSERT_TRUE(control.ok()) << control.status().ToString();
+  auto sharded = ShardedRuntime::Create(seed(),
+                                        ShardedOptions(num_shards, base));
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+
+  for (int tick = 0; tick < 6; ++tick) {
+    Snapshot snap;
+    for (StreamId s = 0; s < 4; ++s) {
+      SnapshotDocument d0;
+      d0.stream = s;
+      d0.tokens = {0};
+      snap.push_back(d0);
+      SnapshotDocument d1;
+      d1.stream = s;
+      d1.tokens = {0, 1};
+      snap.push_back(d1);
+    }
+    ASSERT_TRUE(control->Tick(Snapshot(snap)).ok());
+    ASSERT_TRUE(sharded->Tick(std::move(snap)).ok());
+    for (size_t k = 1; k <= 9; ++k) {
+      ExpectSameSearch(sharded->Search(std::vector<TermId>{0}, k), control->Search(std::vector<TermId>{0}, k),
+                       "tied single term");
+      ExpectSameSearch(sharded->Search(std::vector<TermId>{0, 1}, k), control->Search(std::vector<TermId>{0, 1}, k),
+                       "tied pair");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardedParityTest,
+                         testing::ValuesIn(TestShardCounts()),
+                         [](const testing::TestParamInfo<size_t>& info) {
+                           return "K" + std::to_string(info.param);
+                         });
+
+// ------------------------------------------- shard count x thread count
+
+// The shard count and the coordinator pool size are independent axes:
+// whatever their combination, the observable state is the unsharded
+// serial runtime's.
+TEST(ShardedRuntimeTest, ThreadCountNeverChangesResults) {
+  FeedRuntimeOptions serial = BaseOptions();
+  serial.num_threads = 1;
+  auto control = FeedRuntime::Create(MakeSeedCollection(), serial);
+  ASSERT_TRUE(control.ok()) << control.status().ToString();
+  Rng control_rng(5);
+  for (int tick = 0; tick < 6; ++tick) {
+    ASSERT_TRUE(control->Tick(MakeSnapshot(control_rng, kVocab)).ok());
+  }
+
+  for (size_t num_threads : {size_t{1}, size_t{2}, size_t{4}}) {
+    for (size_t num_shards : {size_t{2}, size_t{3}}) {
+      FeedRuntimeOptions base = BaseOptions();
+      base.num_threads = num_threads;
+      auto sharded = ShardedRuntime::Create(
+          MakeSeedCollection(), ShardedOptions(num_shards, base));
+      ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+      Rng rng(5);
+      for (int tick = 0; tick < 6; ++tick) {
+        ASSERT_TRUE(sharded->Tick(MakeSnapshot(rng, kVocab)).ok());
+      }
+      ExpectShardedMatchesUnsharded(*sharded, *control);
+      ExpectSameSearch(sharded->Search(std::vector<TermId>{1, 2, 3}, 10),
+                       control->Search(std::vector<TermId>{1, 2, 3}, 10), "after thread sweep");
+    }
+  }
+}
+
+// ------------------------------------------------------ coordinator cache
+
+TEST(ShardedRuntimeTest, CoordinatorCacheServesRepeatsAndInvalidatesOnTick) {
+  FeedRuntimeOptions base = BaseOptions();
+  base.search_cache_entries = 16;
+  auto sharded = ShardedRuntime::Create(MakeSeedCollection(),
+                                        ShardedOptions(3, base));
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+
+  const std::vector<TermId> query = {1, 2, 3};
+  const TopKResult first = sharded->Search(query, 5);
+  const TopKResult second = sharded->Search(query, 5);
+  EXPECT_EQ(first.docs, second.docs);
+  QueryCacheStats stats = sharded->search_cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+
+  Rng rng(3);
+  ASSERT_TRUE(sharded->Tick(MakeSnapshot(rng, kVocab)).ok());
+  (void)sharded->Search(query, 5);  // new generation: a miss, not a stale hit
+  stats = sharded->search_cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+}
+
+// -------------------------------------------------------- fault injection
+
+#ifdef STBURST_FAULT_INJECTION
+
+void ExpectIdenticalShardedRuntimes(const ShardedRuntime& a,
+                                    const ShardedRuntime& b) {
+  ASSERT_EQ(a.num_shards(), b.num_shards());
+  EXPECT_EQ(a.timeline_length(), b.timeline_length());
+  EXPECT_EQ(a.window_start(), b.window_start());
+  EXPECT_EQ(a.doc_id_base(), b.doc_id_base());
+  for (size_t s = 0; s < a.num_shards(); ++s) {
+    const Collection& ca = a.shard(s).collection();
+    const Collection& cb = b.shard(s).collection();
+    ASSERT_EQ(ca.num_documents(), cb.num_documents()) << "shard " << s;
+    ASSERT_EQ(ca.doc_id_base(), cb.doc_id_base()) << "shard " << s;
+    ASSERT_EQ(ca.timeline_length(), cb.timeline_length()) << "shard " << s;
+    for (size_t i = 0; i < ca.documents().size(); ++i) {
+      EXPECT_EQ(ca.documents()[i].tokens, cb.documents()[i].tokens);
+    }
+  }
+  for (TermId t = 0; t < a.vocabulary().size(); ++t) {
+    ExpectSamePatterns(a.patterns(t), b.patterns(t), t);
+    EXPECT_EQ(a.staleness(t), b.staleness(t)) << "term " << t;
+  }
+  ExpectSameSearch(a.Search(std::vector<TermId>{1, 2, 3}, 10), b.Search(std::vector<TermId>{1, 2, 3}, 10),
+                   "fault parity");
+}
+
+struct ShardedSweepCase {
+  std::string_view site;
+  fault::FailureKind kind;
+};
+
+std::vector<ShardedSweepCase> ShardedSweepCases() {
+  std::vector<ShardedSweepCase> cases;
+  for (std::string_view site : fault::RegisteredSites()) {
+    cases.push_back({site, fault::FailureKind::kStatus});
+    cases.push_back({site, fault::FailureKind::kBadAlloc});
+  }
+  return cases;
+}
+
+std::string ShardedSweepCaseName(
+    const testing::TestParamInfo<ShardedSweepCase>& info) {
+  std::string name(info.param.site);
+  for (char& c : name) {
+    if (c == '.') c = '_';
+  }
+  name += info.param.kind == fault::FailureKind::kStatus ? "_status"
+                                                         : "_bad_alloc";
+  return name;
+}
+
+class ShardedFaultSweepTest
+    : public testing::TestWithParam<ShardedSweepCase> {
+ protected:
+  void TearDown() override { fault::DisarmAll(); }
+};
+
+// Every registered site — the per-shard ones AND the coordinator's
+// "sharded.commit" gate — must roll the whole sharded tick back: one
+// shard's failure leaves every shard bit-identical to a sharded control
+// that never saw the snapshot, and the next clean tick converges.
+TEST_P(ShardedFaultSweepTest, OneShardFailureRollsBackEveryShard) {
+  const ShardedSweepCase& param = GetParam();
+  fault::DisarmAll();
+  const size_t num_shards = 3;
+
+  auto subject = ShardedRuntime::Create(MakeSeedCollection(),
+                                        ShardedOptions(num_shards));
+  ASSERT_TRUE(subject.ok()) << subject.status().ToString();
+  auto control = ShardedRuntime::Create(MakeSeedCollection(),
+                                        ShardedOptions(num_shards));
+  ASSERT_TRUE(control.ok()) << control.status().ToString();
+
+  Rng subject_rng(4242), control_rng(4242);
+  for (int i = 0; i < 8; ++i) {  // overfills the window: eviction sites fire
+    ASSERT_TRUE(subject->Tick(MakeSnapshot(subject_rng, kVocab)).ok());
+    ASSERT_TRUE(control->Tick(MakeSnapshot(control_rng, kVocab)).ok());
+  }
+  ExpectIdenticalShardedRuntimes(*subject, *control);
+
+  Snapshot doomed = MakeSnapshot(subject_rng, kVocab);
+  Snapshot doomed_copy = MakeSnapshot(control_rng, kVocab);
+  fault::Arm(param.site, /*nth_hit=*/1, param.kind);
+  auto failed = subject->Tick(std::move(doomed));
+  ASSERT_FALSE(failed.ok()) << "armed site " << param.site << " never fired";
+  EXPECT_GE(fault::HitCount(param.site), 1u);
+  fault::DisarmAll();
+
+  EXPECT_FALSE(subject->wedged());
+  ExpectIdenticalShardedRuntimes(*subject, *control);
+
+  Snapshot control_doomed = doomed_copy;
+  ASSERT_TRUE(subject->Tick(std::move(doomed_copy)).ok());
+  ASSERT_TRUE(control->Tick(std::move(control_doomed)).ok());
+  ExpectIdenticalShardedRuntimes(*subject, *control);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSites, ShardedFaultSweepTest,
+                         testing::ValuesIn(ShardedSweepCases()),
+                         ShardedSweepCaseName);
+
+// The coordinator gate specifically: it fires after EVERY shard staged
+// cleanly, so its rollback proves the abort path of fully staged
+// transactions, and the published read plane must not move (per-shard
+// snapshot pointer identity).
+TEST(ShardedFaultTest, CommitGateAbortsEveryFullyStagedShard) {
+  fault::DisarmAll();
+  auto subject = ShardedRuntime::Create(MakeSeedCollection(),
+                                        ShardedOptions(4));
+  ASSERT_TRUE(subject.ok()) << subject.status().ToString();
+  Rng rng(17);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(subject->Tick(MakeSnapshot(rng, kVocab)).ok());
+  }
+  const auto before = subject->search_view();
+  ASSERT_NE(before, nullptr);
+
+  fault::Arm("sharded.commit", /*nth_hit=*/1);
+  auto failed = subject->Tick(MakeSnapshot(rng, kVocab));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(fault::HitCount("sharded.commit"), 1u);
+  fault::DisarmAll();
+
+  EXPECT_FALSE(subject->wedged());
+  const auto after = subject->search_view();
+  ASSERT_EQ(after->shards.size(), before->shards.size());
+  for (size_t s = 0; s < before->shards.size(); ++s) {
+    EXPECT_EQ(after->shards[s].get(), before->shards[s].get())
+        << "shard " << s << " republished after an aborted tick";
+  }
+
+  // A clean tick afterwards commits and republishes.
+  ASSERT_TRUE(subject->Tick(MakeSnapshot(rng, kVocab)).ok());
+  EXPECT_GT(subject->search_view()->generation, before->generation);
+}
+
+// The gate honors the hit counter: ticking cleanly consumes hits, so a
+// later nth_hit dooms exactly the nth sharded tick.
+TEST(ShardedFaultTest, CommitGateCountsOneHitPerShardedTick) {
+  fault::DisarmAll();
+  auto subject = ShardedRuntime::Create(MakeSeedCollection(),
+                                        ShardedOptions(2));
+  ASSERT_TRUE(subject.ok()) << subject.status().ToString();
+  Rng rng(23);
+  fault::Arm("sharded.commit", /*nth_hit=*/3);
+  ASSERT_TRUE(subject->Tick(MakeSnapshot(rng, kVocab)).ok());
+  ASSERT_TRUE(subject->Tick(MakeSnapshot(rng, kVocab)).ok());
+  ASSERT_FALSE(subject->Tick(MakeSnapshot(rng, kVocab)).ok());
+  EXPECT_EQ(fault::HitCount("sharded.commit"), 3u);
+  fault::DisarmAll();
+  ASSERT_TRUE(subject->Tick(MakeSnapshot(rng, kVocab)).ok());
+}
+
+#endif  // STBURST_FAULT_INJECTION
+
+}  // namespace
+}  // namespace stburst
