@@ -5,6 +5,7 @@ The stburst bench harnesses (bench_micro, bench_fig7, bench_fig8) write
 machine-readable perf JSON with the schema
 
     {"benchmark": "bench_micro",
+     "isa": "avx512",
      "corpus": {"documents": D, "streams": n, "terms": V, "timeline": L},
      "results": [{"op": "frequency_build", "ns_per_op": 81.3e6, "items": N},
                  ...]}
@@ -15,6 +16,14 @@ ratio per op. Ops slower than baseline by more than --threshold (default
 can gate on it. Ops ending in "_naive" are fixed seed re-implementations
 kept for speedup reporting — their drift is machine noise, so they are
 ignored unless --include-naive is given.
+
+"isa" records the SIMD dispatch level active when the run was recorded
+(see bench_common.h). Two runs recorded under different levels measure
+different code paths, so comparing them gates on an ISA change rather
+than a code change: when both files carry "isa" and the values differ,
+the tool prints the per-op ratios for reference but refuses to gate —
+it warns and exits 0. Files without "isa" (pre-dispatch baselines) are
+compared normally.
 
 Usage:
     diff_bench.py BASELINE.json CANDIDATE.json [--threshold 0.10]
@@ -27,13 +36,19 @@ import sys
 
 
 def load_results(path):
-    """Returns {op: ns_per_op} from one perf JSON file."""
+    """Returns ({op: ns_per_op}, isa_or_None) from one perf JSON file."""
     with open(path) as f:
         doc = json.load(f)
     out = {}
     for entry in doc.get("results", []):
         out[entry["op"]] = float(entry["ns_per_op"])
-    return out
+    return out, doc.get("isa")
+
+
+def isa_mismatch(baseline_isa, candidate_isa):
+    """True when both runs recorded an ISA and the levels differ."""
+    return (baseline_isa is not None and candidate_isa is not None
+            and baseline_isa != candidate_isa)
 
 
 def diff(baseline, candidate, threshold, include_naive=False):
@@ -107,6 +122,14 @@ def self_test():
     _, loose = diff(baseline, candidate, threshold=2.0)
     assert loose == [], loose                         # threshold respected
 
+    # ISA guard: gating is refused only when both runs recorded a level and
+    # they differ; legacy files without "isa" keep comparing normally.
+    assert isa_mismatch("avx512", "scalar")
+    assert not isa_mismatch("avx512", "avx512")
+    assert not isa_mismatch(None, "avx512")           # pre-dispatch baseline
+    assert not isa_mismatch("avx512", None)
+    assert not isa_mismatch(None, None)
+
     print("diff_bench.py self-test OK")
     return 0
 
@@ -136,14 +159,24 @@ def main():
         parser.error("baseline and candidate files are required "
                      "(or use --self-test)")
 
-    baseline = load_results(args.baseline)
-    candidate = load_results(args.candidate)
+    baseline, baseline_isa = load_results(args.baseline)
+    candidate, candidate_isa = load_results(args.candidate)
     lines, regressions = diff(baseline, candidate, args.threshold,
                               args.include_naive)
     print("diff_bench: %s -> %s (threshold %.0f%%)"
           % (args.baseline, args.candidate, args.threshold * 100))
     for line in lines:
         print("  " + line)
+    if isa_mismatch(baseline_isa, candidate_isa):
+        # Different dispatch levels measure different code paths; gating
+        # here would flag the ISA change, not a code change. The ratios
+        # above stay printed for reference, but nothing gates.
+        print("WARNING: baseline recorded isa=%s but candidate recorded "
+              "isa=%s — refusing to gate across dispatch levels. Re-record "
+              "both runs under the same level (see STBURST_NO_AVX512 / "
+              "STBURST_NO_AVX2 in the README) to compare them."
+              % (baseline_isa, candidate_isa))
+        return 0
     if regressions:
         if args.soft:
             print("WARNING: %d op(s) regressed >%.0f%%: %s (non-gating: --soft)"

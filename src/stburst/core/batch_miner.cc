@@ -24,6 +24,7 @@ struct WorkerScratch {
   std::vector<BurstyInterval> bursts;       // one stream's bursty intervals
   std::vector<StreamInterval> intervals;    // pooled per-term intervals
   std::unique_ptr<TermSeries> dense;        // regional mining only
+  RegionalMiningScratch regional;           // model arena + burstiness buffer
 };
 
 // Combinatorial step (1) straight from sorted sparse postings: postings are
@@ -139,9 +140,10 @@ struct MineShared {
                                                 index.window_length());
       }
       index.FillSeries(term, ws.dense.get());
-      auto windows =
-          MineRegionalPatterns(*ws.dense, options.positions,
-                               options.model_factory, options.stlocal, binning);
+      auto windows = MineRegionalPatterns(*ws.dense, options.positions,
+                                          options.model_factory,
+                                          options.stlocal, binning,
+                                          &ws.regional);
       if (!windows.ok()) {
         std::unique_lock<std::mutex> lock(error_mu);
         if (!error.has_value()) error = windows.status();

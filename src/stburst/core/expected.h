@@ -38,6 +38,12 @@ class ExpectedFrequencyModel {
   /// True once at least one observation has been made.
   virtual bool HasHistory() const = 0;
 
+  /// Restores the freshly-constructed state: afterwards the model must
+  /// behave exactly like a new instance from the same factory —
+  /// HasHistory() false and the same Expected()/Observe() trajectory for
+  /// any observation sequence. RegionalMiningScratch (stlocal.h) relies on
+  /// this to reuse one model arena across every term of a batch sweep
+  /// instead of paying a factory allocation per (stream, term).
   virtual void Reset() = 0;
 };
 

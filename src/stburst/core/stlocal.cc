@@ -261,7 +261,7 @@ Status OnlineRegionalMiner::PushFromIndex(const FrequencyIndex& index,
 StatusOr<std::vector<SpatiotemporalWindow>> MineRegionalPatterns(
     const TermSeries& series, const std::vector<Point2D>& positions,
     const ExpectedModelFactory& model_factory, const StLocalOptions& options,
-    const SpatialBinning* shared_binning) {
+    const SpatialBinning* shared_binning, RegionalMiningScratch* scratch) {
   if (series.num_streams() != positions.size()) {
     return Status::InvalidArgument("series/positions stream count mismatch");
   }
@@ -274,9 +274,29 @@ StatusOr<std::vector<SpatiotemporalWindow>> MineRegionalPatterns(
   // per-snapshot strided column gather, no per-push allocation. Values are
   // identical to pushing columns through OnlineRegionalMiner (same models,
   // same observation order per stream).
-  std::vector<double> burstiness(n * timeline);
+  //
+  // With a scratch, the models come from its arena — Reset() between terms
+  // stands in for fresh construction (the ExpectedFrequencyModel contract)
+  // — and the buffer is recycled; every element is overwritten below, so
+  // no clear is needed. Without one, locals keep the call self-contained.
+  std::vector<double> local_burstiness;
+  std::vector<double>& burstiness =
+      scratch != nullptr ? scratch->burstiness : local_burstiness;
+  burstiness.resize(n * timeline);
   for (StreamId s = 0; s < n; ++s) {
-    std::unique_ptr<ExpectedFrequencyModel> model = model_factory();
+    std::unique_ptr<ExpectedFrequencyModel> local_model;
+    ExpectedFrequencyModel* model;
+    if (scratch != nullptr) {
+      if (s < scratch->models.size()) {
+        scratch->models[s]->Reset();
+      } else {
+        scratch->models.push_back(model_factory());
+      }
+      model = scratch->models[s].get();
+    } else {
+      local_model = model_factory();
+      model = local_model.get();
+    }
     const std::span<const double> row = series.StreamRow(s);
     for (size_t t = 0; t < timeline; ++t) {
       const double y = row[t];

@@ -229,16 +229,34 @@ class OnlineRegionalMiner {
   std::vector<double> raw_;   // time-major raw frequencies of the window
 };
 
+/// Reusable state for repeated MineRegionalPatterns calls — the batch
+/// miner keeps one per worker. The per-stream expected models are
+/// constructed by the factory on first use and Reset() between terms
+/// (which the ExpectedFrequencyModel contract makes equivalent to fresh
+/// instances), and the time-major burstiness buffer is recycled, so a
+/// whole-vocabulary sweep pays O(streams) factory allocations per worker
+/// instead of O(terms · streams). A scratch instance must stay paired with
+/// a single factory (its arena embodies that factory's model type) and a
+/// single thread at a time; output is bit-identical to the scratch-free
+/// path (tested).
+struct RegionalMiningScratch {
+  std::vector<std::unique_ptr<ExpectedFrequencyModel>> models;
+  std::vector<double> burstiness;
+};
+
 /// Convenience batch driver for one term: derives per-stream burstiness from
 /// the frequency matrix with a fresh expected-frequency model per stream
 /// (walking each stream's row through a zero-copy span, no per-snapshot
 /// column gather), replays the timeline through StLocal, and returns the
 /// maximal windows. Output is identical to pushing the columns through an
-/// OnlineRegionalMiner (tested). `shared_binning`: see StLocal.
+/// OnlineRegionalMiner (tested). `shared_binning`: see StLocal. `scratch`,
+/// when non-null, reuses models and buffers across calls (see
+/// RegionalMiningScratch) without changing the output.
 StatusOr<std::vector<SpatiotemporalWindow>> MineRegionalPatterns(
     const TermSeries& series, const std::vector<Point2D>& positions,
     const ExpectedModelFactory& model_factory, const StLocalOptions& options = {},
-    const SpatialBinning* shared_binning = nullptr);
+    const SpatialBinning* shared_binning = nullptr,
+    RegionalMiningScratch* scratch = nullptr);
 
 }  // namespace stburst
 

@@ -112,7 +112,8 @@ FeedRuntime::FeedRuntime(Collection collection, FeedRuntimeOptions options)
     // pool workers give the requested parallelism; serial runtimes hold no
     // pool at all (ParallelFor(nullptr, ...) runs inline).
     if (threads > 1) {
-      owned_pool_ = std::make_unique<ThreadPool>(threads - 1);
+      owned_pool_ = std::make_unique<ThreadPool>(
+          ThreadPoolOptions{threads - 1, options_.pin_threads});
       pool_ = owned_pool_.get();
     }
   }

@@ -110,6 +110,12 @@ struct FeedRuntimeOptions {
   /// per-tick thread spawn/join. Ignored when `shared_pool` is set.
   size_t num_threads = 1;
 
+  /// Pin the owned pool's workers to cores (ThreadPoolOptions::pin_threads)
+  /// — for dedicated hosts where the runtime owns the machine. Ignored when
+  /// `shared_pool` is set (the pool's creator decides) or when the runtime
+  /// is serial.
+  bool pin_threads = false;
+
   /// Borrowed standing pool. When set, the runtime spawns no threads of its
   /// own and fans every parallel phase across this pool instead — the way a
   /// coordinator (ShardedRuntime) lets K shards share one pool rather than

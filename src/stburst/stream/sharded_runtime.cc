@@ -46,7 +46,12 @@ ShardedRuntime::ShardedRuntime(ShardedRuntimeOptions options)
   // across it and every shard fans its per-term work across the same pool
   // (safe: ParallelFor's completion wait is a helping wait). K private
   // pools would oversubscribe the machine K times.
-  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads - 1);
+  // The per-shard FeedRuntimes borrow this pool, so the fleet-wide
+  // pin_threads knob is honored here, at the one place workers are spawned.
+  if (threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(
+        ThreadPoolOptions{threads - 1, options_.runtime.pin_threads});
+  }
 }
 
 StatusOr<ShardedRuntime> ShardedRuntime::Create(Collection collection,

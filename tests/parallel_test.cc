@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <new>
 #include <numeric>
 #include <stdexcept>
@@ -154,6 +155,76 @@ TEST(ParallelFor, PoolStaysUsableAfterAnException) {
     });
     EXPECT_EQ(sum.load(), 99L * 100L / 2);
   }
+}
+
+// Deterministic busy-work whose cost follows a Zipf-like skew: the first
+// tasks dominate, so a worker that keeps its own (LIFO) tail busy leaves the
+// heavy head for thieves — the steal-heavy regime the deques exist for.
+double ZipfBusyWork(size_t i) {
+  size_t iters = 20000 / (i + 1) + 10;
+  double acc = 0.0;
+  for (size_t k = 0; k < iters; ++k) {
+    acc += std::sin(static_cast<double>(k + i));
+  }
+  return acc;
+}
+
+TEST(ThreadPool, ZipfFanOutDeterministicAcrossThreadCounts) {
+  // Each task writes its result into its own index slot, so the output must
+  // be independent of which worker ran what and in what order. Children are
+  // submitted from inside workers: they land on the submitting worker's own
+  // deque and reach other workers only by stealing.
+  constexpr size_t kGenerators = 8;
+  constexpr size_t kChildren = 32;
+  constexpr size_t kTasks = kGenerators * kChildren;
+  auto run = [&](size_t threads) {
+    std::vector<double> out(kTasks, 0.0);
+    ThreadPool pool(threads);
+    for (size_t g = 0; g < kGenerators; ++g) {
+      pool.Submit([&pool, &out, g] {
+        for (size_t c = 0; c < kChildren; ++c) {
+          const size_t i = g * kChildren + c;
+          pool.Submit([&out, i] { out[i] = ZipfBusyWork(i); });
+        }
+      });
+    }
+    pool.Wait();
+    return out;
+  };
+  const std::vector<double> reference = run(1);
+  for (size_t threads : {2u, 4u, 8u}) {
+    EXPECT_EQ(run(threads), reference) << threads << " threads";
+  }
+}
+
+TEST(ThreadPool, NestedGeneratorSubmitsStress) {
+  // Wait() must count grandchildren submitted from inside running tasks,
+  // and shutdown must not orphan work a worker queued onto its own deque.
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int g = 0; g < 8; ++g) {
+    pool.Submit([&pool, &count] {
+      for (int c = 0; c < 100; ++c) {
+        pool.Submit([&count] { count.fetch_add(1); });
+      }
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 800);
+}
+
+TEST(ThreadPool, PinThreadsSmokeTest) {
+  // Pinning is best-effort (and a no-op off Linux); the pool must behave
+  // identically either way.
+  ThreadPoolOptions options;
+  options.num_threads = 2;
+  options.pin_threads = true;
+  ThreadPool pool(options);
+  EXPECT_EQ(pool.num_threads(), 2u);
+  std::atomic<long> sum{0};
+  ParallelFor(&pool, 0, 1000,
+              [&](size_t, size_t i) { sum.fetch_add(static_cast<long>(i)); });
+  EXPECT_EQ(sum.load(), 999L * 1000L / 2);
 }
 
 TEST(ParallelFor, SharedPoolRunsMultipleLoops) {

@@ -493,6 +493,63 @@ TEST(OnlineRegionalMiner, LockstepEvictionWithFrequencyIndex) {
   ExpectSameWindows(watch.Finish(), *batch, freq.window_start());
 }
 
+TEST(MineRegionalPatterns, ScratchReusesModelsAndStaysBitIdentical) {
+  // The batch miner's per-worker arena: across a multi-term sweep the
+  // factory must run exactly once per stream (models are Reset() between
+  // terms), and every window must be bit-identical to the scratch-free path.
+  Rng rng(41);
+  const size_t n = 7;
+  const Timestamp timeline = 40;
+  const size_t kTerms = 5;
+  auto positions = LinePositions(n, 2.0);
+
+  std::vector<TermSeries> terms;
+  for (size_t term = 0; term < kTerms; ++term) {
+    TermSeries series(n, timeline);
+    for (StreamId s = 0; s < n; ++s) {
+      for (Timestamp t = 0; t < timeline; ++t) {
+        series.set(s, t, rng.Exponential(1.3));
+      }
+    }
+    const StreamId hot = static_cast<StreamId>(term % (n - 1));
+    for (StreamId s = hot; s <= hot + 1; ++s) {
+      for (Timestamp t = 8; t < 16; ++t) series.add(s, t, 5.0);
+    }
+    terms.push_back(std::move(series));
+  }
+
+  size_t scratch_allocs = 0;
+  size_t fresh_allocs = 0;
+  auto scratch_factory = [&scratch_allocs] {
+    ++scratch_allocs;
+    return std::make_unique<GlobalMeanModel>();
+  };
+  auto fresh_factory = [&fresh_allocs] {
+    ++fresh_allocs;
+    return std::make_unique<GlobalMeanModel>();
+  };
+
+  RegionalMiningScratch scratch;
+  for (size_t term = 0; term < kTerms; ++term) {
+    auto with_scratch = MineRegionalPatterns(terms[term], positions,
+                                             scratch_factory, {}, nullptr,
+                                             &scratch);
+    auto without = MineRegionalPatterns(terms[term], positions, fresh_factory);
+    ASSERT_TRUE(with_scratch.ok());
+    ASSERT_TRUE(without.ok());
+    ASSERT_EQ(with_scratch->size(), without->size()) << "term " << term;
+    for (size_t i = 0; i < with_scratch->size(); ++i) {
+      EXPECT_EQ((*with_scratch)[i].region, (*without)[i].region);
+      EXPECT_EQ((*with_scratch)[i].streams, (*without)[i].streams);
+      EXPECT_EQ((*with_scratch)[i].timeframe, (*without)[i].timeframe);
+      EXPECT_EQ((*with_scratch)[i].score, (*without)[i].score);
+    }
+  }
+  EXPECT_EQ(scratch_allocs, n);           // one model per stream, ever
+  EXPECT_EQ(fresh_allocs, n * kTerms);    // the cost the arena removes
+  EXPECT_EQ(scratch.models.size(), n);
+}
+
 TEST(MineRegionalPatterns, MismatchedPositionsRejected) {
   TermSeries series(3, 10);
   auto result = MineRegionalPatterns(
