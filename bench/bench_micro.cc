@@ -32,6 +32,7 @@
 #include "stburst/common/simd.h"
 #include "stburst/common/timer.h"
 #include "stburst/core/batch_miner.h"
+#include "stburst/history/long_horizon.h"
 #include "stburst/stream/feed_runtime.h"
 #include "stburst/stream/sharded_runtime.h"
 #include "stburst/core/discrepancy.h"
@@ -895,6 +896,62 @@ int Run() {
       std::printf("  -> guarded tick: %.1f ms/snapshot (validation dropped "
                   "%zu documents, deadline armed)\n",
                   tick_s * 1e3 / static_cast<double>(kWeeks), rejected);
+    }
+
+    // The same ticks with the cold history tier on (kInMemory, 4-week
+    // buckets): every evicted week folds into per-term coarse aggregates
+    // inside the transactional tick. Gates the fold overhead against
+    // feed_runtime_tick above. Then the read side: seeding one long-horizon
+    // baseline (tier sums -> SeededMeanModel) for every (term, stream)
+    // pair, the per-pair cost the expected-model adapter adds to scoring.
+    {
+      FeedRuntimeOptions fr_opts;
+      fr_opts.miner.stcomb.min_interval_burstiness = 0.1;
+      fr_opts.num_threads = 4;
+      fr_opts.retention_window = corpus.timeline_length();
+      fr_opts.refresh_budget = 64;
+      fr_opts.history_mode = HistoryMode::kInMemory;
+      fr_opts.history_bucket_width = 4;
+      auto runtime = FeedRuntime::Create(corpus, fr_opts);
+      if (!runtime.ok()) return 1;
+      std::vector<Snapshot> ticks = master;
+      size_t folded = 0;
+      Timer t_tick;
+      for (Snapshot& snap : ticks) {
+        auto stats = runtime->Tick(std::move(snap));
+        if (!stats.ok()) return 1;
+        folded += stats->folded_terms;
+      }
+      double tick_s = t_tick.ElapsedSeconds();
+      report("history_fold_tick",
+             tick_s * 1e9 / static_cast<double>(kWeeks), docs_per_week);
+      std::printf("  -> folding tick: %.1f ms/snapshot (%zu term-folds, "
+                  "tier covers [%d, %d) at width 4)\n",
+                  tick_s * 1e3 / static_cast<double>(kWeeks), folded,
+                  runtime->history()->covered_start(),
+                  runtime->history()->folded_until());
+
+      const LongHorizonBaseline baseline(runtime->history());
+      const size_t baseline_terms = corpus.vocabulary().size();
+      const size_t baseline_streams = corpus.num_streams();
+      double seeded_mass = 0.0;
+      double pair_ns = TimeNs([&] {
+        double mass = 0.0;
+        for (size_t t = 0; t < baseline_terms; ++t) {
+          for (size_t s = 0; s < baseline_streams; ++s) {
+            auto model = baseline.ModelFor(static_cast<TermId>(t),
+                                           static_cast<StreamId>(s));
+            mass += model->Expected();
+          }
+        }
+        seeded_mass = mass;
+      });
+      const size_t pairs = baseline_terms * baseline_streams;
+      report("baseline_long_horizon",
+             pair_ns / static_cast<double>(pairs), pairs);
+      std::printf("  -> long-horizon baseline: %.0f ns/(term,stream) over "
+                  "%zu pairs (seeded mass %.1f)\n",
+                  pair_ns / static_cast<double>(pairs), pairs, seeded_mass);
     }
 
     // The sharded runtime requires documents in nondecreasing time order

@@ -46,6 +46,9 @@ SiteState g_sites[] = {
                                   // staged cleanly and before the first
                                   // shard commits (never hit by an
                                   // unsharded FeedRuntime::Tick)
+    {"history.fold"},             // FeedRuntime ingest, on an evicting tick
+                                  // with history on, before the evicted
+                                  // postings fold into the cold tier
 };
 
 SiteState* FindSite(std::string_view name) {

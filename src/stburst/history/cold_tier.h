@@ -1,0 +1,214 @@
+// ColdTier: the persistent half of the tiered history subsystem.
+//
+// Eviction has dropped snapshots past the retention window since the feed
+// runtime gained a window (retention rules 1-8, docs/ARCHITECTURE.md), which
+// caps every expected-model baseline at the window length. The cold tier
+// closes that gap: when `FeedRuntime::Tick` evicts postings, they are folded
+// into per-(term, stream, bucket) coarse aggregates — bucket width is
+// configurable (e.g. 4 weeks) — holding the frequency sum, the maximum
+// single-cell frequency, and the number of non-zero (stream, time) cells
+// folded. Baselines then draw from hot window + cold tier seamlessly via
+// `LongHorizonBaseline` (history/long_horizon.h), and stored spans can be
+// re-run against today's models via `ReplayRange` (history/replay.h).
+//
+// The tier covers the timeline span [covered_start(), folded_until())
+// exactly: every evicted cell in that span is represented in some bucket,
+// and no cell outside it is. covered_start() is where folding began — 0 for
+// a feed whose whole history passed through eviction, later when Create
+// applied the retention window to a deep seed collection (that prefix was
+// dropped, not folded, and the tier says so instead of faking zero
+// observations). Folding is idempotent under the invariant — postings below
+// folded_until() are skipped — which makes restart-with-replay-overlap
+// safe.
+//
+// Storage model (kMmap mode): queries merge an immutable mmap-backed base
+// generation (the last published file; layout documented field-by-field in
+// docs/STORAGE.md) with an in-memory delta overlay holding folds since the
+// last `Publish()`. Publish writes a merged generation to `<path>.tmp`,
+// fsyncs, and atomically renames it over `<path>` — a crash mid-write
+// recovers the previous generation untouched. kInMemory keeps everything in
+// the delta overlay and never touches disk.
+//
+// Thread-safety: externally synchronized, like the rest of the tick state.
+// The FeedRuntime mutates the tier only inside the tick transaction.
+
+#ifndef STBURST_HISTORY_COLD_TIER_H_
+#define STBURST_HISTORY_COLD_TIER_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "stburst/common/status.h"
+#include "stburst/common/statusor.h"
+#include "stburst/stream/frequency.h"
+#include "stburst/stream/types.h"
+
+namespace stburst {
+
+/// Where the cold tier lives. kOff disables folding entirely (eviction drops
+/// history, the pre-PR-10 behavior); kInMemory folds into a process-local
+/// tier that dies with the process; kMmap additionally publishes each folded
+/// generation to `history_path` and recovers it on restart.
+enum class HistoryMode { kOff = 0, kInMemory = 1, kMmap = 2 };
+
+/// One coarse aggregate cell: everything the tier remembers about
+/// (term, stream) inside one bucket of `bucket_width` timestamps.
+struct ColdRow {
+  StreamId stream = 0;
+  /// Absolute bucket index: time / bucket_width. Buckets never shift when
+  /// the hot window slides, so rows are stable identities across restarts.
+  uint32_t bucket = 0;
+  /// Sum of folded cell frequencies (integer-valued for document-driven
+  /// feeds, so partial sums are exact in double — see frequency.h).
+  double sum = 0.0;
+  /// Maximum single (stream, time) cell frequency folded into the bucket.
+  double max = 0.0;
+  /// Number of non-zero (stream, time) cells folded into the bucket.
+  uint64_t count = 0;
+
+  friend bool operator==(const ColdRow& a, const ColdRow& b) {
+    return a.stream == b.stream && a.bucket == b.bucket && a.sum == b.sum &&
+           a.max == b.max && a.count == b.count;
+  }
+};
+
+/// Captured pre-fold tier state for one `FoldEvicted` call, restored exactly
+/// by `RollbackFold`. Folds only mutate the in-memory delta overlay (the
+/// published base generation is immutable), so rollback is pure memory.
+struct ColdFoldUndo {
+  Timestamp folded_until = 0;
+  uint32_t stream_upper_bound = 0;
+  uint32_t term_upper_bound = 0;
+  /// Per touched term, the term's delta rows before the fold.
+  std::vector<std::pair<TermId, std::vector<ColdRow>>> saved_delta;
+};
+
+class ColdTier {
+ public:
+  /// In-memory tier (HistoryMode::kInMemory). bucket_width must be > 0.
+  static StatusOr<ColdTier> CreateInMemory(Timestamp bucket_width);
+
+  /// Mmap-backed tier (HistoryMode::kMmap). If `path` exists it is opened,
+  /// validated (magic, version, header + payload checksums), and required to
+  /// have the same bucket width; if it does not exist, an empty tier is
+  /// created and the file appears on the first `Publish()`. Rejects
+  /// big-endian hosts (the format is little-endian, see docs/STORAGE.md).
+  static StatusOr<ColdTier> OpenOrCreate(std::string path,
+                                         Timestamp bucket_width);
+
+  /// Read-only open of an existing published tier, e.g. for backtesting a
+  /// stored span without a live feed. Fails if the file is missing or does
+  /// not validate. Any bucket width is accepted (it is read from the file).
+  static StatusOr<ColdTier> Open(std::string path);
+
+  ColdTier(ColdTier&&) noexcept;
+  ColdTier& operator=(ColdTier&&) noexcept;
+  ~ColdTier();
+  ColdTier(const ColdTier&) = delete;
+  ColdTier& operator=(const ColdTier&) = delete;
+
+  Timestamp bucket_width() const { return bucket_width_; }
+  /// First timestamp the tier covers (see the class comment).
+  Timestamp covered_start() const { return covered_start_; }
+  /// First timestamp NOT covered: aggregates cover [covered_start(),
+  /// folded_until()) exactly.
+  Timestamp folded_until() const { return folded_until_; }
+  /// Covered timestamps = observations per stream the aggregates stand for
+  /// (zeros included) — the denominator LongHorizonBaseline seeds with.
+  Timestamp covered_length() const { return folded_until_ - covered_start_; }
+  bool mmap_backed() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+  /// One past the largest stream id / term id with any folded cell.
+  uint32_t stream_upper_bound() const { return stream_ub_; }
+  uint32_t term_upper_bound() const { return term_ub_; }
+  /// Bucket index range that may hold rows:
+  /// [bucket_lower_bound(), bucket_upper_bound()). The boundary buckets may
+  /// be partially covered when covered_start()/folded_until() fall inside a
+  /// bucket.
+  uint32_t bucket_lower_bound() const;
+  uint32_t bucket_upper_bound() const;
+
+  /// Runtime-attach handshake: called once by FeedRuntime::Create with the
+  /// live window's start. An empty tier adopts it as covered_start (Create
+  /// dropped any deeper seed history un-folded, so coverage honestly begins
+  /// there); a reopened tier must already reach it (folded_until() >=
+  /// window_start), else there is an unrecoverable gap between the
+  /// persisted aggregates and the live window and the attach fails with
+  /// InvalidArgument. Overlap (folded_until() > window_start after a
+  /// restart replayed extra history) is fine: folds skip covered times.
+  Status AttachAt(Timestamp window_start);
+
+  /// Folds evicted postings (the `FrequencyEvictUndo::removed` capture of a
+  /// tick's eviction, or any per-term posting list in canonical
+  /// (stream, time) order) into the tier and advances folded_until() to
+  /// `cutoff`. Postings with time < folded_until() (already covered) or
+  /// time >= cutoff are skipped. Returns the number of terms that
+  /// contributed at least one cell. `undo`, when non-null, captures the
+  /// pre-fold state for RollbackFold.
+  size_t FoldEvicted(
+      std::span<const std::pair<TermId, std::vector<TermPosting>>> removed,
+      Timestamp cutoff, ColdFoldUndo* undo);
+
+  /// Restores the tier to its exact pre-FoldEvicted state. Consumes `undo`.
+  void RollbackFold(ColdFoldUndo&& undo);
+
+  /// Merged (base + delta) rows for one term, sorted by (stream, bucket).
+  std::vector<ColdRow> TermRows(TermId term) const;
+
+  /// Sum of folded frequency for (term, stream) over the whole covered
+  /// span — the numerator of a long-horizon mean whose denominator is
+  /// covered_length() observations (zeros included).
+  double StreamSum(TermId term, StreamId stream) const;
+
+  /// Sum of folded frequency for a term across all streams.
+  double TermSum(TermId term) const;
+
+  /// Bucket-resolution frequency matrix for `term` over bucket indices
+  /// [bucket_begin, bucket_end): cell (s, b - bucket_begin) holds the
+  /// folded sum for stream s in bucket b. `num_streams` must be >=
+  /// stream_upper_bound() to not drop rows (STB_CHECKed).
+  TermSeries ReplaySeries(TermId term, uint32_t bucket_begin,
+                          uint32_t bucket_end, size_t num_streams) const;
+
+  /// kMmap only (no-op OK for kInMemory): merges base + delta into a new
+  /// generation, writes it to `<path>.tmp`, fsyncs, atomically renames it
+  /// over `path`, remaps the published file, and clears the delta overlay.
+  /// On failure the previous published generation and the in-memory state
+  /// are both intact, and the same delta is retried on the next call.
+  Status Publish();
+
+  /// Rows folded since the last Publish (kInMemory: since creation).
+  size_t delta_rows() const;
+  /// Rows in the published base generation (0 when nothing published).
+  uint64_t base_rows() const;
+
+ private:
+  struct Base;  // mmap view of the published generation
+  ColdTier();
+
+  std::vector<ColdRow>* DeltaForTerm(TermId term);
+  const std::vector<ColdRow>* DeltaForTerm(TermId term) const;
+  std::span<const uint64_t> BaseRange(TermId term, const uint64_t** offsets)
+      const;
+
+  std::string path_;  // empty <=> kInMemory
+  Timestamp bucket_width_ = 1;
+  Timestamp covered_start_ = 0;
+  Timestamp folded_until_ = 0;
+  uint32_t stream_ub_ = 0;
+  uint32_t term_ub_ = 0;
+  /// Folds since the last publish; per term, sorted by (stream, bucket).
+  /// In kMmap mode these are increments over the base generation.
+  std::unordered_map<TermId, std::vector<ColdRow>> delta_;
+  std::unique_ptr<Base> base_;
+};
+
+}  // namespace stburst
+
+#endif  // STBURST_HISTORY_COLD_TIER_H_

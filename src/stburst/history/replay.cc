@@ -1,0 +1,55 @@
+#include "stburst/history/replay.h"
+
+#include <string>
+
+#include "stburst/core/temporal.h"
+#include "stburst/stream/frequency.h"
+
+namespace stburst {
+
+StatusOr<std::vector<ReplayedInterval>> ReplayRange(
+    const ColdTier& tier, TermId term, uint32_t bucket_begin,
+    uint32_t bucket_end, const ExpectedModelFactory& factory,
+    const ReplayOptions& options) {
+  if (bucket_begin >= bucket_end) {
+    return Status::InvalidArgument(
+        "ReplayRange: empty bucket span [" + std::to_string(bucket_begin) +
+        ", " + std::to_string(bucket_end) + ")");
+  }
+  if (bucket_begin < tier.bucket_lower_bound() ||
+      bucket_end > tier.bucket_upper_bound()) {
+    return Status::OutOfRange(
+        "ReplayRange: span [" + std::to_string(bucket_begin) + ", " +
+        std::to_string(bucket_end) + ") reaches outside the covered buckets [" +
+        std::to_string(tier.bucket_lower_bound()) + ", " +
+        std::to_string(tier.bucket_upper_bound()) + ")");
+  }
+  const size_t num_streams = options.num_streams != 0
+                                 ? options.num_streams
+                                 : tier.stream_upper_bound();
+  if (num_streams < tier.stream_upper_bound()) {
+    return Status::InvalidArgument(
+        "ReplayRange: num_streams " + std::to_string(num_streams) +
+        " would drop rows; the tier has streams up to " +
+        std::to_string(tier.stream_upper_bound()));
+  }
+
+  const TermSeries series =
+      tier.ReplaySeries(term, bucket_begin, bucket_end, num_streams);
+  std::vector<ReplayedInterval> out;
+  for (StreamId stream = 0; stream < num_streams; ++stream) {
+    std::unique_ptr<ExpectedFrequencyModel> model = factory();
+    const std::vector<double> burstiness =
+        BurstinessSeries(series.StreamRow(stream), model.get());
+    for (const BurstyInterval& found :
+         ExtractBurstyIntervals(burstiness, options.min_burstiness)) {
+      out.push_back(ReplayedInterval{
+          stream, bucket_begin + static_cast<uint32_t>(found.interval.start),
+          bucket_begin + static_cast<uint32_t>(found.interval.end) + 1,
+          found.burstiness});
+    }
+  }
+  return out;
+}
+
+}  // namespace stburst

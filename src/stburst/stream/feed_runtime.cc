@@ -37,10 +37,12 @@ struct FeedRuntime::FeedTickUndo {
   bool index_appended = false;
   bool collection_evicted = false;
   bool freq_evicted = false;
+  bool history_folded = false;
   bool bookkeeping_resized = false;
   bool committing = false;
   CollectionEvictUndo collection_undo;
   FrequencyEvictUndo freq_undo;
+  ColdFoldUndo history_undo;
   size_t old_result_terms = 0;
   size_t old_bookkeeping_terms = 0;
 };
@@ -147,6 +149,16 @@ StatusOr<FeedRuntime> FeedRuntime::Create(Collection collection,
     return Status::InvalidArgument(
         "search_cache_entries requires search_serving");
   }
+  if (options.history_mode != HistoryMode::kOff &&
+      options.history_bucket_width <= 0) {
+    return Status::InvalidArgument(
+        "history_bucket_width must be positive when history is on");
+  }
+  if (options.history_mode == HistoryMode::kMmap &&
+      options.history_path.empty()) {
+    return Status::InvalidArgument(
+        "history_mode = kMmap requires history_path");
+  }
   FeedRuntime runtime(std::move(collection), std::move(options));
 
   // Apply retention to the history before the initial sweep, so the sweep
@@ -155,6 +167,23 @@ StatusOr<FeedRuntime> FeedRuntime::Create(Collection collection,
   if (window > 0 && runtime.collection_.timeline_length() > window) {
     STB_RETURN_NOT_OK(runtime.collection_.EvictBefore(
         runtime.collection_.timeline_length() - window));
+  }
+
+  // Attach the cold history tier: fresh tiers adopt the live window's start
+  // as their coverage origin; reopened mmap tiers must reach it (no gap
+  // between the persisted aggregates and the live window). Folding begins
+  // with the first evicting Tick — Create's own deep-history eviction above
+  // is a declared drop, not a fold, and covered_start() records that.
+  if (runtime.options_.history_mode != HistoryMode::kOff) {
+    StatusOr<ColdTier> tier =
+        runtime.options_.history_mode == HistoryMode::kMmap
+            ? ColdTier::OpenOrCreate(runtime.options_.history_path,
+                                     runtime.options_.history_bucket_width)
+            : ColdTier::CreateInMemory(runtime.options_.history_bucket_width);
+    if (!tier.ok()) return tier.status();
+    runtime.history_ = std::make_unique<ColdTier>(std::move(tier).value());
+    STB_RETURN_NOT_OK(
+        runtime.history_->AttachAt(runtime.collection_.window_start()));
   }
 
   // Stream positions are fixed for the runtime's lifetime, so the regional
@@ -379,6 +408,18 @@ Status FeedRuntime::PrepareIngestGuarded(Snapshot snapshot,
       STB_RETURN_NOT_OK(
           index_.EvictBefore(cutoff, pool_, &undo->freq_undo));
       stats->evicted = true;
+
+      // Tiered history (retention rule 9): the postings the eviction just
+      // removed — captured verbatim in the undo log, so the fold costs no
+      // extra posting walk — aggregate into the cold tier before they are
+      // forgotten. In-memory only here; the kMmap generation publishes in
+      // the commit tail. RollbackTick restores the pre-fold tier.
+      if (history_ != nullptr) {
+        STBURST_FAULT_POINT("history.fold");
+        undo->history_folded = true;
+        stats->folded_terms = history_->FoldEvicted(
+            undo->freq_undo.removed, cutoff, &undo->history_undo);
+      }
     }
   }
 
@@ -567,6 +608,29 @@ Status FeedRuntime::CommitGuarded(TickTransaction::Impl* tx) {
   }
   deferred_search_terms_ = std::move(tx->deferred_next);
 
+  // Cold-tier checkpoint (kMmap): persist the folded generation. Publish
+  // failure is deliberately non-wedging — the in-memory tier is already
+  // correct and the on-disk file is a checkpoint that lags until the next
+  // folding tick retries; a crash meanwhile recovers the last generation
+  // that *was* atomically published (see docs/STORAGE.md). The local
+  // try/catch keeps even an allocation failure inside Publish from
+  // escalating a healthy commit into a wedge.
+  if (undo->history_folded && history_ != nullptr && history_->mmap_backed()) {
+    try {
+      const Status published = history_->Publish();
+      if (!published.ok()) {
+        STB_LOG(WARNING) << "cold tier publish failed ("
+                         << published.ToString()
+                         << "); on-disk generation lags until the next "
+                            "folding tick";
+      }
+    } catch (const std::exception& e) {
+      STB_LOG(WARNING) << "cold tier publish threw (" << e.what()
+                       << "); on-disk generation lags until the next "
+                          "folding tick";
+    }
+  }
+
   stats->seconds = tx->timer.ElapsedSeconds();
   return Status::OK();
 }
@@ -581,6 +645,9 @@ void FeedRuntime::RollbackTick(FeedTickUndo* undo) {
     last_mined_.resize(undo->old_bookkeeping_terms);
     last_window_.resize(undo->old_bookkeeping_terms);
     mass_.resize(undo->old_bookkeeping_terms);
+  }
+  if (undo->history_folded && history_ != nullptr) {
+    history_->RollbackFold(std::move(undo->history_undo));
   }
   if (undo->freq_evicted) index_.RollbackEvict(std::move(undo->freq_undo));
   if (undo->collection_evicted) {

@@ -63,6 +63,7 @@
 #include "stburst/common/published_ptr.h"
 #include "stburst/common/statusor.h"
 #include "stburst/core/batch_miner.h"
+#include "stburst/history/cold_tier.h"
 #include "stburst/index/index_snapshot.h"
 #include "stburst/index/inverted_index.h"
 #include "stburst/index/pattern_index.h"
@@ -131,6 +132,28 @@ struct FeedRuntimeOptions {
   /// (unbounded memory — the PR-2 behavior).
   Timestamp retention_window = 0;
 
+  /// Tiered history (docs/ARCHITECTURE.md "Tiered history", retention rule
+  /// 9): what eviction does with the snapshots it drops. kOff discards them
+  /// (the pre-tier behavior); kInMemory folds them into a process-local
+  /// ColdTier of per-(term, stream, bucket) aggregates; kMmap additionally
+  /// publishes each folded generation to `history_path` (atomic
+  /// rename-on-publish; format in docs/STORAGE.md) so a restarted runtime
+  /// recovers months of baseline without replay. The tier feeds
+  /// LongHorizonBaseline (history/long_horizon.h) and ReplayRange
+  /// (history/replay.h); folding happens inside the tick transaction and
+  /// rolls back with it (fault site `history.fold`). Without a retention
+  /// window nothing is ever evicted, so the tier stays empty.
+  HistoryMode history_mode = HistoryMode::kOff;
+
+  /// Aggregation bucket width in timestamps (e.g. 4 for 4-week buckets on a
+  /// weekly feed). Must be > 0 when history is on; must match the existing
+  /// file when reopening an mmap tier (aggregates cannot be re-bucketed).
+  Timestamp history_bucket_width = 4;
+
+  /// Published tier file for kMmap (required there, ignored otherwise). A
+  /// ShardedRuntime derives per-shard files as `<path>.shard<i>`.
+  std::string history_path;
+
   /// Maintain a bursty-document search read plane (paper §5) over the
   /// standing result. Each tick that changes search state builds the next
   /// immutable IndexSnapshot off to the side — a private copy of the
@@ -194,6 +217,8 @@ struct FeedTickStats {
   size_t dirty_terms = 0;      ///< terms re-mined for new/evicted postings
   size_t refreshed_terms = 0;  ///< quiet terms re-mined by the sweep
   size_t search_terms = 0;     ///< terms whose search postings were re-derived
+  size_t folded_terms = 0;     ///< terms whose evicted postings the cold
+                               ///< tier folded this tick (history on only)
   bool evicted = false;        ///< whether retention advanced the window
   bool degraded = false;       ///< deadline ladder shed work this tick
   double seconds = 0.0;        ///< wall time of the whole tick
@@ -380,6 +405,12 @@ class FeedRuntime {
 
   Timestamp window_start() const { return index_.window_start(); }
 
+  /// The cold history tier evicted snapshots fold into; null when
+  /// options.history_mode == kOff. Borrowable by LongHorizonBaseline /
+  /// ReplayRange between ticks (single-writer rules apply: the tier mutates
+  /// inside Tick).
+  const ColdTier* history() const { return history_.get(); }
+
   /// Ticks since `term`'s slot was last (re-)mined: 0 right after its mine,
   /// growing while it stays quiet. The refresh sweep drains the largest
   /// mass × staleness products first.
@@ -443,6 +474,11 @@ class FeedRuntime {
   std::unique_ptr<SpatialBinning> binning_;
   FrequencyIndex index_;
   BatchMineResult result_;
+  // Cold history tier (options_.history_mode != kOff): evicted postings
+  // fold into it inside the tick transaction; kMmap generations publish in
+  // the commit tail. unique_ptr keeps the runtime movable and the off case
+  // free.
+  std::unique_ptr<ColdTier> history_;
   // The read plane (options_.search_serving != kNone): the published
   // snapshot slot readers load from, the optional query-result cache
   // (null when search_cache_entries == 0), and the tokenizer for string

@@ -69,6 +69,16 @@ StatusOr<ShardedRuntime> ShardedRuntime::Create(Collection collection,
     return Status::InvalidArgument(
         "search_cache_entries requires search_serving");
   }
+  if (options.runtime.history_mode != HistoryMode::kOff &&
+      options.runtime.history_bucket_width <= 0) {
+    return Status::InvalidArgument(
+        "history_bucket_width must be positive when history is on");
+  }
+  if (options.runtime.history_mode == HistoryMode::kMmap &&
+      options.runtime.history_path.empty()) {
+    return Status::InvalidArgument(
+        "history_mode = kMmap requires history_path");
+  }
   // The global ↔ shard-local DocId translation leans on evictions being
   // id-preserving in every shard AND in the global numbering, which is the
   // time-ordered (Append-driven) fast path. Out-of-order historical ingest
@@ -176,6 +186,15 @@ StatusOr<ShardedRuntime> ShardedRuntime::Create(Collection collection,
 
   runtime.shards_.reserve(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
+    // Each shard folds its own terms into its own tier file: terms are
+    // disjoint across shards and ticks are lockstep, so per-term tier rows
+    // are bit-identical to the unsharded tier at any K (proven by the
+    // sharded parity suite).
+    if (shard_options.history_mode == HistoryMode::kMmap) {
+      shard_options.history_path =
+          runtime.options_.runtime.history_path + ".shard" +
+          std::to_string(s);
+    }
     STB_ASSIGN_OR_RETURN(
         FeedRuntime shard,
         FeedRuntime::Create(std::move(shard_collections[s]), shard_options));
@@ -384,6 +403,9 @@ StatusOr<FeedTickStats> ShardedRuntime::Tick(Snapshot snapshot) {
     stats.dirty_terms += shard_stats[s].dirty_terms;
     stats.refreshed_terms += shard_stats[s].refreshed_terms;
     stats.search_terms += shard_stats[s].search_terms;
+    // Shards own disjoint term sets, so the fold counts sum exactly like
+    // the other per-term stats.
+    stats.folded_terms += shard_stats[s].folded_terms;
     stats.degraded = stats.degraded || shard_stats[s].degraded;
   }
 

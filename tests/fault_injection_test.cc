@@ -69,8 +69,10 @@ Snapshot MakeSnapshot(Rng& rng) {
 
 // A configuration that exercises every registered site on an evicting
 // tick: retention (collection/frequency/index evict), dirty re-mine
-// (batch_miner.mine_term via runtime.remine), a refresh sweep, and
-// combinatorial search serving (runtime.search_update).
+// (batch_miner.mine_term via runtime.remine), a refresh sweep,
+// combinatorial search serving (runtime.search_update), and the cold
+// history tier (history.fold; kInMemory needs no file and proves the same
+// delta-overlay rollback path kMmap uses).
 FeedRuntimeOptions SweepOptions() {
   FeedRuntimeOptions opts;
   opts.num_threads = 4;  // sites must roll back when hit on pool workers
@@ -78,6 +80,8 @@ FeedRuntimeOptions SweepOptions() {
   opts.refresh_budget = 4;
   opts.search_serving = SearchServing::kCombinatorial;
   opts.miner.stcomb.min_interval_burstiness = 0.05;
+  opts.history_mode = HistoryMode::kInMemory;
+  opts.history_bucket_width = 2;
   return opts;
 }
 
@@ -141,7 +145,21 @@ void ExpectIdenticalResults(const BatchMineResult& a,
   }
 }
 
-// The whole observable surface of a runtime, search generation included.
+void ExpectIdenticalTiers(const ColdTier* a, const ColdTier* b) {
+  ASSERT_EQ(a == nullptr, b == nullptr);
+  if (a == nullptr) return;
+  ASSERT_EQ(a->covered_start(), b->covered_start());
+  ASSERT_EQ(a->folded_until(), b->folded_until());
+  ASSERT_EQ(a->bucket_width(), b->bucket_width());
+  ASSERT_EQ(a->term_upper_bound(), b->term_upper_bound());
+  ASSERT_EQ(a->stream_upper_bound(), b->stream_upper_bound());
+  for (TermId t = 0; t < a->term_upper_bound(); ++t) {
+    EXPECT_EQ(a->TermRows(t), b->TermRows(t)) << "tier rows, term " << t;
+  }
+}
+
+// The whole observable surface of a runtime, search generation and cold
+// tier included.
 void ExpectIdenticalRuntimes(const FeedRuntime& a, const FeedRuntime& b) {
   ExpectIdenticalCollections(a.collection(), b.collection());
   ExpectIdenticalFrequency(a.index(), b.index());
@@ -149,6 +167,7 @@ void ExpectIdenticalRuntimes(const FeedRuntime& a, const FeedRuntime& b) {
   for (TermId t = 0; t < a.result().terms.size(); ++t) {
     EXPECT_EQ(a.staleness(t), b.staleness(t)) << "term " << t;
   }
+  ExpectIdenticalTiers(a.history(), b.history());
   ASSERT_NE(a.search_index(), nullptr);
   ASSERT_NE(b.search_index(), nullptr);
   EXPECT_EQ(a.search_index()->generation(), b.search_index()->generation());

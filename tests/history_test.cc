@@ -1,0 +1,665 @@
+// Tiered long-horizon history proofs (docs/ARCHITECTURE.md "Tiered
+// history", docs/STORAGE.md):
+//
+//  - fold-vs-direct parity: the tier's aggregates are bit-equal to
+//    aggregating the dropped snapshots directly (via an unwindowed control);
+//  - full-horizon baseline parity: a windowed runtime + LongHorizonBaseline
+//    reproduces the unwindowed control's expected-model baselines exactly;
+//  - restart recovery: a tier written through kMmap reopens bit-identical,
+//    and a restarted runtime recovers the baselines without replaying the
+//    cold span;
+//  - storage hardening: truncated / corrupt / wrong-format files are
+//    rejected, never half-read;
+//  - ReplayRange backtesting over stored spans.
+//
+// Bit-equality leans on the frequency determinism note in frequency.h:
+// counts are integer-valued doubles (token multiplicities), so partial sums
+// are exact regardless of association order.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stburst/common/random.h"
+#include "stburst/core/expected.h"
+#include "stburst/history/cold_tier.h"
+#include "stburst/history/long_horizon.h"
+#include "stburst/history/replay.h"
+#include "stburst/stream/feed_runtime.h"
+
+namespace stburst {
+namespace {
+
+constexpr size_t kStreams = 4;
+constexpr size_t kVocab = 24;
+constexpr Timestamp kWindow = 5;
+constexpr Timestamp kBucket = 2;
+constexpr int kTicks = 14;
+
+Collection MakeSeedCollection(Timestamp initial_timeline = 2) {
+  auto c = Collection::Create(initial_timeline);
+  EXPECT_TRUE(c.ok());
+  for (size_t s = 0; s < kStreams; ++s) {
+    c->AddStream("s" + std::to_string(s), {},
+                 Point2D{static_cast<double>(s % 2),
+                         static_cast<double>(s / 2)});
+  }
+  Vocabulary* v = c->mutable_vocabulary();
+  for (size_t t = 0; t < kVocab; ++t) v->Intern("term" + std::to_string(t));
+  return std::move(*c);
+}
+
+Snapshot MakeSnapshot(Rng& rng) {
+  Snapshot snap;
+  for (StreamId s = 0; s < kStreams; ++s) {
+    const size_t docs = 1 + rng.NextUint64(2);
+    for (size_t d = 0; d < docs; ++d) {
+      SnapshotDocument doc;
+      doc.stream = s;
+      const size_t len = 2 + rng.NextUint64(4);
+      for (size_t i = 0; i < len; ++i) {
+        TermId tok = static_cast<TermId>(rng.NextUint64(kVocab));
+        if (rng.Bernoulli(0.5)) {
+          tok = static_cast<TermId>(tok % (kVocab / 4 + 1));
+        }
+        doc.tokens.push_back(tok);
+      }
+      snap.push_back(std::move(doc));
+    }
+  }
+  return snap;
+}
+
+std::vector<Snapshot> MakeFeed(uint64_t seed, int ticks) {
+  Rng rng(seed);
+  std::vector<Snapshot> feed;
+  feed.reserve(static_cast<size_t>(ticks));
+  for (int i = 0; i < ticks; ++i) feed.push_back(MakeSnapshot(rng));
+  return feed;
+}
+
+FeedRuntimeOptions WindowedHistoryOptions(HistoryMode mode) {
+  FeedRuntimeOptions opts;
+  opts.num_threads = 2;
+  opts.retention_window = kWindow;
+  opts.history_mode = mode;
+  opts.history_bucket_width = kBucket;
+  return opts;
+}
+
+void ExpectSameRows(const std::vector<ColdRow>& got,
+                    const std::vector<ColdRow>& want, TermId term) {
+  ASSERT_EQ(got.size(), want.size()) << "term " << term;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].stream, want[i].stream) << "term " << term;
+    EXPECT_EQ(got[i].bucket, want[i].bucket) << "term " << term;
+    EXPECT_EQ(got[i].sum, want[i].sum) << "term " << term << " (bit-equal)";
+    EXPECT_EQ(got[i].max, want[i].max) << "term " << term << " (bit-equal)";
+    EXPECT_EQ(got[i].count, want[i].count) << "term " << term;
+  }
+}
+
+// Aggregates `postings` over [covered_start, folded_until) exactly as the
+// tier contract specifies — the "direct" half of fold-vs-direct parity.
+std::vector<ColdRow> DirectAggregate(const std::vector<TermPosting>& postings,
+                                     Timestamp covered_start,
+                                     Timestamp folded_until,
+                                     Timestamp bucket_width) {
+  std::vector<ColdRow> rows;
+  for (const TermPosting& p : postings) {
+    if (p.time < covered_start || p.time >= folded_until) continue;
+    if (p.count == 0.0) continue;
+    const auto bucket = static_cast<uint32_t>(p.time / bucket_width);
+    auto it = rows.begin();
+    while (it != rows.end() &&
+           std::pair(it->stream, it->bucket) < std::pair(p.stream, bucket)) {
+      ++it;
+    }
+    if (it == rows.end() || it->stream != p.stream || it->bucket != bucket) {
+      it = rows.insert(it, ColdRow{p.stream, bucket, 0.0, 0.0, 0});
+    }
+    it->sum += p.count;
+    it->max = std::max(it->max, p.count);
+    it->count += 1;
+  }
+  return rows;
+}
+
+std::string TempPath(const std::string& name) {
+  std::string dir = testing::TempDir();
+  if (!dir.empty() && dir.back() != '/') dir += '/';
+  const std::string path = dir + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+uint64_t Fnv1a64(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 14695981039346656037ull;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------- ColdTier
+
+TEST(ColdTierTest, FoldAggregatesRollsBackAndIsIdempotent) {
+  auto tier = ColdTier::CreateInMemory(/*bucket_width=*/4);
+  ASSERT_TRUE(tier.ok());
+
+  std::vector<std::pair<TermId, std::vector<TermPosting>>> removed;
+  removed.push_back({7,
+                     {{0, 0, 2.0}, {0, 1, 3.0}, {0, 5, 1.0}, {2, 2, 4.0}}});
+  removed.push_back({9, {{1, 3, 1.0}}});
+
+  ColdFoldUndo undo;
+  EXPECT_EQ(tier->FoldEvicted(removed, /*cutoff=*/6, &undo), 2u);
+  EXPECT_EQ(tier->folded_until(), 6);
+  EXPECT_EQ(tier->covered_start(), 0);
+  EXPECT_EQ(tier->term_upper_bound(), 10u);
+  EXPECT_EQ(tier->stream_upper_bound(), 3u);
+
+  // Term 7: times 0,1,2 land in bucket 0; time 5 in bucket 1.
+  ExpectSameRows(tier->TermRows(7),
+                 {{0, 0, 5.0, 3.0, 2},
+                  {0, 1, 1.0, 1.0, 1},
+                  {2, 0, 4.0, 4.0, 1}},
+                 7);
+  ExpectSameRows(tier->TermRows(9), {{1, 0, 1.0, 1.0, 1}}, 9);
+  EXPECT_EQ(tier->StreamSum(7, 0), 6.0);
+  EXPECT_EQ(tier->TermSum(7), 10.0);
+
+  // Idempotence: re-folding the same postings (all below folded_until now)
+  // changes nothing.
+  ColdFoldUndo undo2;
+  EXPECT_EQ(tier->FoldEvicted(removed, /*cutoff=*/6, &undo2), 0u);
+  ExpectSameRows(tier->TermRows(7),
+                 {{0, 0, 5.0, 3.0, 2},
+                  {0, 1, 1.0, 1.0, 1},
+                  {2, 0, 4.0, 4.0, 1}},
+                 7);
+
+  // A second fold above the watermark merges into existing buckets...
+  std::vector<std::pair<TermId, std::vector<TermPosting>>> more;
+  more.push_back({7, {{0, 6, 7.0}}});
+  ColdFoldUndo undo3;
+  EXPECT_EQ(tier->FoldEvicted(more, /*cutoff=*/8, &undo3), 1u);
+  ExpectSameRows(tier->TermRows(7),
+                 {{0, 0, 5.0, 3.0, 2},
+                  {0, 1, 8.0, 7.0, 2},
+                  {2, 0, 4.0, 4.0, 1}},
+                 7);
+  EXPECT_EQ(tier->folded_until(), 8);
+
+  // ...and rolls back exactly (rows, watermark, bounds).
+  tier->RollbackFold(std::move(undo3));
+  EXPECT_EQ(tier->folded_until(), 6);
+  ExpectSameRows(tier->TermRows(7),
+                 {{0, 0, 5.0, 3.0, 2},
+                  {0, 1, 1.0, 1.0, 1},
+                  {2, 0, 4.0, 4.0, 1}},
+                 7);
+}
+
+TEST(ColdTierTest, AttachAdoptsWindowStartAndRejectsGaps) {
+  auto tier = ColdTier::CreateInMemory(4);
+  ASSERT_TRUE(tier.ok());
+
+  // Fresh tier: coverage honestly begins at the live window.
+  ASSERT_TRUE(tier->AttachAt(9).ok());
+  EXPECT_EQ(tier->covered_start(), 9);
+  EXPECT_EQ(tier->folded_until(), 9);
+  EXPECT_EQ(tier->covered_length(), 0);
+  EXPECT_EQ(tier->bucket_lower_bound(), 2u);
+
+  std::vector<std::pair<TermId, std::vector<TermPosting>>> removed;
+  removed.push_back({1, {{0, 9, 1.0}, {0, 10, 2.0}}});
+  ColdFoldUndo undo;
+  EXPECT_EQ(tier->FoldEvicted(removed, /*cutoff=*/11, &undo), 1u);
+
+  // Overlap is fine (restart replayed extra history)...
+  EXPECT_TRUE(tier->AttachAt(10).ok());
+  EXPECT_EQ(tier->folded_until(), 11);
+  // ...a gap past the folded aggregates is not.
+  const Status gap = tier->AttachAt(13);
+  EXPECT_FALSE(gap.ok());
+  EXPECT_TRUE(gap.IsInvalidArgument());
+}
+
+TEST(ColdTierTest, RuntimeValidatesHistoryOptions) {
+  {
+    FeedRuntimeOptions opts = WindowedHistoryOptions(HistoryMode::kInMemory);
+    opts.history_bucket_width = 0;
+    EXPECT_FALSE(FeedRuntime::Create(MakeSeedCollection(), opts).ok());
+  }
+  {
+    FeedRuntimeOptions opts = WindowedHistoryOptions(HistoryMode::kMmap);
+    opts.history_path.clear();
+    EXPECT_FALSE(FeedRuntime::Create(MakeSeedCollection(), opts).ok());
+  }
+}
+
+// ------------------------------------------------- fold-vs-direct parity
+
+// The windowed runtime's tier must hold exactly what direct aggregation of
+// the dropped snapshots produces — proven against an unwindowed control
+// that still has every posting.
+TEST(HistoryFoldParityTest, TierMatchesDirectAggregationOfDroppedSnapshots) {
+  auto subject = FeedRuntime::Create(
+      MakeSeedCollection(), WindowedHistoryOptions(HistoryMode::kInMemory));
+  ASSERT_TRUE(subject.ok()) << subject.status().ToString();
+  FeedRuntimeOptions control_opts;
+  control_opts.num_threads = 2;  // unwindowed, no history
+  auto control = FeedRuntime::Create(MakeSeedCollection(), control_opts);
+  ASSERT_TRUE(control.ok()) << control.status().ToString();
+
+  size_t folding_ticks = 0;
+  for (const Snapshot& snap : MakeFeed(/*seed=*/1234, kTicks)) {
+    Snapshot copy = snap;
+    auto stats = subject->Tick(std::move(copy));
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    if (stats->folded_terms > 0) ++folding_ticks;
+    ASSERT_TRUE(control->Tick(Snapshot(snap)).ok());
+  }
+  ASSERT_GT(folding_ticks, 0u);
+
+  const ColdTier* tier = subject->history();
+  ASSERT_NE(tier, nullptr);
+  // The seed collection fits inside the window, so nothing was dropped at
+  // Create and the tier covers the full evicted prefix.
+  EXPECT_EQ(tier->covered_start(), 0);
+  EXPECT_EQ(tier->folded_until(), subject->window_start());
+  ASSERT_GE(tier->folded_until(), 1);
+
+  for (TermId t = 0; t < control->index().num_terms(); ++t) {
+    ExpectSameRows(tier->TermRows(t),
+                   DirectAggregate(control->index().postings(t),
+                                   tier->covered_start(),
+                                   tier->folded_until(), kBucket),
+                   t);
+  }
+}
+
+// The acceptance-criterion parity: expected-model baselines over the full
+// horizon from hot window + cold tier, identical to the unwindowed control.
+TEST(HistoryFoldParityTest, BaselinesMatchUnwindowedControl) {
+  auto subject = FeedRuntime::Create(
+      MakeSeedCollection(), WindowedHistoryOptions(HistoryMode::kInMemory));
+  ASSERT_TRUE(subject.ok());
+  FeedRuntimeOptions control_opts;
+  control_opts.num_threads = 2;
+  auto control = FeedRuntime::Create(MakeSeedCollection(), control_opts);
+  ASSERT_TRUE(control.ok());
+
+  for (const Snapshot& snap : MakeFeed(/*seed=*/555, kTicks)) {
+    ASSERT_TRUE(subject->Tick(Snapshot(snap)).ok());
+    ASSERT_TRUE(control->Tick(Snapshot(snap)).ok());
+  }
+
+  const ColdTier* tier = subject->history();
+  ASSERT_NE(tier, nullptr);
+  const Timestamp fold = tier->folded_until();
+  ASSERT_EQ(fold, subject->window_start());
+  ASSERT_GE(fold, 1);
+
+  LongHorizonBaseline baseline(tier);
+  for (TermId t = 0; t < control->index().num_terms(); ++t) {
+    const TermSeries full = control->index().DenseSeries(t);
+    const TermSeries hot = subject->index().DenseSeries(t);
+    for (StreamId s = 0; s < kStreams; ++s) {
+      // Control: an unseeded mean over the full horizon [0, T).
+      SeededMeanModel control_model;
+      const std::vector<double> want =
+          BurstinessSeries(full.StreamRow(s), &control_model);
+      // Subject: the tier-seeded mean over the hot window [fold, T) only.
+      std::unique_ptr<ExpectedFrequencyModel> model = baseline.ModelFor(t, s);
+      const std::vector<double> got =
+          BurstinessSeries(hot.StreamRow(s), model.get());
+      ASSERT_EQ(want.size(), got.size() + static_cast<size_t>(fold));
+      for (size_t i = 0; i < got.size(); ++i) {
+        // Bit-equal, not approximately equal: integer-valued partial sums
+        // are exact in double.
+        EXPECT_EQ(got[i], want[i + static_cast<size_t>(fold)])
+            << "term " << t << " stream " << s << " hot index " << i;
+      }
+    }
+  }
+}
+
+// --------------------------------------------------- LongHorizonBaseline
+
+TEST(LongHorizonBaselineTest, SeededModelHonorsResetContract) {
+  SeededMeanModel model(/*seed_sum=*/10.0, /*seed_count=*/5);
+  EXPECT_TRUE(model.HasHistory());
+  EXPECT_EQ(model.Expected(), 2.0);
+  model.Observe(8.0);
+  EXPECT_EQ(model.Expected(), 3.0);  // (10+8)/6
+  // Reset restores the freshly-constructed (seeded) state, not zero.
+  model.Reset();
+  EXPECT_TRUE(model.HasHistory());
+  EXPECT_EQ(model.Expected(), 2.0);
+  model.Observe(8.0);
+  EXPECT_EQ(model.Expected(), 3.0);
+
+  SeededMeanModel unseeded;
+  EXPECT_FALSE(unseeded.HasHistory());
+  EXPECT_EQ(unseeded.Expected(), 0.0);
+}
+
+TEST(LongHorizonBaselineTest, NullTierYieldsUnseededModelsAndComposes) {
+  LongHorizonBaseline baseline(nullptr);
+  auto model = baseline.ModelFor(3, 1);
+  EXPECT_FALSE(model->HasHistory());
+  // Factories compose with the existing decorators.
+  ExpectedModelFactory floored =
+      WithPriorFloor(baseline.FactoryFor(3, 1), 0.25);
+  auto m = floored();
+  EXPECT_EQ(m->Expected(), 0.25);
+}
+
+// ------------------------------------------------------------ mmap tier
+
+std::vector<std::pair<TermId, std::vector<TermPosting>>> SampleFoldInput() {
+  return {{0, {{0, 0, 1.0}, {1, 2, 2.0}, {1, 3, 3.0}}},
+          {3, {{2, 1, 4.0}, {2, 5, 1.0}}}};
+}
+
+TEST(ColdTierMmapTest, PublishReopenRoundTripWithDeltaOverlay) {
+  const std::string path = TempPath("cold_tier_roundtrip.stb");
+  {
+    auto tier = ColdTier::OpenOrCreate(path, /*bucket_width=*/2);
+    ASSERT_TRUE(tier.ok()) << tier.status().ToString();
+    ColdFoldUndo undo;
+    auto input = SampleFoldInput();
+    tier->FoldEvicted(input, /*cutoff=*/4, &undo);
+    ASSERT_TRUE(tier->Publish().ok());
+    EXPECT_GT(tier->base_rows(), 0u);
+    EXPECT_EQ(tier->delta_rows(), 0u);
+
+    // Fold more on top of the published base: queries merge base + delta.
+    std::vector<std::pair<TermId, std::vector<TermPosting>>> more = {
+        {0, {{1, 4, 5.0}}}, {3, {{2, 5, 1.0}}}};
+    ColdFoldUndo undo2;
+    tier->FoldEvicted(more, /*cutoff=*/6, &undo2);
+    ExpectSameRows(tier->TermRows(0),
+                   {{0, 0, 1.0, 1.0, 1}, {1, 1, 5.0, 3.0, 2},
+                    {1, 2, 5.0, 5.0, 1}},
+                   0);
+    ExpectSameRows(tier->TermRows(3),
+                   {{2, 0, 4.0, 4.0, 1}, {2, 2, 1.0, 1.0, 1}}, 3);
+    ASSERT_TRUE(tier->Publish().ok());
+  }
+  // Reopen from disk only: bit-identical state.
+  auto reopened = ColdTier::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened->bucket_width(), 2);
+  EXPECT_EQ(reopened->covered_start(), 0);
+  EXPECT_EQ(reopened->folded_until(), 6);
+  ExpectSameRows(reopened->TermRows(0),
+                 {{0, 0, 1.0, 1.0, 1}, {1, 1, 5.0, 3.0, 2},
+                  {1, 2, 5.0, 5.0, 1}},
+                 0);
+  ExpectSameRows(reopened->TermRows(3),
+                 {{2, 0, 4.0, 4.0, 1}, {2, 2, 1.0, 1.0, 1}}, 3);
+  std::remove(path.c_str());
+}
+
+// The acceptance-criterion recovery proof: a restarted runtime attaches to
+// the published tier and serves identical full-horizon baselines without
+// replaying the cold span.
+TEST(ColdTierMmapTest, RestartedRuntimeRecoversBaselinesWithoutReplay) {
+  const std::string path = TempPath("cold_tier_restart.stb");
+  const std::vector<Snapshot> feed = MakeFeed(/*seed=*/77, kTicks);
+
+  Timestamp fold = 0;
+  std::vector<std::vector<ColdRow>> rows_before(kVocab);
+  std::vector<std::vector<double>> baseline_before;
+  {
+    FeedRuntimeOptions opts = WindowedHistoryOptions(HistoryMode::kMmap);
+    opts.history_path = path;
+    auto runtime = FeedRuntime::Create(MakeSeedCollection(), opts);
+    ASSERT_TRUE(runtime.ok()) << runtime.status().ToString();
+    for (const Snapshot& snap : feed) {
+      ASSERT_TRUE(runtime->Tick(Snapshot(snap)).ok());
+    }
+    const ColdTier* tier = runtime->history();
+    ASSERT_NE(tier, nullptr);
+    fold = tier->folded_until();
+    ASSERT_EQ(fold, runtime->window_start());
+    LongHorizonBaseline baseline(tier);
+    for (TermId t = 0; t < kVocab; ++t) {
+      rows_before[t] = tier->TermRows(t);
+      const TermSeries hot = runtime->index().DenseSeries(t);
+      for (StreamId s = 0; s < kStreams; ++s) {
+        auto model = baseline.ModelFor(t, s);
+        baseline_before.push_back(
+            BurstinessSeries(hot.StreamRow(s), model.get()));
+      }
+    }
+  }  // runtime destroyed; only the published file remains
+
+  // Standalone reopen (backtesting shape): bit-identical aggregates.
+  {
+    auto reopened = ColdTier::Open(path);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    EXPECT_EQ(reopened->folded_until(), fold);
+    for (TermId t = 0; t < kVocab; ++t) {
+      ExpectSameRows(reopened->TermRows(t), rows_before[t], t);
+    }
+  }
+
+  // Restarted runtime: a fresh collection holding ONLY the hot window (the
+  // cold span is never replayed — its timestamps stay empty), attached to
+  // the same tier file.
+  Collection hot_only = MakeSeedCollection(/*initial_timeline=*/fold);
+  for (size_t i = feed.size() - static_cast<size_t>(kWindow);
+       i < feed.size(); ++i) {
+    ASSERT_TRUE(hot_only.Append(Snapshot(feed[i])).ok());
+  }
+  FeedRuntimeOptions opts = WindowedHistoryOptions(HistoryMode::kMmap);
+  opts.history_path = path;
+  auto restarted = FeedRuntime::Create(std::move(hot_only), opts);
+  ASSERT_TRUE(restarted.ok()) << restarted.status().ToString();
+  const ColdTier* tier = restarted->history();
+  ASSERT_NE(tier, nullptr);
+  EXPECT_EQ(tier->folded_until(), fold);
+  EXPECT_EQ(restarted->window_start(), fold);
+
+  LongHorizonBaseline baseline(tier);
+  size_t pair_index = 0;
+  for (TermId t = 0; t < kVocab; ++t) {
+    ExpectSameRows(tier->TermRows(t), rows_before[t], t);
+    const TermSeries hot = restarted->index().DenseSeries(t);
+    for (StreamId s = 0; s < kStreams; ++s, ++pair_index) {
+      auto model = baseline.ModelFor(t, s);
+      EXPECT_EQ(BurstinessSeries(hot.StreamRow(s), model.get()),
+                baseline_before[pair_index])
+          << "term " << t << " stream " << s;
+    }
+  }
+
+  // The recovered runtime keeps folding where the old one stopped.
+  Rng rng(4321);
+  auto stats = restarted->Tick(MakeSnapshot(rng));
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GT(stats->folded_terms, 0u);
+  EXPECT_EQ(restarted->history()->folded_until(), fold + 1);
+  std::remove(path.c_str());
+}
+
+TEST(ColdTierMmapTest, RejectsTruncatedAndCorruptFiles) {
+  const std::string path = TempPath("cold_tier_corrupt_src.stb");
+  {
+    auto tier = ColdTier::OpenOrCreate(path, /*bucket_width=*/2);
+    ASSERT_TRUE(tier.ok());
+    ColdFoldUndo undo;
+    auto input = SampleFoldInput();
+    tier->FoldEvicted(input, /*cutoff=*/6, &undo);
+    ASSERT_TRUE(tier->Publish().ok());
+  }
+  const std::string good = ReadFile(path);
+  ASSERT_GT(good.size(), 64u);
+  const std::string victim = TempPath("cold_tier_corrupt.stb");
+
+  auto expect_rejected = [&](std::string bytes, const char* what) {
+    WriteFile(victim, bytes);
+    auto opened = ColdTier::Open(victim);
+    EXPECT_FALSE(opened.ok()) << what;
+    // OpenOrCreate must refuse too — never silently restart an empty tier
+    // over a damaged file.
+    auto reattached = ColdTier::OpenOrCreate(victim, 2);
+    EXPECT_FALSE(reattached.ok()) << what;
+  };
+
+  expect_rejected(std::string(), "empty file");
+  expect_rejected(good.substr(0, 40), "shorter than the header");
+  expect_rejected(good.substr(0, good.size() - 8), "truncated payload");
+  {
+    std::string bad = good;
+    bad[16] ^= 0x01;  // bucket_width field: header checksum must catch it
+    expect_rejected(bad, "corrupt header byte");
+  }
+  {
+    std::string bad = good;
+    bad[good.size() - 1] ^= 0x01;  // payload checksum must catch it
+    expect_rejected(bad, "corrupt payload byte");
+  }
+  {
+    std::string bad = good;
+    bad[0] = 'X';  // magic
+    expect_rejected(bad, "foreign magic");
+  }
+  {
+    // A future format version with a valid checksum is still refused.
+    std::string bad = good;
+    const uint32_t version = 2;
+    std::memcpy(bad.data() + 8, &version, sizeof(version));
+    const uint64_t checksum = Fnv1a64(bad.data(), 56);
+    std::memcpy(bad.data() + 56, &checksum, sizeof(checksum));
+    expect_rejected(bad, "future version");
+  }
+  std::remove(path.c_str());
+  std::remove(victim.c_str());
+}
+
+TEST(ColdTierMmapTest, RejectsBucketWidthMismatch) {
+  const std::string path = TempPath("cold_tier_width.stb");
+  {
+    auto tier = ColdTier::OpenOrCreate(path, /*bucket_width=*/2);
+    ASSERT_TRUE(tier.ok());
+    ColdFoldUndo undo;
+    auto input = SampleFoldInput();
+    tier->FoldEvicted(input, /*cutoff=*/6, &undo);
+    ASSERT_TRUE(tier->Publish().ok());
+  }
+  auto mismatched = ColdTier::OpenOrCreate(path, /*bucket_width=*/3);
+  EXPECT_FALSE(mismatched.ok());
+  EXPECT_TRUE(mismatched.status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+// -------------------------------------------------------------- ReplayRange
+
+TEST(ReplayTest, ReplayRangeFindsStoredBurst) {
+  auto tier = ColdTier::CreateInMemory(/*bucket_width=*/4);
+  ASSERT_TRUE(tier.ok());
+  // Stream 0: background frequency 1 everywhere, a burst (5s) at times
+  // 8..11 — exactly bucket 2. Stream 1: flat.
+  std::vector<TermPosting> postings;
+  for (Timestamp time = 0; time < 20; ++time) {
+    postings.push_back({0, time, time >= 8 && time < 12 ? 5.0 : 1.0});
+    postings.push_back({1, time, 1.0});
+  }
+  std::sort(postings.begin(), postings.end(),
+            [](const TermPosting& a, const TermPosting& b) {
+              return std::pair(a.stream, a.time) < std::pair(b.stream, b.time);
+            });
+  std::vector<std::pair<TermId, std::vector<TermPosting>>> removed = {
+      {5, std::move(postings)}};
+  ColdFoldUndo undo;
+  tier->FoldEvicted(removed, /*cutoff=*/20, &undo);
+  ASSERT_EQ(tier->bucket_upper_bound(), 5u);
+
+  const ExpectedModelFactory factory = [] {
+    return std::make_unique<GlobalMeanModel>();
+  };
+  auto replayed = ReplayRange(*tier, 5, 0, 5, factory);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  bool found_burst = false;
+  for (const ReplayedInterval& interval : *replayed) {
+    if (interval.stream == 0 && interval.bucket_begin <= 2 &&
+        interval.bucket_end > 2) {
+      found_burst = true;
+      EXPECT_GT(interval.burstiness, 0.0);
+    }
+    EXPECT_NE(interval.stream, 1u) << "flat stream must not burst";
+  }
+  EXPECT_TRUE(found_burst);
+
+  // Span validation.
+  EXPECT_TRUE(
+      ReplayRange(*tier, 5, 3, 3, factory).status().IsInvalidArgument());
+  EXPECT_TRUE(ReplayRange(*tier, 5, 0, 6, factory).status().IsOutOfRange());
+}
+
+// --------------------------------------------------------------- stats
+
+TEST(HistoryTickStatsTest, FoldedTermsTracksEvictionAndMode) {
+  // kOff: stats stay zero, no tier exists.
+  {
+    FeedRuntimeOptions opts = WindowedHistoryOptions(HistoryMode::kOff);
+    auto runtime = FeedRuntime::Create(MakeSeedCollection(), opts);
+    ASSERT_TRUE(runtime.ok());
+    EXPECT_EQ(runtime->history(), nullptr);
+    Rng rng(1);
+    for (int i = 0; i < kTicks; ++i) {
+      auto stats = runtime->Tick(MakeSnapshot(rng));
+      ASSERT_TRUE(stats.ok());
+      EXPECT_EQ(stats->folded_terms, 0u);
+    }
+  }
+  // kInMemory: zero until the window fills, positive on evicting ticks.
+  {
+    auto runtime = FeedRuntime::Create(
+        MakeSeedCollection(), WindowedHistoryOptions(HistoryMode::kInMemory));
+    ASSERT_TRUE(runtime.ok());
+    Rng rng(1);
+    size_t total_folded = 0;
+    for (int i = 0; i < kTicks; ++i) {
+      auto stats = runtime->Tick(MakeSnapshot(rng));
+      ASSERT_TRUE(stats.ok());
+      // Non-evicting ticks never fold; evicting ticks may fold zero terms
+      // while the (empty) seed prefix drains out of the window.
+      if (!stats->evicted) EXPECT_EQ(stats->folded_terms, 0u) << "tick " << i;
+      total_folded += stats->folded_terms;
+    }
+    EXPECT_GT(total_folded, 0u);
+    EXPECT_EQ(runtime->history()->folded_until(), runtime->window_start());
+  }
+}
+
+}  // namespace
+}  // namespace stburst

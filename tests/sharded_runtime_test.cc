@@ -13,12 +13,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "stburst/common/fault_injection.h"
 #include "stburst/common/random.h"
+#include "stburst/history/cold_tier.h"
 #include "stburst/stream/feed_runtime.h"
 
 namespace stburst {
@@ -46,6 +49,10 @@ FeedRuntimeOptions BaseOptions() {
   opts.refresh_budget = 4;
   opts.search_serving = SearchServing::kCombinatorial;
   opts.miner.stcomb.min_interval_burstiness = 0.05;
+  // Cold tier on, so every parity proof below also covers per-shard folds
+  // (and the fault sweep exercises "history.fold" at K=3).
+  opts.history_mode = HistoryMode::kInMemory;
+  opts.history_bucket_width = 2;
   return opts;
 }
 
@@ -156,6 +163,25 @@ void ExpectSameTickStats(const FeedTickStats& a, const FeedTickStats& b) {
   EXPECT_EQ(a.search_terms, b.search_terms);
   EXPECT_EQ(a.evicted, b.evicted);
   EXPECT_EQ(a.degraded, b.degraded);
+  EXPECT_EQ(a.folded_terms, b.folded_terms);
+}
+
+// Bit-identity of two cold tiers (watermarks, bounds, every term's merged
+// rows). Tolerates both-absent; fails if only one side has a tier.
+void ExpectSameTierState(const ColdTier* a, const ColdTier* b,
+                         const char* what) {
+  ASSERT_EQ(a == nullptr, b == nullptr) << what;
+  if (a == nullptr) return;
+  EXPECT_EQ(a->bucket_width(), b->bucket_width()) << what;
+  EXPECT_EQ(a->covered_start(), b->covered_start()) << what;
+  EXPECT_EQ(a->folded_until(), b->folded_until()) << what;
+  EXPECT_EQ(a->stream_upper_bound(), b->stream_upper_bound()) << what;
+  EXPECT_EQ(a->term_upper_bound(), b->term_upper_bound()) << what;
+  const TermId terms =
+      std::max(a->term_upper_bound(), b->term_upper_bound());
+  for (TermId t = 0; t < terms; ++t) {
+    EXPECT_TRUE(a->TermRows(t) == b->TermRows(t)) << what << " term " << t;
+  }
 }
 
 ShardedRuntimeOptions ShardedOptions(size_t num_shards,
@@ -395,6 +421,51 @@ TEST_P(ShardedParityTest, TieBoundariesResolveByGlobalDocId) {
   }
 }
 
+// Tier parity (ISSUE 10): every term's cold aggregates live in exactly one
+// shard and are bit-identical to the unsharded control's tier. Covers
+// K ∈ {1,2,4} (and more) via the shard-count matrix.
+TEST_P(ShardedParityTest, ColdTierRowsMatchUnshardedAndStayDisjoint) {
+  const size_t num_shards = GetParam();
+  auto control = FeedRuntime::Create(MakeSeedCollection(), BaseOptions());
+  ASSERT_TRUE(control.ok()) << control.status().ToString();
+  auto sharded = ShardedRuntime::Create(MakeSeedCollection(),
+                                        ShardedOptions(num_shards));
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+
+  Rng control_rng(2718), sharded_rng(2718);
+  for (int tick = 0; tick < kLiveTicks; ++tick) {
+    ASSERT_TRUE(control->Tick(MakeSnapshot(control_rng, kVocab)).ok());
+    ASSERT_TRUE(sharded->Tick(MakeSnapshot(sharded_rng, kVocab)).ok());
+  }
+  const ColdTier* control_tier = control->history();
+  ASSERT_NE(control_tier, nullptr);
+  ASSERT_EQ(control_tier->folded_until(), control->window_start());
+  ASSERT_GE(control_tier->folded_until(), 1);
+
+  const ShardMap map(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    const ColdTier* tier = sharded->shard(s).history();
+    ASSERT_NE(tier, nullptr) << "shard " << s;
+    // Every shard tier walks the same watermarks in lockstep.
+    EXPECT_EQ(tier->covered_start(), control_tier->covered_start());
+    EXPECT_EQ(tier->folded_until(), control_tier->folded_until());
+  }
+  for (TermId t = 0; t < kVocab; ++t) {
+    const size_t owner = map.shard_of(t);
+    for (size_t s = 0; s < num_shards; ++s) {
+      const std::vector<ColdRow> rows =
+          sharded->shard(s).history()->TermRows(t);
+      if (s == owner) {
+        EXPECT_TRUE(rows == control_tier->TermRows(t))
+            << "term " << t << " owner shard " << s;
+      } else {
+        EXPECT_TRUE(rows.empty())
+            << "term " << t << " leaked into non-owning shard " << s;
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardedParityTest,
                          testing::ValuesIn(TestShardCounts()),
                          [](const testing::TestParamInfo<size_t>& info) {
@@ -431,6 +502,45 @@ TEST(ShardedRuntimeTest, ThreadCountNeverChangesResults) {
       ExpectSameSearch(sharded->Search(std::vector<TermId>{1, 2, 3}, 10),
                        control->Search(std::vector<TermId>{1, 2, 3}, 10), "after thread sweep");
     }
+  }
+}
+
+// ------------------------------------------------------- per-shard mmap
+
+// kMmap under sharding writes one tier file per shard (`<path>.shard<i>`),
+// each independently reopenable with exactly the owning shard's rows.
+TEST(ShardedRuntimeTest, MmapHistoryWritesOneRecoverableTierFilePerShard) {
+  std::string dir = testing::TempDir();
+  if (!dir.empty() && dir.back() != '/') dir += '/';
+  const std::string path = dir + "sharded_tier.stb";
+  const size_t num_shards = 2;
+  for (size_t s = 0; s < num_shards; ++s) {
+    std::remove((path + ".shard" + std::to_string(s)).c_str());
+  }
+
+  FeedRuntimeOptions base = BaseOptions();
+  base.history_mode = HistoryMode::kMmap;
+  base.history_path = path;
+  auto sharded = ShardedRuntime::Create(MakeSeedCollection(),
+                                        ShardedOptions(num_shards, base));
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  Rng rng(31);
+  for (int tick = 0; tick < kLiveTicks; ++tick) {
+    ASSERT_TRUE(sharded->Tick(MakeSnapshot(rng, kVocab)).ok());
+  }
+
+  for (size_t s = 0; s < num_shards; ++s) {
+    const std::string shard_path = path + ".shard" + std::to_string(s);
+    auto reopened = ColdTier::Open(shard_path);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    const ColdTier* live = sharded->shard(s).history();
+    ASSERT_NE(live, nullptr);
+    EXPECT_EQ(reopened->folded_until(), live->folded_until());
+    for (TermId t = 0; t < kVocab; ++t) {
+      EXPECT_TRUE(reopened->TermRows(t) == live->TermRows(t))
+          << "shard " << s << " term " << t;
+    }
+    std::remove(shard_path.c_str());
   }
 }
 
@@ -478,6 +588,8 @@ void ExpectIdenticalShardedRuntimes(const ShardedRuntime& a,
     for (size_t i = 0; i < ca.documents().size(); ++i) {
       EXPECT_EQ(ca.documents()[i].tokens, cb.documents()[i].tokens);
     }
+    ExpectSameTierState(a.shard(s).history(), b.shard(s).history(),
+                        "fault tier parity");
   }
   for (TermId t = 0; t < a.vocabulary().size(); ++t) {
     ExpectSamePatterns(a.patterns(t), b.patterns(t), t);
